@@ -1,0 +1,311 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Figures 2-8 and the Section VII-C claims), plus ablations
+// of the design choices DESIGN.md calls out and micro-benchmarks of the
+// hot paths. Replayed figures run on a 4-rack (360-node) slice so a full
+// `go test -bench=.` stays in laptop territory; pass the full machine via
+// the cmd/expfig tool instead when absolute fidelity matters.
+//
+// Benchmarks report normalized work/energy through b.ReportMetric so the
+// paper-shape comparisons of EXPERIMENTS.md regenerate from the bench
+// output alone.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/figures"
+	"repro/internal/model"
+	"repro/internal/power"
+	"repro/internal/replay"
+	"repro/internal/sched"
+	"repro/internal/simengine"
+	"repro/internal/trace"
+)
+
+const benchRacks = 4 // 360 nodes, 5760 cores
+
+// --- Figures 2-5: model tables --------------------------------------
+
+func BenchmarkFig2PowerBonus(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = figures.Fig2()
+	}
+	if len(out) == 0 {
+		b.Fatal("empty artifact")
+	}
+}
+
+func BenchmarkFig3PowerTimeTradeoff(b *testing.B) {
+	prof := power.CurieProfile()
+	for i := 0; i < b.N; i++ {
+		pts := apps.Figure3Points(prof)
+		if len(pts) != 32 {
+			b.Fatalf("points = %d", len(pts))
+		}
+	}
+}
+
+func BenchmarkFig4PowerTable(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = figures.Fig4()
+	}
+	if len(out) == 0 {
+		b.Fatal("empty artifact")
+	}
+}
+
+func BenchmarkFig5RhoTable(b *testing.B) {
+	prof := power.CurieProfile()
+	for i := 0; i < b.N; i++ {
+		for _, row := range apps.Figure5Rows() {
+			_ = row.Rho(prof)
+		}
+	}
+}
+
+// --- Figures 6-8 and claims: replayed experiments -------------------
+
+func runScenario(b *testing.B, s replay.Scenario) replay.Result {
+	b.Helper()
+	var r replay.Result
+	for i := 0; i < b.N; i++ {
+		r = replay.Run(s)
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.ReportMetric(r.Summary.NormWork, "normWork")
+	b.ReportMetric(r.Summary.NormEnergy, "normEnergy")
+	return r
+}
+
+func BenchmarkFig6Mix24h(b *testing.B) {
+	r := runScenario(b, replay.Fig6Scenario(benchRacks))
+	if len(r.Samples) == 0 {
+		b.Fatal("no samples")
+	}
+}
+
+func BenchmarkFig7aShutBigjob(b *testing.B) {
+	runScenario(b, replay.Fig7aScenario(benchRacks))
+}
+
+func BenchmarkFig7bDvfsSmalljob(b *testing.B) {
+	runScenario(b, replay.Fig7bScenario(benchRacks))
+}
+
+func BenchmarkFig8PolicySweep(b *testing.B) {
+	scens := replay.Fig8Scenarios(benchRacks)
+	var results []replay.Result
+	for i := 0; i < b.N; i++ {
+		results = replay.RunAll(scens, 0)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+}
+
+func BenchmarkClaims24h(b *testing.B) {
+	scens := replay.Claims24hScenarios(benchRacks)
+	var results []replay.Result
+	for i := 0; i < b.N; i++ {
+		results = replay.RunAll(scens, 0)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+}
+
+// --- Ablations -------------------------------------------------------
+
+func BenchmarkAblationGroupedShutdown(b *testing.B) {
+	scens := replay.AblationGroupingScenarios(benchRacks)
+	var results []replay.Result
+	for i := 0; i < b.N; i++ {
+		results = replay.RunAll(scens, 0)
+	}
+	if results[0].Err != nil || results[1].Err != nil {
+		b.Fatal("ablation run failed")
+	}
+	// grouped[0] vs scattered[1]: report the bonus harvested.
+	b.ReportMetric(float64(results[0].Plan.PlannedSaving-results[1].Plan.PlannedSaving), "bonusWattsGain")
+}
+
+func BenchmarkAblationMixFloor(b *testing.B) {
+	scens := replay.AblationMixFloorScenarios(benchRacks)
+	var results []replay.Result
+	for i := 0; i < b.N; i++ {
+		results = replay.RunAll(scens, 0)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.ReportMetric(results[0].Summary.NormEnergy, "mixEnergy")
+	b.ReportMetric(results[1].Summary.NormEnergy, "fullRangeEnergy")
+}
+
+func BenchmarkAblationDynamicDVFS(b *testing.B) {
+	scens := replay.AblationDynamicDVFSScenarios(benchRacks)
+	var results []replay.Result
+	for i := 0; i < b.N; i++ {
+		results = replay.RunAll(scens, 0)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.ReportMetric(float64(results[1].Summary.Rescales), "rescales")
+	b.ReportMetric(results[0].Summary.NormWork, "staticWork")
+	b.ReportMetric(results[1].Summary.NormWork, "dynamicWork")
+}
+
+func BenchmarkAblationMeasuredPower(b *testing.B) {
+	s := replay.Fig7aScenario(benchRacks)
+	s.MeasuredNoise = 0.03
+	runScenario(b, s)
+}
+
+func BenchmarkAblationCompactPlacement(b *testing.B) {
+	s := replay.Fig7bScenario(benchRacks)
+	// Compact, topology-aware allocation (Section IV-A's network
+	// criterion) versus the default first-fit packing.
+	var results []replay.Result
+	for i := 0; i < b.N; i++ {
+		results = replay.RunAll([]replay.Scenario{s, func() replay.Scenario {
+			c := s
+			c.Compact = true
+			c.Name += "/compact"
+			return c
+		}()}, 0)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.ReportMetric(results[0].Summary.NormWork, "firstFitWork")
+	b.ReportMetric(results[1].Summary.NormWork, "compactWork")
+}
+
+func BenchmarkAblationKillOnOverrun(b *testing.B) {
+	s := replay.Fig7aScenario(benchRacks)
+	s.KillOnOverrun = true
+	r := runScenario(b, s)
+	b.ReportMetric(float64(r.Summary.JobsKilled), "killed")
+}
+
+func BenchmarkAblationReservationLead(b *testing.B) {
+	s := replay.Fig7aScenario(benchRacks)
+	s.ReservationLead = 1800
+	runScenario(b, s)
+}
+
+func BenchmarkAblationBackfillDepth(b *testing.B) {
+	s := replay.Fig6Scenario(benchRacks)
+	s.BackfillDepth = 10 // starved backfill, the paper's observed pathology
+	runScenario(b, s)
+}
+
+// --- Micro-benchmarks of the hot paths -------------------------------
+
+func BenchmarkClusterPowerTransition(b *testing.B) {
+	c := cluster.NewCurie()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := cluster.NodeID(i % c.Nodes())
+		if err := c.Occupy(id, 1, dvfs.F2700); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Vacate(id, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+		_ = c.Power()
+	}
+}
+
+func BenchmarkOfflinePlanFullCurie(b *testing.B) {
+	c := cluster.NewCurie()
+	pm := core.CuriePolicyModel(core.PolicyShut)
+	budget := power.CapFraction(0.4, c.MaxPower())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan := core.PlanOffline(c, pm, budget, true, nil)
+		if len(plan.OffNodes) == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}
+
+func BenchmarkOnlineSelectFreq(b *testing.B) {
+	c := cluster.NewCurie()
+	pm := core.CuriePolicyModel(core.PolicyDvfs)
+	nodes := []cluster.NodeID{0, 1, 2, 3}
+	budget := power.CapWatts(c.IdlePower() + 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := core.SelectFreqUnderCap(c, pm, nodes, func(dvfs.Freq) power.Cap {
+			return budget
+		}); !ok {
+			b.Fatal("selection failed")
+		}
+	}
+}
+
+func BenchmarkAllocateFullCurie(b *testing.B) {
+	c := cluster.NewCurie()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sched.Allocate(c, 512, nil) == nil {
+			b.Fatal("allocation failed")
+		}
+	}
+}
+
+func BenchmarkEventEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := simengine.New(0)
+		for t := int64(0); t < 1000; t++ {
+			if _, err := e.At(t, func(simengine.Time) {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := e.Run(-1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceGenerate(b *testing.B) {
+	cfg := trace.Config{Kind: trace.MedianJob, Seed: 1, Cores: 5760}
+	for i := 0; i < b.N; i++ {
+		jobs, err := trace.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(jobs) == 0 {
+			b.Fatal("empty workload")
+		}
+	}
+}
+
+func BenchmarkModelSolve(b *testing.B) {
+	p := model.CurieParams(5040)
+	for i := 0; i < b.N; i++ {
+		if _, err := model.SolveFraction(p, 0.4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command expfig regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	expfig -fig 2|3|4|5|6|7a|7b|8|claims|ablation|all [-racks 56] [-workers 0]
+//
+// Figures 2-5 are static tables derived from the hardware model; 6-8 and
+// the Section VII-C claims replay full workloads (use -racks to shrink
+// the machine for quick looks).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/figures"
+	"repro/internal/replay"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "which artifact: 2|3|4|5|6|7a|7b|8|claims|ablation|all")
+		racks   = flag.Int("racks", 56, "machine size in racks for the replayed figures")
+		workers = flag.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS)")
+		width   = flag.Int("width", 96, "chart width")
+		height  = flag.Int("height", 14, "chart height")
+	)
+	flag.Parse()
+
+	scale := 0
+	if *racks != 56 {
+		scale = *racks
+	}
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	printed := false
+	show := func(s string) {
+		if printed {
+			fmt.Println(strings.Repeat("-", 80))
+		}
+		fmt.Print(s)
+		printed = true
+	}
+
+	if want("2") {
+		show(figures.Fig2())
+	}
+	if want("3") {
+		show(figures.Fig3())
+	}
+	if want("4") {
+		show(figures.Fig4())
+	}
+	if want("5") {
+		show(figures.Fig5())
+	}
+	if want("6") {
+		r := replay.Run(replay.Fig6Scenario(scale))
+		if r.Err != nil {
+			fail(r.Err)
+		}
+		show("Figure 6: 24 h workload, MIX policy, 1 h reservation at 40%\n\n" +
+			figures.TimeSeries(r, *width, *height))
+	}
+	if want("7a") {
+		r := replay.Run(replay.Fig7aScenario(scale))
+		if r.Err != nil {
+			fail(r.Err)
+		}
+		show("Figure 7a: bigjob workload, SHUT policy, 60% cap\n\n" +
+			figures.TimeSeries(r, *width, *height))
+	}
+	if want("7b") {
+		r := replay.Run(replay.Fig7bScenario(scale))
+		if r.Err != nil {
+			fail(r.Err)
+		}
+		show("Figure 7b: smalljob workload, DVFS policy, 40% cap\n\n" +
+			figures.TimeSeries(r, *width, *height))
+	}
+	if want("8") {
+		rs := replay.RunAll(replay.Fig8Scenarios(scale), *workers)
+		show(figures.Fig8(rs) + "\n" + figures.SummaryTable(rs))
+	}
+	if want("claims") {
+		rs := replay.RunAll(replay.Claims24hScenarios(scale), *workers)
+		show("Section VII-C 24 h claims (SHUT vs DVFS vs MIX vs IDLE at 40%)\n\n" +
+			figures.SummaryTable(rs))
+	}
+	if want("ablation") {
+		scens := append(replay.AblationGroupingScenarios(scale), replay.AblationMixFloorScenarios(scale)...)
+		scens = append(scens, replay.AblationDynamicDVFSScenarios(scale)...)
+		rs := replay.RunAll(scens, *workers)
+		show("Ablations: grouped vs scattered shutdown; MIX floor vs full-range DVFS;\n" +
+			"static vs dynamic DVFS\n\n" + figures.SummaryTable(rs))
+	}
+	if !printed {
+		fail(fmt.Errorf("unknown figure %q", *fig))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

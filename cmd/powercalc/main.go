@@ -1,0 +1,94 @@
+// Command powercalc explores the Section III analytic model: given the
+// cluster size, per-node power constants and a powercap, it reports how
+// many nodes to switch off or slow down, the extractable work, the case
+// classification and the mechanism chosen by the published rho criterion
+// versus the direct work comparison.
+//
+// Usage:
+//
+//	powercalc [-n 5040] [-pmax 358] [-pmin 193] [-poff 14] [-deg 1.63] \
+//	          [-lambda 0.6 | -cap <watts>] [-sweep]
+//
+// With -sweep the full lambda range is tabulated instead of a single
+// point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/model"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 5040, "cluster node count")
+		pmax   = flag.Float64("pmax", 358, "per-node draw busy at nominal frequency (W)")
+		pmin   = flag.Float64("pmin", 193, "per-node draw busy at minimum frequency (W)")
+		poff   = flag.Float64("poff", 14, "per-node draw switched off (W)")
+		deg    = flag.Float64("deg", 1.63, "walltime degradation at minimum frequency")
+		lambda = flag.Float64("lambda", 0.6, "powercap as a fraction of N*Pmax")
+		capW   = flag.Float64("cap", 0, "powercap in watts (overrides -lambda when > 0)")
+		sweep  = flag.Bool("sweep", false, "tabulate the whole lambda range")
+	)
+	flag.Parse()
+
+	p := model.Params{N: *n, PMax: *pmax, PMin: *pmin, POff: *poff, DegMin: *deg}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *sweep {
+		runSweep(p)
+		return
+	}
+	watts := *capW
+	if watts <= 0 {
+		watts = *lambda * p.MaxPower()
+	}
+	pl, err := model.Solve(p, watts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("cluster: N=%d Pmax=%.0fW Pmin=%.0fW Poff=%.0fW degmin=%.2f\n",
+		p.N, p.PMax, p.PMin, p.POff, p.DegMin)
+	fmt.Printf("powercap: %.0f W (lambda=%.3f, lambda_min=Pmin/Pmax=%.3f)\n",
+		watts, watts/p.MaxPower(), p.LambdaMin())
+	fmt.Printf("case: %v\n", pl.Case)
+	fmt.Printf("rho (published, Fig.5): %+.4f -> paper picks %v\n", pl.Rho, pl.PaperChoice)
+	fmt.Printf("direct work comparison  -> %v (Woff=%.1f Wdvfs=%s)\n",
+		pl.DerivedChoice, pl.WorkOff, fmtWork(pl.WorkDvfs))
+	fmt.Printf("optimal (continuous): Noff=%.2f Ndvfs=%.2f W=%.2f node-units\n",
+		pl.NOff, pl.NDvfs, pl.Work)
+	fmt.Printf("integral plan: Noff=%d Ndvfs=%d -> draw %.0f W, work %.2f\n",
+		pl.IntNOff, pl.IntNDvfs,
+		model.PowerOfCounts(p, pl.IntNOff, pl.IntNDvfs),
+		model.WorkOfCounts(p, pl.IntNOff, pl.IntNDvfs))
+}
+
+func fmtWork(w float64) string {
+	if math.IsNaN(w) {
+		return "infeasible"
+	}
+	return fmt.Sprintf("%.1f", w)
+}
+
+func runSweep(p model.Params) {
+	fmt.Printf("%8s %14s %10s %10s %10s %8s %s\n",
+		"lambda", "cap(W)", "Noff", "Ndvfs", "W", "W/N", "case")
+	for l := 10; l <= 100; l += 5 {
+		lambda := float64(l) / 100
+		pl, err := model.SolveFraction(p, lambda)
+		if err != nil {
+			fmt.Printf("%8.2f %14.0f %s\n", lambda, lambda*p.MaxPower(), err)
+			continue
+		}
+		fmt.Printf("%8.2f %14.0f %10.1f %10.1f %10.1f %8.3f %v\n",
+			lambda, lambda*p.MaxPower(), pl.NOff, pl.NDvfs, pl.Work,
+			pl.Work/float64(p.N), pl.Case)
+	}
+}

@@ -1,0 +1,158 @@
+// Command powersched replays one workload scenario end to end: it
+// generates (or loads) a Curie-like workload, runs the powercap-aware
+// RJMS under the chosen policy and cap, and prints the Figure 6/7 style
+// utilization and power charts plus the run summary.
+//
+// Usage:
+//
+//	powersched -kind 24h -policy MIX -cap 0.4 [-racks 56] [-seed 1004] \
+//	           [-swf trace.swf] [-kill] [-scattered] [-lead 0] [-width 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/replay"
+	"repro/internal/slurmconf"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		kind      = flag.String("kind", "medianjob", "workload kind: medianjob|smalljob|bigjob|24h")
+		policy    = flag.String("policy", "SHUT", "powercap policy: NONE|SHUT|DVFS|MIX|IDLE")
+		capFrac   = flag.Float64("cap", 0.6, "powercap fraction of max power (>=1 disables)")
+		racks     = flag.Int("racks", 56, "machine size in racks (56 = full Curie)")
+		seed      = flag.Int64("seed", 1001, "workload seed")
+		kill      = flag.Bool("kill", false, "kill jobs when the cap activates above the draw")
+		scattered = flag.Bool("scattered", false, "disable bonus-aware grouped shutdown")
+		lead      = flag.Int64("lead", 0, "seconds before the window reserved nodes stop taking jobs")
+		horizon   = flag.Int64("horizon", 0, "cap planning horizon seconds (0 = default 3600)")
+		width     = flag.Int("width", 96, "chart width")
+		height    = flag.Int("height", 16, "chart height")
+		dynamic   = flag.Bool("dynamic", false, "re-clock running jobs at cap boundaries (Section VIII extension)")
+		jsonOut   = flag.String("json", "", "write the run summary as JSON to this file")
+		csvOut    = flag.String("csv", "", "write the time series as CSV to this file")
+		confPath  = flag.String("conf", "", "print the controller configuration of this run as a slurmconf file and exit")
+		swfPath   = flag.String("swf", "", "replay this SWF trace instead of the synthetic workload")
+		duration  = flag.Int64("duration", 0, "replayed interval seconds (default: the workload kind's length)")
+	)
+	flag.Parse()
+
+	k, err := trace.ParseKind(*kind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	p, err := core.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	scaleRacks := 0
+	if *racks != 56 {
+		scaleRacks = *racks
+	}
+	s := replay.Scenario{
+		Name:            fmt.Sprintf("%s/%d%%/%s", k, int(*capFrac*100), p),
+		Workload:        trace.Config{Kind: k, Seed: *seed, DurationSec: *duration},
+		Policy:          p,
+		CapFraction:     *capFrac,
+		ScaleRacks:      scaleRacks,
+		KillOnOverrun:   *kill,
+		Scattered:       *scattered,
+		ReservationLead: *lead,
+		PlanningHorizon: *horizon,
+		DynamicDVFS:     *dynamic,
+	}
+	if *swfPath != "" {
+		f, err := os.Open(*swfPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		jobs, err := trace.ReadSWF(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s.Jobs = jobs
+		s.Name = fmt.Sprintf("%s/%d%%/%s", *swfPath, int(*capFrac*100), p)
+		fmt.Printf("loaded %d jobs from %s\n", len(jobs), *swfPath)
+	}
+	if *confPath != "" {
+		f := slurmconf.CurieFile(p)
+		f.Config.Topology = s.Machine()
+		f.Config.KillOnOverrun = *kill
+		f.Config.ScatteredShutdown = *scattered
+		f.Config.ReservationLead = *lead
+		f.Config.CapPlanningHorizon = *horizon
+		f.Config.DynamicDVFS = *dynamic
+		if err := writeFile(*confPath, func(w *os.File) error {
+			return slurmconf.Write(w, f)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("configuration written to %s\n", *confPath)
+		return
+	}
+	fmt.Printf("replaying %s on %d racks (%d nodes)...\n", s.Name, s.Machine().Racks, s.Machine().Nodes())
+	r := replay.Run(s)
+	if r.Err != nil {
+		fmt.Fprintln(os.Stderr, r.Err)
+		os.Exit(1)
+	}
+	if s.Capped() {
+		start, end := s.Window()
+		fmt.Printf("powercap window: [%d, %d) at %.0f%% of %v\n",
+			start, end, *capFrac*100, r.MaxPower)
+		fmt.Printf("offline plan: %v, %d nodes reserved for switch-off (saving %v, needed %v)\n",
+			r.Plan.Mechanism, len(r.Plan.OffNodes), r.Plan.PlannedSaving, r.Plan.NeededSaving)
+	}
+	fmt.Println()
+	fmt.Print(figures.TimeSeries(r, *width, *height))
+	fmt.Println()
+	fmt.Println("summary:", r.Summary)
+	fmt.Printf("normalized: energy=%.3f work=%.3f launched=%.3f mean-wait=%.0fs\n",
+		r.Summary.NormEnergy, r.Summary.NormWork, r.Summary.NormLaunched, r.Summary.MeanWaitSec)
+	fmt.Printf("launch frequencies: %v\n", r.Summary.LaunchedByFreq)
+	if r.Summary.Rescales > 0 {
+		fmt.Printf("dynamic re-clocks: %d\n", r.Summary.Rescales)
+	}
+	if *jsonOut != "" {
+		if err := writeFile(*jsonOut, func(w *os.File) error {
+			return replay.WriteJSON(w, []replay.Result{r})
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("summary JSON written to %s\n", *jsonOut)
+	}
+	if *csvOut != "" {
+		if err := writeFile(*csvOut, func(w *os.File) error {
+			return replay.WriteSeriesCSV(w, r.Samples)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("time series CSV written to %s\n", *csvOut)
+	}
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

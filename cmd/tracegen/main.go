@@ -1,0 +1,93 @@
+// Command tracegen synthesizes Curie-like workload intervals in the
+// Standard Workload Format and summarizes their statistics, or
+// summarizes an existing SWF trace.
+//
+// Usage:
+//
+//	tracegen -kind medianjob -seed 1001 [-cores 80640] [-load 2.0] \
+//	         [-o trace.swf]
+//	tracegen -summarize trace.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/job"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "medianjob", "interval kind: medianjob|smalljob|bigjob|24h")
+		seed    = flag.Int64("seed", 1001, "generator seed")
+		cores   = flag.Int("cores", 80640, "machine core count")
+		load    = flag.Float64("load", 2.0, "submitted work / machine capacity")
+		out     = flag.String("o", "", "output file (default stdout)")
+		summary = flag.String("summarize", "", "summarize an existing SWF file instead of generating")
+	)
+	flag.Parse()
+
+	if *summary != "" {
+		summarize(*summary)
+		return
+	}
+
+	k, err := trace.ParseKind(*kind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := trace.Config{Kind: k, Seed: *seed, Cores: *cores, LoadFactor: *load}
+	jobs, err := trace.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	comment := fmt.Sprintf("synthetic Curie-like %s interval, seed %d, %d cores, load %.2f",
+		k, *seed, *cores, *load)
+	if err := trace.WriteSWF(w, jobs, comment); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	printStats(os.Stderr, jobs, int64(*cores)*3600)
+}
+
+func summarize(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	jobs, err := trace.ReadSWF(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	printStats(os.Stdout, jobs, 80640*3600)
+}
+
+func printStats(w *os.File, jobs []*job.Job, hugeCoreSec int64) {
+	s := trace.Summarize(jobs, hugeCoreSec)
+	fmt.Fprintf(w, "jobs: %d (distinct users %d, backlog at t=0: %d)\n",
+		s.Jobs, s.DistinctUsers, s.BacklogAtuZero)
+	fmt.Fprintf(w, "total work: %d core-seconds, widest job %d cores\n", s.TotalCoreSec, s.MaxCores)
+	fmt.Fprintf(w, "small&short fraction: %.1f%%   huge fraction: %.2f%%\n",
+		100*s.SmallShort, 100*s.Huge)
+	fmt.Fprintf(w, "walltime overestimation: median %.0fx, mean %.0fx\n",
+		s.MedianOverEst, s.MeanOverEst)
+	fmt.Fprintf(w, "submission horizon: %d s\n", s.HorizonSec)
+}

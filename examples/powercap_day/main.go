@@ -1,0 +1,44 @@
+// Powercap day: the Figure 6 experiment at reduced scale — a 24-hour
+// Curie-like workload under the MIX policy with a one-hour reservation of
+// 40% of the machine's power, rendered as the paper's stacked core and
+// power time series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/figures"
+	"repro/internal/replay"
+)
+
+func main() {
+	racks := flag.Int("racks", 8, "machine size in racks (56 = full Curie)")
+	flag.Parse()
+
+	s := replay.Fig6Scenario(*racks)
+	fmt.Printf("replaying %s on %d nodes — this takes a few seconds...\n\n",
+		s.Name, s.Machine().Nodes())
+	r := replay.Run(s)
+	if r.Err != nil {
+		log.Fatal(r.Err)
+	}
+
+	start, end := s.Window()
+	fmt.Printf("reservation: [%dh%02d, %dh%02d) at 40%% of %v\n",
+		start/3600, start%3600/60, end/3600, end%3600/60, r.MaxPower)
+	fmt.Printf("offline plan: %v — %d nodes grouped for switch-off "+
+		"(planned saving %v, needed %v)\n\n",
+		r.Plan.Mechanism, len(r.Plan.OffNodes), r.Plan.PlannedSaving, r.Plan.NeededSaving)
+
+	fmt.Print(figures.TimeSeries(r, 96, 14))
+
+	fmt.Println("\nsummary:", r.Summary)
+	fmt.Printf("normalized work %.3f, normalized energy %.3f\n",
+		r.Summary.NormWork, r.Summary.NormEnergy)
+	fmt.Printf("launch frequencies: %v\n", r.Summary.LaunchedByFreq)
+	fmt.Println("\nnote how 2.0 GHz launches appear ahead of the window (the system")
+	fmt.Println("\"prepares itself\"), the reserved group drains to off as the window")
+	fmt.Println("opens, and 2.7 GHz utilization snaps back afterwards.")
+}

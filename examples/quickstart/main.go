@@ -1,0 +1,76 @@
+// Quickstart: build a small Curie-like machine, submit a handful of
+// jobs, reserve a 60% powercap for a window, and watch the SHUT policy
+// plan a grouped switch-off and keep the draw inside the budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/power"
+	"repro/internal/rjms"
+)
+
+func main() {
+	// A 2-rack slice of Curie: 2 x 5 chassis x 18 nodes = 180 nodes,
+	// 16 cores each, with the measured Figure 4 power table.
+	cfg := rjms.Config{
+		Topology: cluster.Topology{Racks: 2, ChassisPerRack: 5, NodesPerChassis: 18, CoresPerNode: 16},
+		Policy:   core.PolicyShut,
+	}
+	ctl, err := rjms.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine: %d nodes / %d cores, max draw %v, idle draw %v\n",
+		ctl.Cluster().Nodes(), ctl.Cluster().Cores(),
+		ctl.Cluster().MaxPower(), ctl.Cluster().IdlePower())
+
+	// A 60% powercap reservation one hour into the day, for one hour.
+	budget := power.CapFraction(0.6, ctl.Cluster().MaxPower())
+	plan, err := ctl.ReservePowerCap(3600, 7200, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline plan: mechanism=%v, %d nodes reserved for switch-off "+
+		"(sheds %v; the cap demands %v)\n",
+		plan.Mechanism, len(plan.OffNodes), plan.PlannedSaving, plan.NeededSaving)
+
+	// A steady stream of jobs, one submitted every 2 minutes.
+	var jobs []*job.Job
+	for i := 0; i < 120; i++ {
+		jobs = append(jobs, &job.Job{
+			ID:       job.ID(i + 1),
+			User:     fmt.Sprintf("user%d", i%7),
+			Cores:    64 << (i % 3), // 64, 128, 256 cores
+			Submit:   int64(i) * 120,
+			Runtime:  900,
+			Walltime: 7200, // the usual massive overestimate
+		})
+	}
+	if err := ctl.LoadWorkload(jobs); err != nil {
+		log.Fatal(err)
+	}
+
+	summary, err := ctl.Run(4 * 3600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter 4 simulated hours:")
+	fmt.Println(" ", summary)
+	fmt.Printf("  energy %.1f kWh, mean draw %v, peak %v\n",
+		summary.EnergyJ.KWh(), summary.MeanPower, summary.PeakPower)
+
+	// Show that the cap held while the window was open.
+	var peakInWindow power.Watts
+	for _, s := range ctl.Samples() {
+		if s.T >= 3600+600 && s.T < 7200 && s.Power > peakInWindow {
+			peakInWindow = s.Power
+		}
+	}
+	fmt.Printf("  peak draw inside the capped window (after drain): %v (budget %v)\n",
+		peakInWindow, budget)
+}

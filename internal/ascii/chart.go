@@ -1,0 +1,248 @@
+// Package ascii renders the paper's figures as terminal charts: stacked
+// area plots for the Figure 6/7 core-utilization and power series, and
+// horizontal bar groups for the Figure 8 comparison. Pure text output —
+// the reproduction is inspectable without any plotting dependency.
+package ascii
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one stacked band of an area chart.
+type Series struct {
+	Label  string
+	Values []float64 // one value per time step, bottom-up stacking order
+	Rune   rune      // fill character
+}
+
+// StackedArea renders bands stacked bottom-to-top over width x height
+// cells. All series must share the same length; values are resampled to
+// the width by averaging. yMax fixes the vertical scale (0 means the
+// stacked maximum). A reference line (e.g. a powercap) can be overlaid
+// with refLine >= 0; it renders as '=' where above the stack.
+func StackedArea(series []Series, width, height int, yMax, refLine float64, title, yLabel string) string {
+	if len(series) == 0 || width <= 0 || height <= 0 {
+		return ""
+	}
+	n := len(series[0].Values)
+	for _, s := range series {
+		if len(s.Values) != n {
+			return fmt.Sprintf("ascii: series %q has %d points, want %d\n", s.Label, len(s.Values), n)
+		}
+	}
+	if n == 0 {
+		return ""
+	}
+
+	// Resample each series to `width` columns by block averaging.
+	cols := make([][]float64, len(series))
+	for i, s := range series {
+		cols[i] = resample(s.Values, width)
+	}
+	// Stack.
+	stackTop := make([][]float64, len(series))
+	acc := make([]float64, width)
+	for i := range series {
+		stackTop[i] = make([]float64, width)
+		for x := 0; x < width; x++ {
+			acc[x] += cols[i][x]
+			stackTop[i][x] = acc[x]
+		}
+	}
+	max := yMax
+	if max <= 0 {
+		for x := 0; x < width; x++ {
+			if acc[x] > max {
+				max = acc[x]
+			}
+		}
+		if refLine > max {
+			max = refLine
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	cell := max / float64(height)
+	for row := height; row >= 1; row-- {
+		yLo := float64(row-1) * cell
+		yMid := (float64(row) - 0.5) * cell
+		// y-axis tick label every few rows.
+		label := "          "
+		if row == height || row == 1 || row == (height+1)/2 {
+			label = fmt.Sprintf("%9.3g ", float64(row)*cell)
+		}
+		b.WriteString(label)
+		b.WriteByte('|')
+		for x := 0; x < width; x++ {
+			ch := ' '
+			for i := len(series) - 1; i >= 0; i-- {
+				if stackTop[i][x] >= yMid {
+					ch = series[i].Rune
+				}
+			}
+			if refLine > 0 && refLine >= yLo && refLine < yLo+cell && ch == ' ' {
+				ch = '='
+			}
+			b.WriteRune(ch)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 10))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	// Legend.
+	b.WriteString(strings.Repeat(" ", 11))
+	for _, s := range series {
+		fmt.Fprintf(&b, "%c=%s  ", s.Rune, s.Label)
+	}
+	if refLine > 0 {
+		b.WriteString("==powercap")
+	}
+	if yLabel != "" {
+		fmt.Fprintf(&b, " (%s)", yLabel)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func resample(vals []float64, width int) []float64 {
+	out := make([]float64, width)
+	n := len(vals)
+	for x := 0; x < width; x++ {
+		lo := x * n / width
+		hi := (x + 1) * n / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > n {
+			hi = n
+		}
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += vals[i]
+		}
+		out[x] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// Bar is one row of a horizontal bar chart.
+type Bar struct {
+	Label string
+	Value float64 // expected in [0, 1] for normalized figures
+}
+
+// BarChart renders labelled horizontal bars scaled to width cells; values
+// are clamped to [0, max] (max 0 means 1).
+func BarChart(bars []Bar, width int, max float64, title string) string {
+	if max <= 0 {
+		max = 1
+	}
+	labelW := 0
+	for _, b := range bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	for _, b := range bars {
+		v := b.Value
+		if v < 0 {
+			v = 0
+		}
+		if v > max {
+			v = max
+		}
+		n := int(v/max*float64(width) + 0.5)
+		fmt.Fprintf(&sb, "%-*s |%s%s| %.3f\n",
+			labelW, b.Label, strings.Repeat("#", n), strings.Repeat(" ", width-n), b.Value)
+	}
+	return sb.String()
+}
+
+// Scatter renders points (x, y, tag) on a width x height grid, each point
+// drawn with the first rune of its tag — the Figure 3 style of labelled
+// frequency markers per application.
+type ScatterPoint struct {
+	X, Y float64
+	Tag  string
+}
+
+// ScatterPlot renders the points with axes spanning [xMin,xMax]x[yMin,yMax]
+// (zeros mean auto).
+func ScatterPlot(points []ScatterPoint, width, height int, xMin, xMax, yMin, yMax float64, title string) string {
+	if len(points) == 0 || width <= 0 || height <= 0 {
+		return ""
+	}
+	if xMin == 0 && xMax == 0 {
+		xMin, xMax = points[0].X, points[0].X
+		for _, p := range points {
+			if p.X < xMin {
+				xMin = p.X
+			}
+			if p.X > xMax {
+				xMax = p.X
+			}
+		}
+	}
+	if yMin == 0 && yMax == 0 {
+		yMin, yMax = points[0].Y, points[0].Y
+		for _, p := range points {
+			if p.Y < yMin {
+				yMin = p.Y
+			}
+			if p.Y > yMax {
+				yMax = p.Y
+			}
+		}
+	}
+	if xMax <= xMin {
+		xMax = xMin + 1
+	}
+	if yMax <= yMin {
+		yMax = yMin + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for _, p := range points {
+		x := int((p.X - xMin) / (xMax - xMin) * float64(width-1))
+		y := int((p.Y - yMin) / (yMax - yMin) * float64(height-1))
+		if x < 0 || x >= width || y < 0 || y >= height {
+			continue
+		}
+		r := '*'
+		if p.Tag != "" {
+			r = rune(p.Tag[0])
+		}
+		grid[height-1-y][x] = r
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	fmt.Fprintf(&b, "%9.3g\n", yMax)
+	for _, row := range grid {
+		b.WriteString("          |")
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%9.3g +%s\n", yMin, strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s %-8.3g%*s%.3g\n", "", xMin, width-16, "", xMax)
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package ascii
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStackedAreaBasics(t *testing.T) {
+	s := []Series{
+		{Label: "low", Values: []float64{1, 1, 1, 1}, Rune: '.'},
+		{Label: "high", Values: []float64{0, 1, 2, 3}, Rune: '#'},
+	}
+	out := StackedArea(s, 8, 4, 0, 0, "title", "units")
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, ".=low") || !strings.Contains(out, "#=high") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, ".") || !strings.Contains(out, "#") {
+		t.Errorf("missing fills:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 4 rows + axis + legend
+	if len(lines) != 7 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestStackedAreaRefLine(t *testing.T) {
+	s := []Series{{Label: "x", Values: []float64{1, 1}, Rune: '#'}}
+	out := StackedArea(s, 4, 8, 10, 8, "", "W")
+	if !strings.Contains(out, "=") {
+		t.Errorf("reference line not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "==powercap") {
+		t.Errorf("reference legend missing:\n%s", out)
+	}
+}
+
+func TestStackedAreaMismatchedSeries(t *testing.T) {
+	s := []Series{
+		{Label: "a", Values: []float64{1, 2}, Rune: 'a'},
+		{Label: "b", Values: []float64{1}, Rune: 'b'},
+	}
+	out := StackedArea(s, 4, 4, 0, 0, "", "")
+	if !strings.Contains(out, "want 2") {
+		t.Errorf("mismatch not reported: %q", out)
+	}
+}
+
+func TestStackedAreaEmpty(t *testing.T) {
+	if out := StackedArea(nil, 4, 4, 0, 0, "", ""); out != "" {
+		t.Errorf("nil series rendered %q", out)
+	}
+	s := []Series{{Label: "a", Values: nil, Rune: 'a'}}
+	if out := StackedArea(s, 4, 4, 0, 0, "", ""); out != "" {
+		t.Errorf("empty values rendered %q", out)
+	}
+	if out := StackedArea(s, 0, 4, 0, 0, "", ""); out != "" {
+		t.Errorf("zero width rendered %q", out)
+	}
+}
+
+func TestResample(t *testing.T) {
+	got := resample([]float64{1, 3, 5, 7}, 2)
+	if got[0] != 2 || got[1] != 6 {
+		t.Errorf("downsample = %v, want [2 6]", got)
+	}
+	got = resample([]float64{4}, 3)
+	for _, v := range got {
+		if v != 4 {
+			t.Errorf("upsample = %v", got)
+		}
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart([]Bar{
+		{Label: "40%/MIX", Value: 0.5},
+		{Label: "100%/None", Value: 1.0},
+		{Label: "over", Value: 1.5},
+		{Label: "neg", Value: -0.2},
+	}, 10, 1, "Work")
+	if !strings.Contains(out, "Work") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "40%/MIX") {
+		t.Error("missing label")
+	}
+	if !strings.Contains(out, "|#####     | 0.500") {
+		t.Errorf("half bar wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "|##########| 1.500") {
+		t.Errorf("clamped bar wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "|          | -0.200") {
+		t.Errorf("negative bar wrong:\n%s", out)
+	}
+}
+
+func TestScatterPlot(t *testing.T) {
+	pts := []ScatterPoint{
+		{X: 1, Y: 100, Tag: "linpack"},
+		{X: 2, Y: 200, Tag: "stream"},
+	}
+	out := ScatterPlot(pts, 20, 10, 0, 0, 0, 0, "Fig3")
+	if !strings.Contains(out, "Fig3") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "l") || !strings.Contains(out, "s") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	if ScatterPlot(nil, 20, 10, 0, 0, 0, 0, "") != "" {
+		t.Error("empty points rendered something")
+	}
+}
+
+func TestScatterPlotDegenerateRanges(t *testing.T) {
+	pts := []ScatterPoint{{X: 5, Y: 5, Tag: "x"}}
+	out := ScatterPlot(pts, 10, 5, 0, 0, 0, 0, "")
+	if !strings.Contains(out, "x") {
+		t.Errorf("single point missing:\n%s", out)
+	}
+}

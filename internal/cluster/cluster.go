@@ -1,0 +1,461 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/dvfs"
+	"repro/internal/power"
+)
+
+// Cluster tracks the power-relevant state of every node and derives the
+// instantaneous cluster draw incrementally. All mutating operations are
+// O(1); reading the total power is O(1). The struct is not safe for
+// concurrent mutation; the RJMS controller serializes access (the
+// experiment harness runs many independent Clusters in parallel instead).
+type Cluster struct {
+	topo     Topology
+	profile  *power.Profile
+	overhead Overhead
+
+	nodes []node
+
+	// Incrementally maintained aggregates.
+	nodeWatts       float64 // sum of per-node draws, before group bonuses
+	offPerChassis   []int   // nodes in StateOff per chassis
+	fullOffChassis  []bool  // chassis entirely off (bonus active)
+	offChassisCount []int   // fully-off chassis per rack
+	fullOffRack     []bool  // rack entirely off (bonus active)
+	nFullOffChassis int
+	nFullOffRacks   int
+
+	counts       [3]int            // nodes per NodeState
+	busyCores    int               // cores currently allocated
+	coresByFreq  map[dvfs.Freq]int // allocated cores keyed by node frequency
+	reservedOff  int               // nodes flagged by switch-off reservations
+	reservedDraw float64           // sum over reserved nodes of draw-down
+	maxPowerOnce power.Watts
+}
+
+// New builds a cluster with every node powered on and idle.
+func New(topo Topology, profile *power.Profile, overhead Overhead) (*Cluster, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if profile == nil {
+		return nil, fmt.Errorf("cluster: nil power profile")
+	}
+	if overhead.ChassisWatts < 0 || overhead.RackWatts < 0 {
+		return nil, fmt.Errorf("cluster: negative overhead %+v", overhead)
+	}
+	c := &Cluster{
+		topo:            topo,
+		profile:         profile,
+		overhead:        overhead,
+		nodes:           make([]node, topo.Nodes()),
+		offPerChassis:   make([]int, topo.Chassis()),
+		fullOffChassis:  make([]bool, topo.Chassis()),
+		offChassisCount: make([]int, topo.Racks),
+		fullOffRack:     make([]bool, topo.Racks),
+		coresByFreq:     make(map[dvfs.Freq]int),
+	}
+	for i := range c.nodes {
+		c.nodes[i].state = StateIdle
+	}
+	c.counts[StateIdle] = topo.Nodes()
+	c.nodeWatts = float64(profile.Idle()) * float64(topo.Nodes())
+	c.maxPowerOnce = power.Watts(float64(profile.Max())*float64(topo.Nodes())) +
+		power.Watts(overhead.ChassisWatts*float64(topo.Chassis())) +
+		power.Watts(overhead.RackWatts*float64(topo.Racks))
+	return c, nil
+}
+
+// NewCurie builds the full 5040-node Curie machine with the measured
+// Figure 2/Figure 4 constants.
+func NewCurie() *Cluster {
+	c, err := New(CurieTopology(), power.CurieProfile(), CurieOverhead())
+	if err != nil {
+		panic(err) // constants are known-valid
+	}
+	return c
+}
+
+// Topology returns the hierarchy dimensions.
+func (c *Cluster) Topology() Topology { return c.topo }
+
+// Profile returns the per-node power profile.
+func (c *Cluster) Profile() *power.Profile { return c.profile }
+
+// Overhead returns the shared-equipment draws.
+func (c *Cluster) Overhead() Overhead { return c.overhead }
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Cores returns the total core count.
+func (c *Cluster) Cores() int { return c.topo.Cores() }
+
+func (c *Cluster) checkID(id NodeID) error {
+	if int(id) < 0 || int(id) >= len(c.nodes) {
+		return fmt.Errorf("cluster: node %d out of range [0,%d)", id, len(c.nodes))
+	}
+	return nil
+}
+
+// draw returns the current contribution of one node, before group bonuses.
+func (c *Cluster) draw(n *node) float64 {
+	switch n.state {
+	case StateOff:
+		return float64(c.profile.Down())
+	case StateIdle:
+		return float64(c.profile.Idle())
+	default:
+		return float64(c.profile.Busy(n.freq))
+	}
+}
+
+// transition moves node id to a new (state, freq) pair and maintains all
+// aggregates, including the chassis/rack full-off bonuses.
+func (c *Cluster) transition(id NodeID, st NodeState, f dvfs.Freq, usedCores int) {
+	n := &c.nodes[id]
+	before := c.draw(n)
+	wasOff := n.state == StateOff
+
+	// Core accounting keyed by node frequency.
+	if n.state == StateBusy {
+		c.coresByFreq[n.freq] -= n.usedCores
+		if c.coresByFreq[n.freq] == 0 {
+			delete(c.coresByFreq, n.freq)
+		}
+		c.busyCores -= n.usedCores
+	}
+	c.counts[n.state]--
+
+	n.state, n.freq, n.usedCores = st, f, usedCores
+
+	c.counts[st]++
+	if st == StateBusy {
+		c.coresByFreq[f] += usedCores
+		c.busyCores += usedCores
+	}
+	c.nodeWatts += c.draw(n) - before
+	if n.reserved {
+		c.reservedDraw += c.draw(n) - before
+	}
+
+	if isOff := st == StateOff; isOff != wasOff {
+		ch := c.topo.ChassisOf(id)
+		if isOff {
+			c.offPerChassis[ch]++
+		} else {
+			c.offPerChassis[ch]--
+		}
+		full := c.offPerChassis[ch] == c.topo.NodesPerChassis
+		if full != c.fullOffChassis[ch] {
+			c.fullOffChassis[ch] = full
+			r := c.topo.RackOf(id)
+			if full {
+				c.nFullOffChassis++
+				c.offChassisCount[r]++
+			} else {
+				c.nFullOffChassis--
+				c.offChassisCount[r]--
+			}
+			rackFull := c.offChassisCount[r] == c.topo.ChassisPerRack
+			if rackFull != c.fullOffRack[r] {
+				c.fullOffRack[r] = rackFull
+				if rackFull {
+					c.nFullOffRacks++
+				} else {
+					c.nFullOffRacks--
+				}
+			}
+		}
+	}
+}
+
+// PowerOff switches an idle node off. Busy nodes cannot be switched off;
+// already-off nodes are a no-op.
+func (c *Cluster) PowerOff(id NodeID) error {
+	if err := c.checkID(id); err != nil {
+		return err
+	}
+	switch c.nodes[id].state {
+	case StateOff:
+		return nil
+	case StateBusy:
+		return fmt.Errorf("cluster: cannot power off busy node %d", id)
+	}
+	c.transition(id, StateOff, 0, 0)
+	return nil
+}
+
+// PowerOn brings an off node back to idle. Powered nodes are a no-op.
+func (c *Cluster) PowerOn(id NodeID) error {
+	if err := c.checkID(id); err != nil {
+		return err
+	}
+	if c.nodes[id].state != StateOff {
+		return nil
+	}
+	c.transition(id, StateIdle, 0, 0)
+	return nil
+}
+
+// Occupy allocates cores of a node to a job running at frequency f. The
+// node must be powered on and have enough free cores. While several jobs
+// share a node the node is charged at the highest frequency among them
+// (conservative, mirroring the paper's node-level power accounting).
+func (c *Cluster) Occupy(id NodeID, cores int, f dvfs.Freq) error {
+	if err := c.checkID(id); err != nil {
+		return err
+	}
+	if cores <= 0 {
+		return fmt.Errorf("cluster: occupy with non-positive cores %d", cores)
+	}
+	n := &c.nodes[id]
+	if n.state == StateOff {
+		return fmt.Errorf("cluster: node %d is off", id)
+	}
+	if n.usedCores+cores > c.topo.CoresPerNode {
+		return fmt.Errorf("cluster: node %d has %d cores free, need %d",
+			id, c.topo.CoresPerNode-n.usedCores, cores)
+	}
+	if f == 0 {
+		f = c.profile.Nominal()
+	}
+	nf := n.freq
+	if n.state != StateBusy || f > nf {
+		if n.state != StateBusy {
+			nf = f
+		} else if f > nf {
+			nf = f
+		}
+	}
+	c.transition(id, StateBusy, nf, n.usedCores+cores)
+	return nil
+}
+
+// Vacate releases cores of a busy node. remainingFreq must be the highest
+// frequency among the jobs still on the node (the controller knows them);
+// it is ignored when the node becomes empty.
+func (c *Cluster) Vacate(id NodeID, cores int, remainingFreq dvfs.Freq) error {
+	if err := c.checkID(id); err != nil {
+		return err
+	}
+	n := &c.nodes[id]
+	if n.state != StateBusy {
+		return fmt.Errorf("cluster: vacate on non-busy node %d (%v)", id, n.state)
+	}
+	if cores <= 0 || cores > n.usedCores {
+		return fmt.Errorf("cluster: vacate %d cores from node %d holding %d", cores, id, n.usedCores)
+	}
+	left := n.usedCores - cores
+	if left == 0 {
+		c.transition(id, StateIdle, 0, 0)
+		return nil
+	}
+	if remainingFreq == 0 {
+		remainingFreq = c.profile.Nominal()
+	}
+	c.transition(id, StateBusy, remainingFreq, left)
+	return nil
+}
+
+// SetFreq changes the charged frequency of a busy node without touching
+// its allocation — the dynamic-DVFS extension re-clocks running jobs and
+// re-derives each node's frequency from the jobs it hosts.
+func (c *Cluster) SetFreq(id NodeID, f dvfs.Freq) error {
+	if err := c.checkID(id); err != nil {
+		return err
+	}
+	n := &c.nodes[id]
+	if n.state != StateBusy {
+		return fmt.Errorf("cluster: SetFreq on non-busy node %d (%v)", id, n.state)
+	}
+	if f == 0 {
+		f = c.profile.Nominal()
+	}
+	if f == n.freq {
+		return nil
+	}
+	c.transition(id, StateBusy, f, n.usedCores)
+	return nil
+}
+
+// SetReserved flags or unflags a node as earmarked by a switch-off
+// reservation; this affects only scheduling eligibility, not power.
+func (c *Cluster) SetReserved(id NodeID, v bool) error {
+	if err := c.checkID(id); err != nil {
+		return err
+	}
+	n := &c.nodes[id]
+	if n.reserved != v {
+		n.reserved = v
+		margin := c.draw(n) - float64(c.profile.Down())
+		if v {
+			c.reservedOff++
+			c.reservedDraw += margin
+		} else {
+			c.reservedOff--
+			c.reservedDraw -= margin
+		}
+	}
+	return nil
+}
+
+// ReservedOnWatts returns the power the pending switch-off reservations
+// will still shed: the sum over reserved nodes of their current draw
+// minus the switched-off draw (zero for reserved nodes already off).
+// The online algorithm subtracts this from the current power when
+// checking a job against a future powercap window — the planned shutdown
+// has not happened yet, but it will have by the time the window opens.
+// Group bonuses are not projected (conservative).
+func (c *Cluster) ReservedOnWatts() power.Watts { return power.Watts(c.reservedDraw) }
+
+// ReservedCount returns how many nodes carry the reservation flag.
+func (c *Cluster) ReservedCount() int { return c.reservedOff }
+
+// Info returns a read-only snapshot of one node.
+func (c *Cluster) Info(id NodeID) (NodeInfo, error) {
+	if err := c.checkID(id); err != nil {
+		return NodeInfo{}, err
+	}
+	n := &c.nodes[id]
+	return NodeInfo{ID: id, State: n.state, Freq: n.freq, UsedCores: n.usedCores, Reserved: n.reserved}, nil
+}
+
+// State returns the state of node id; out-of-range IDs report StateOff.
+func (c *Cluster) State(id NodeID) NodeState {
+	if c.checkID(id) != nil {
+		return StateOff
+	}
+	return c.nodes[id].state
+}
+
+// FreeCores returns the unallocated cores of node id (0 when off).
+func (c *Cluster) FreeCores(id NodeID) int {
+	if c.checkID(id) != nil {
+		return 0
+	}
+	n := &c.nodes[id]
+	if n.state == StateOff {
+		return 0
+	}
+	return c.topo.CoresPerNode - n.usedCores
+}
+
+// Reserved reports the switch-off reservation flag of node id.
+func (c *Cluster) Reserved(id NodeID) bool {
+	if c.checkID(id) != nil {
+		return false
+	}
+	return c.nodes[id].reserved
+}
+
+// Count returns the number of nodes in state st.
+func (c *Cluster) Count(st NodeState) int {
+	if st < 0 || int(st) >= len(c.counts) {
+		return 0
+	}
+	return c.counts[st]
+}
+
+// BusyCores returns the total allocated core count.
+func (c *Cluster) BusyCores() int { return c.busyCores }
+
+// CoresByFreq returns a copy of the allocated-cores histogram keyed by the
+// node frequency they are charged at (the Figure 6/7 core series).
+func (c *Cluster) CoresByFreq() map[dvfs.Freq]int {
+	out := make(map[dvfs.Freq]int, len(c.coresByFreq))
+	for f, n := range c.coresByFreq {
+		out[f] = n
+	}
+	return out
+}
+
+// Power returns the instantaneous cluster draw: per-node draws plus the
+// shared chassis/rack equipment, minus the bonuses of fully-off groups.
+// When a whole chassis is off its equipment and its nodes' BMCs stop
+// drawing (Figure 2: 248 W + 18x14 W = 500 W bonus); a fully-off rack
+// additionally sheds its 900 W of fans and cold-door equipment.
+func (c *Cluster) Power() power.Watts {
+	w := c.nodeWatts
+	w += c.overhead.ChassisWatts * float64(c.topo.Chassis())
+	w += c.overhead.RackWatts * float64(c.topo.Racks)
+	w -= float64(c.nFullOffChassis) * (c.overhead.ChassisWatts +
+		float64(c.profile.Down())*float64(c.topo.NodesPerChassis))
+	w -= float64(c.nFullOffRacks) * c.overhead.RackWatts
+	return power.Watts(w)
+}
+
+// MaxPower returns the draw with every node busy at nominal frequency —
+// the reference against which powercap percentages are expressed.
+func (c *Cluster) MaxPower() power.Watts { return c.maxPowerOnce }
+
+// IdlePower returns the draw with every node powered on and idle.
+func (c *Cluster) IdlePower() power.Watts {
+	return power.Watts(float64(c.profile.Idle())*float64(c.topo.Nodes()) +
+		c.overhead.ChassisWatts*float64(c.topo.Chassis()) +
+		c.overhead.RackWatts*float64(c.topo.Racks))
+}
+
+// OccupyDelta returns the extra draw caused by occupying the given nodes
+// with a job at frequency f, without mutating anything. Nodes already busy
+// at a frequency >= f add nothing (the paper: jobs filling partially used
+// nodes "always pass the powercapping criteria"); idle nodes add
+// busy(f)-idle; busy nodes below f add the frequency uplift. Off nodes are
+// rejected by Occupy later, but contribute busy(f)-down here so callers
+// probing them see the true cost of powering on.
+func (c *Cluster) OccupyDelta(ids []NodeID, f dvfs.Freq) power.Watts {
+	if f == 0 {
+		f = c.profile.Nominal()
+	}
+	target := float64(c.profile.Busy(f))
+	var d float64
+	for _, id := range ids {
+		if c.checkID(id) != nil {
+			continue
+		}
+		n := &c.nodes[id]
+		switch n.state {
+		case StateIdle:
+			d += target - float64(c.profile.Idle())
+		case StateOff:
+			d += target - float64(c.profile.Down())
+		default:
+			if n.freq < f {
+				d += target - float64(c.profile.Busy(n.freq))
+			}
+		}
+	}
+	return power.Watts(d)
+}
+
+// FullyOffChassis returns how many chassis currently enjoy the full
+// switch-off bonus.
+func (c *Cluster) FullyOffChassis() int { return c.nFullOffChassis }
+
+// FullyOffRacks returns how many racks currently enjoy the full switch-off
+// bonus.
+func (c *Cluster) FullyOffRacks() int { return c.nFullOffRacks }
+
+// BonusWatts returns the power currently saved by group bonuses beyond the
+// per-node off savings: eliminated BMC draw and shared equipment of
+// fully-off chassis plus eliminated rack equipment of fully-off racks.
+func (c *Cluster) BonusWatts() power.Watts {
+	w := float64(c.nFullOffChassis) * (c.overhead.ChassisWatts +
+		float64(c.profile.Down())*float64(c.topo.NodesPerChassis))
+	w += float64(c.nFullOffRacks) * c.overhead.RackWatts
+	return power.Watts(w)
+}
+
+// ForEach calls fn for every node in ID order; fn returning false stops the
+// walk.
+func (c *Cluster) ForEach(fn func(NodeInfo) bool) {
+	for i := range c.nodes {
+		n := &c.nodes[i]
+		if !fn(NodeInfo{ID: NodeID(i), State: n.state, Freq: n.freq, UsedCores: n.usedCores, Reserved: n.reserved}) {
+			return
+		}
+	}
+}

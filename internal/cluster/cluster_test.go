@@ -1,0 +1,674 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dvfs"
+	"repro/internal/power"
+)
+
+func small() *Cluster {
+	// 2 racks x 2 chassis x 3 nodes = 12 nodes, 4 cores each.
+	topo := Topology{Racks: 2, ChassisPerRack: 2, NodesPerChassis: 3, CoresPerNode: 4}
+	c, err := New(topo, power.CurieProfile(), CurieOverhead())
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// brutePower recomputes the cluster draw from scratch; the incremental
+// Power() must always match it.
+func brutePower(c *Cluster) power.Watts {
+	topo := c.Topology()
+	prof := c.Profile()
+	ov := c.Overhead()
+	total := 0.0
+	for r := 0; r < topo.Racks; r++ {
+		rackOff := true
+		rackSum := 0.0
+		for ci := 0; ci < topo.ChassisPerRack; ci++ {
+			ch := r*topo.ChassisPerRack + ci
+			first, n := topo.ChassisNodes(ch)
+			chassisOff := true
+			chassisSum := 0.0
+			for i := 0; i < n; i++ {
+				info, _ := c.Info(first + NodeID(i))
+				switch info.State {
+				case StateOff:
+					chassisSum += float64(prof.Down())
+				case StateIdle:
+					chassisSum += float64(prof.Idle())
+					chassisOff = false
+				case StateBusy:
+					chassisSum += float64(prof.Busy(info.Freq))
+					chassisOff = false
+				}
+			}
+			if chassisOff {
+				rackSum += 0 // full chassis bonus: nodes' BMCs and equipment off
+			} else {
+				rackSum += chassisSum + ov.ChassisWatts
+				rackOff = false
+			}
+		}
+		if !rackOff {
+			total += rackSum + ov.RackWatts
+		}
+	}
+	return power.Watts(total)
+}
+
+func TestCurieTopologyConstants(t *testing.T) {
+	topo := CurieTopology()
+	if topo.Nodes() != 5040 {
+		t.Errorf("Curie nodes = %d, want 5040", topo.Nodes())
+	}
+	if topo.Cores() != 80640 {
+		t.Errorf("Curie cores = %d, want 80640", topo.Cores())
+	}
+	if topo.Chassis() != 280 {
+		t.Errorf("Curie chassis = %d, want 280", topo.Chassis())
+	}
+}
+
+func TestTopologyIndexing(t *testing.T) {
+	topo := CurieTopology()
+	if got := topo.ChassisOf(0); got != 0 {
+		t.Errorf("ChassisOf(0) = %d", got)
+	}
+	if got := topo.ChassisOf(17); got != 0 {
+		t.Errorf("ChassisOf(17) = %d, want 0", got)
+	}
+	if got := topo.ChassisOf(18); got != 1 {
+		t.Errorf("ChassisOf(18) = %d, want 1", got)
+	}
+	if got := topo.RackOf(89); got != 0 {
+		t.Errorf("RackOf(89) = %d, want 0", got)
+	}
+	if got := topo.RackOf(90); got != 1 {
+		t.Errorf("RackOf(90) = %d, want 1", got)
+	}
+	first, n := topo.ChassisNodes(2)
+	if first != 36 || n != 18 {
+		t.Errorf("ChassisNodes(2) = %d,%d", first, n)
+	}
+	first, n = topo.RackNodes(1)
+	if first != 90 || n != 90 {
+		t.Errorf("RackNodes(1) = %d,%d", first, n)
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	if err := CurieTopology().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Topology{Racks: 0, ChassisPerRack: 5, NodesPerChassis: 18, CoresPerNode: 16}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero racks accepted")
+	}
+}
+
+func TestNewRejects(t *testing.T) {
+	topo := CurieTopology()
+	if _, err := New(topo, nil, CurieOverhead()); err == nil {
+		t.Error("nil profile accepted")
+	}
+	if _, err := New(topo, power.CurieProfile(), Overhead{ChassisWatts: -1}); err == nil {
+		t.Error("negative overhead accepted")
+	}
+	if _, err := New(Topology{}, power.CurieProfile(), CurieOverhead()); err == nil {
+		t.Error("invalid topology accepted")
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	c := small()
+	if c.Count(StateIdle) != 12 || c.Count(StateBusy) != 0 || c.Count(StateOff) != 0 {
+		t.Fatalf("initial counts off/idle/busy = %d/%d/%d",
+			c.Count(StateOff), c.Count(StateIdle), c.Count(StateBusy))
+	}
+	if got, want := c.Power(), brutePower(c); got != want {
+		t.Errorf("initial Power = %v, want %v", got, want)
+	}
+	if c.Power() != c.IdlePower() {
+		t.Errorf("initial Power %v != IdlePower %v", c.Power(), c.IdlePower())
+	}
+}
+
+func TestCurieMaxPower(t *testing.T) {
+	c := NewCurie()
+	// 5040x358 + 280x248 + 56x900 = 1804320 + 69440 + 50400.
+	if got, want := c.MaxPower(), power.Watts(1924160); got != want {
+		t.Errorf("Curie MaxPower = %v, want %v", got, want)
+	}
+}
+
+func TestOccupyVacatePowerCycle(t *testing.T) {
+	c := small()
+	base := c.Power()
+	if err := c.Occupy(0, 4, dvfs.F2700); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Power() - base; got != 358-117 {
+		t.Errorf("occupy delta = %v, want 241", got)
+	}
+	if c.State(0) != StateBusy || c.BusyCores() != 4 {
+		t.Errorf("state/cores = %v/%d", c.State(0), c.BusyCores())
+	}
+	if err := c.Vacate(0, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Power(); got != base {
+		t.Errorf("power after vacate = %v, want %v", got, base)
+	}
+	if c.State(0) != StateIdle {
+		t.Errorf("state after vacate = %v", c.State(0))
+	}
+}
+
+func TestOccupySharedNodeHighestFreqWins(t *testing.T) {
+	c := small()
+	if err := c.Occupy(3, 1, dvfs.F1200); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := c.Info(3)
+	if info.Freq != dvfs.F1200 {
+		t.Fatalf("freq = %v, want 1.2 GHz", info.Freq)
+	}
+	if err := c.Occupy(3, 1, dvfs.F2400); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = c.Info(3)
+	if info.Freq != dvfs.F2400 {
+		t.Errorf("freq after second job = %v, want 2.4 GHz", info.Freq)
+	}
+	// Lower-frequency jobs never drag the node frequency down.
+	if err := c.Occupy(3, 1, dvfs.F1400); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = c.Info(3)
+	if info.Freq != dvfs.F2400 {
+		t.Errorf("freq after low-freq third job = %v, want 2.4 GHz", info.Freq)
+	}
+	if got, want := c.Power(), brutePower(c); got != want {
+		t.Errorf("Power = %v, want %v", got, want)
+	}
+}
+
+func TestVacateRemainingFreq(t *testing.T) {
+	c := small()
+	if err := c.Occupy(5, 2, dvfs.F2700); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Occupy(5, 1, dvfs.F1200); err != nil {
+		t.Fatal(err)
+	}
+	// The 2.7 GHz job leaves; remaining job runs at 1.2 GHz.
+	if err := c.Vacate(5, 2, dvfs.F1200); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := c.Info(5)
+	if info.State != StateBusy || info.Freq != dvfs.F1200 || info.UsedCores != 1 {
+		t.Errorf("after vacate: %+v", info)
+	}
+	if got, want := c.Power(), brutePower(c); got != want {
+		t.Errorf("Power = %v, want %v", got, want)
+	}
+}
+
+func TestOccupyErrors(t *testing.T) {
+	c := small()
+	if err := c.Occupy(0, 5, 0); err == nil {
+		t.Error("overcommit accepted")
+	}
+	if err := c.Occupy(0, 0, 0); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if err := c.Occupy(99, 1, 0); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := c.PowerOff(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Occupy(1, 1, 0); err == nil {
+		t.Error("occupy of off node accepted")
+	}
+}
+
+func TestVacateErrors(t *testing.T) {
+	c := small()
+	if err := c.Vacate(0, 1, 0); err == nil {
+		t.Error("vacate of idle node accepted")
+	}
+	if err := c.Occupy(0, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Vacate(0, 3, 0); err == nil {
+		t.Error("vacate more cores than held accepted")
+	}
+	if err := c.Vacate(0, 0, 0); err == nil {
+		t.Error("vacate zero cores accepted")
+	}
+	if err := c.Vacate(99, 1, 0); err == nil {
+		t.Error("vacate out-of-range node accepted")
+	}
+}
+
+func TestPowerOffOnErrorsAndIdempotence(t *testing.T) {
+	c := small()
+	if err := c.Occupy(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PowerOff(0); err == nil {
+		t.Error("power off of busy node accepted")
+	}
+	if err := c.PowerOff(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PowerOff(2); err != nil {
+		t.Errorf("double power off should be a no-op, got %v", err)
+	}
+	if err := c.PowerOn(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PowerOn(2); err != nil {
+		t.Errorf("double power on should be a no-op, got %v", err)
+	}
+	if err := c.PowerOff(99); err == nil {
+		t.Error("out-of-range power off accepted")
+	}
+}
+
+// TestChassisBonusFigure2 verifies the worked example of Section VI-A:
+// switching off one full 18-node chassis saves 6692 W versus those nodes
+// running at max power, and a full rack saves 34360 W.
+func TestChassisBonusFigure2(t *testing.T) {
+	c := NewCurie()
+	topo := c.Topology()
+
+	// Occupy everything at nominal: draw == MaxPower.
+	for id := 0; id < topo.Nodes(); id++ {
+		if err := c.Occupy(NodeID(id), topo.CoresPerNode, dvfs.F2700); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Power() != c.MaxPower() {
+		t.Fatalf("all-busy power %v != MaxPower %v", c.Power(), c.MaxPower())
+	}
+
+	// Free and switch off chassis 0.
+	before := c.Power()
+	first, n := topo.ChassisNodes(0)
+	for i := 0; i < n; i++ {
+		if err := c.Vacate(first+NodeID(i), topo.CoresPerNode, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.PowerOff(first + NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	saved := before - c.Power()
+	if saved != 6692 {
+		t.Errorf("full-chassis saving = %v, want 6692 W (Figure 2)", saved)
+	}
+	if c.FullyOffChassis() != 1 {
+		t.Errorf("FullyOffChassis = %d, want 1", c.FullyOffChassis())
+	}
+	if got := c.BonusWatts(); got != 500 {
+		t.Errorf("BonusWatts = %v, want 500 (chassis bonus)", got)
+	}
+
+	// Now switch off the rest of rack 0.
+	firstRack, nr := topo.RackNodes(0)
+	for i := 0; i < nr; i++ {
+		id := firstRack + NodeID(i)
+		if c.State(id) == StateBusy {
+			if err := c.Vacate(id, topo.CoresPerNode, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.PowerOff(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	savedRack := before - c.Power()
+	if savedRack != 34360 {
+		t.Errorf("full-rack saving = %v, want 34360 W (Figure 2)", savedRack)
+	}
+	if c.FullyOffRacks() != 1 {
+		t.Errorf("FullyOffRacks = %d, want 1", c.FullyOffRacks())
+	}
+	if got, want := c.Power(), brutePower(c); got != want {
+		t.Errorf("Power = %v, want brute %v", got, want)
+	}
+}
+
+// TestScatteredVersusGrouped reproduces the Section VI-A example: 20
+// scattered node switch-offs save 20x344 = 6880 W, while a full chassis
+// (18 nodes) saves 6692 W, nearly as much with 2 fewer nodes sacrificed.
+func TestScatteredVersusGrouped(t *testing.T) {
+	c := NewCurie()
+	ids := SelectScattered(c, 20, nil)
+	if len(ids) != 20 {
+		t.Fatalf("scattered selection returned %d nodes", len(ids))
+	}
+	if got := PlannedSaving(c, ids); got != 6880 {
+		t.Errorf("scattered 20-node saving = %v, want 6880 W", got)
+	}
+	first, n := c.Topology().ChassisNodes(0)
+	chassis := make([]NodeID, n)
+	for i := range chassis {
+		chassis[i] = first + NodeID(i)
+	}
+	if got := PlannedSaving(c, chassis); got != 6692 {
+		t.Errorf("chassis saving = %v, want 6692 W", got)
+	}
+}
+
+func TestSelectGroupedPrefersWholeRacks(t *testing.T) {
+	c := NewCurie()
+	topo := c.Topology()
+	perRack := topo.NodesPerRack()
+	ids := SelectGrouped(c, perRack, nil)
+	if len(ids) != perRack {
+		t.Fatalf("got %d nodes, want %d", len(ids), perRack)
+	}
+	racks := map[int]int{}
+	for _, id := range ids {
+		racks[topo.RackOf(id)]++
+	}
+	if len(racks) != 1 {
+		t.Errorf("selection spans %d racks, want exactly 1 full rack", len(racks))
+	}
+	if got := PlannedSaving(c, ids); got != 34360 {
+		t.Errorf("full-rack planned saving = %v, want 34360", got)
+	}
+}
+
+func TestSelectGroupedChassisAlignment(t *testing.T) {
+	c := NewCurie()
+	topo := c.Topology()
+	// 40 nodes = 2 full chassis (36) + 4 singles.
+	ids := SelectGrouped(c, 40, nil)
+	if len(ids) != 40 {
+		t.Fatalf("got %d nodes", len(ids))
+	}
+	perChassis := map[int]int{}
+	for _, id := range ids {
+		perChassis[topo.ChassisOf(id)]++
+	}
+	full := 0
+	for _, n := range perChassis {
+		if n == topo.NodesPerChassis {
+			full++
+		}
+	}
+	if full < 2 {
+		t.Errorf("selection completed %d chassis, want >= 2", full)
+	}
+	// Grouped selection must beat scattered selection on planned savings.
+	scat := SelectScattered(c, 40, nil)
+	if g, s := PlannedSaving(c, ids), PlannedSaving(c, scat); g <= s {
+		t.Errorf("grouped saving %v <= scattered %v", g, s)
+	}
+}
+
+func TestSelectGroupedRespectsEligibility(t *testing.T) {
+	c := small()
+	// Node 0 ineligible: its chassis (nodes 0..2) cannot be taken whole.
+	ids := SelectGrouped(c, 3, func(id NodeID) bool { return id != 0 })
+	for _, id := range ids {
+		if id == 0 {
+			t.Fatalf("ineligible node selected: %v", ids)
+		}
+	}
+	if len(ids) != 3 {
+		t.Errorf("got %d nodes, want 3", len(ids))
+	}
+}
+
+func TestSelectGroupedWantZero(t *testing.T) {
+	c := small()
+	if got := SelectGrouped(c, 0, nil); got != nil {
+		t.Errorf("want=0 returned %v", got)
+	}
+	if got := SelectScattered(c, -1, nil); got != nil {
+		t.Errorf("scattered want=-1 returned %v", got)
+	}
+}
+
+func TestSelectScatteredAvoidsBonus(t *testing.T) {
+	c := small() // 4 chassis of 3 nodes
+	ids := SelectScattered(c, 4, nil)
+	chassisSeen := map[int]bool{}
+	for _, id := range ids {
+		chassisSeen[c.Topology().ChassisOf(id)] = true
+	}
+	if len(chassisSeen) != 4 {
+		t.Errorf("scattered selection used %d chassis, want 4", len(chassisSeen))
+	}
+}
+
+func TestOccupyDelta(t *testing.T) {
+	c := small()
+	// Idle node at 2.7: +241. Idle node at 1.2: +76.
+	if got := c.OccupyDelta([]NodeID{0}, dvfs.F2700); got != 241 {
+		t.Errorf("delta idle->2.7 = %v, want 241", got)
+	}
+	if got := c.OccupyDelta([]NodeID{0}, dvfs.F1200); got != 76 {
+		t.Errorf("delta idle->1.2 = %v, want 76", got)
+	}
+	// Busy node at equal or higher freq adds nothing.
+	if err := c.Occupy(1, 1, dvfs.F2700); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.OccupyDelta([]NodeID{1}, dvfs.F2400); got != 0 {
+		t.Errorf("delta busy(2.7)->2.4 = %v, want 0", got)
+	}
+	// Busy node at lower freq pays the uplift.
+	if err := c.Occupy(2, 1, dvfs.F1200); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.OccupyDelta([]NodeID{2}, dvfs.F2700); got != 358-193 {
+		t.Errorf("delta busy(1.2)->2.7 = %v, want 165", got)
+	}
+	// Off node pays busy-down.
+	if err := c.PowerOff(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.OccupyDelta([]NodeID{3}, dvfs.F2700); got != 358-14 {
+		t.Errorf("delta off->2.7 = %v, want 344", got)
+	}
+	// Nominal default when f == 0.
+	if got := c.OccupyDelta([]NodeID{0}, 0); got != 241 {
+		t.Errorf("delta f=0 = %v, want 241", got)
+	}
+	// OccupyDelta must match the real power change for idle nodes.
+	before := c.Power()
+	delta := c.OccupyDelta([]NodeID{0}, dvfs.F2000)
+	if err := c.Occupy(0, 1, dvfs.F2000); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Power() - before; got != delta {
+		t.Errorf("actual delta %v != predicted %v", got, delta)
+	}
+}
+
+func TestCoresByFreq(t *testing.T) {
+	c := small()
+	if err := c.Occupy(0, 4, dvfs.F2700); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Occupy(1, 2, dvfs.F2000); err != nil {
+		t.Fatal(err)
+	}
+	h := c.CoresByFreq()
+	if h[dvfs.F2700] != 4 || h[dvfs.F2000] != 2 {
+		t.Errorf("histogram = %v", h)
+	}
+	if err := c.Vacate(1, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	h = c.CoresByFreq()
+	if _, ok := h[dvfs.F2000]; ok {
+		t.Errorf("empty bucket kept: %v", h)
+	}
+}
+
+func TestReservedFlag(t *testing.T) {
+	c := small()
+	if err := c.SetReserved(4, true); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Reserved(4) {
+		t.Error("Reserved(4) = false")
+	}
+	if err := c.SetReserved(4, true); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := c.SetReserved(4, false); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reserved(4) {
+		t.Error("Reserved(4) still true")
+	}
+	if err := c.SetReserved(99, true); err == nil {
+		t.Error("out-of-range reserve accepted")
+	}
+	if c.Reserved(99) {
+		t.Error("out-of-range Reserved = true")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	c := small()
+	var seen int
+	c.ForEach(func(NodeInfo) bool { seen++; return true })
+	if seen != 12 {
+		t.Errorf("ForEach visited %d nodes, want 12", seen)
+	}
+	seen = 0
+	c.ForEach(func(NodeInfo) bool { seen++; return seen < 5 })
+	if seen != 5 {
+		t.Errorf("early-stop ForEach visited %d, want 5", seen)
+	}
+}
+
+func TestStateAndFreeCoresOutOfRange(t *testing.T) {
+	c := small()
+	if c.State(-1) != StateOff {
+		t.Error("out-of-range State should report off")
+	}
+	if c.FreeCores(-1) != 0 {
+		t.Error("out-of-range FreeCores should be 0")
+	}
+	if _, err := c.Info(-1); err == nil {
+		t.Error("out-of-range Info accepted")
+	}
+	if err := c.PowerOff(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeCores(0) != 0 {
+		t.Error("off node should have 0 free cores")
+	}
+}
+
+func TestNodeStateString(t *testing.T) {
+	if StateOff.String() != "off" || StateIdle.String() != "idle" || StateBusy.String() != "busy" {
+		t.Error("NodeState strings wrong")
+	}
+	if NodeState(9).String() != "NodeState(9)" {
+		t.Error("unknown NodeState string wrong")
+	}
+}
+
+// Property test: after any random sequence of operations the incremental
+// power equals the brute-force recomputation and counts are consistent.
+func TestPowerIncrementalMatchesBrute(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		Node  uint8
+		Cores uint8
+		Rung  uint8
+	}
+	ladder := dvfs.CurieLadder()
+	f := func(ops []op) bool {
+		c := small()
+		held := make(map[NodeID]int)
+		for _, o := range ops {
+			id := NodeID(int(o.Node) % c.Nodes())
+			switch o.Kind % 4 {
+			case 0:
+				cores := int(o.Cores)%2 + 1
+				fr := ladder[int(o.Rung)%len(ladder)]
+				if c.FreeCores(id) >= cores && c.State(id) != StateOff {
+					if err := c.Occupy(id, cores, fr); err != nil {
+						return false
+					}
+					held[id] += cores
+				}
+			case 1:
+				if held[id] > 0 {
+					if err := c.Vacate(id, held[id], 0); err != nil {
+						return false
+					}
+					delete(held, id)
+				}
+			case 2:
+				if c.State(id) == StateIdle {
+					if err := c.PowerOff(id); err != nil {
+						return false
+					}
+				}
+			case 3:
+				if c.State(id) == StateOff {
+					if err := c.PowerOn(id); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		return math.Abs(float64(c.Power()-brutePower(c))) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: counts always sum to the node count.
+func TestCountsConsistency(t *testing.T) {
+	c := small()
+	checkCounts := func() {
+		t.Helper()
+		sum := c.Count(StateOff) + c.Count(StateIdle) + c.Count(StateBusy)
+		if sum != c.Nodes() {
+			t.Fatalf("counts sum to %d, want %d", sum, c.Nodes())
+		}
+	}
+	checkCounts()
+	if err := c.Occupy(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	checkCounts()
+	if err := c.PowerOff(1); err != nil {
+		t.Fatal(err)
+	}
+	checkCounts()
+	if c.Count(NodeState(99)) != 0 {
+		t.Error("invalid state count should be 0")
+	}
+}
+
+func TestPlannedSavingDeduplicates(t *testing.T) {
+	c := NewCurie()
+	ids := []NodeID{0, 0, 1}
+	if got := PlannedSaving(c, ids); got != 2*344 {
+		t.Errorf("deduplicated saving = %v, want 688", got)
+	}
+	if got := PlannedSaving(c, []NodeID{-1, 9999999}); got != 0 {
+		t.Errorf("invalid IDs saving = %v, want 0", got)
+	}
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import "repro/internal/power"
+
+// Selection strategies for the offline phase of the powercap algorithm.
+// The paper (Sections III-B, V, VI-A) regroups the nodes to switch off on
+// chassis and rack boundaries so the shared-equipment "power bonus" is
+// harvested; the scattered variant exists for the ablation benchmark that
+// quantifies the value of that grouping.
+
+// SelectGrouped picks `want` nodes to switch off, maximizing the power
+// bonus: whole racks first, then whole chassis, then single nodes, scanning
+// from the high end of the machine to keep the allocatable region
+// contiguous. Only nodes for which eligible returns true are taken (pass
+// nil to accept every node). The result is sorted descending by ID and may
+// be shorter than `want` when eligibility is scarce.
+func SelectGrouped(c *Cluster, want int, eligible func(NodeID) bool) []NodeID {
+	if want <= 0 {
+		return nil
+	}
+	ok := eligible
+	if ok == nil {
+		ok = func(NodeID) bool { return true }
+	}
+	topo := c.Topology()
+	taken := make(map[NodeID]bool, want)
+	out := make([]NodeID, 0, want)
+
+	take := func(first NodeID, n int) {
+		for i := 0; i < n; i++ {
+			id := first + NodeID(i)
+			if !taken[id] {
+				taken[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	groupEligible := func(first NodeID, n int) bool {
+		for i := 0; i < n; i++ {
+			id := first + NodeID(i)
+			if taken[id] || !ok(id) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Whole racks.
+	perRack := topo.NodesPerRack()
+	for r := topo.Racks - 1; r >= 0 && want-len(out) >= perRack; r-- {
+		first, n := topo.RackNodes(r)
+		if groupEligible(first, n) {
+			take(first, n)
+		}
+	}
+	// Whole chassis.
+	for ch := topo.Chassis() - 1; ch >= 0 && want-len(out) >= topo.NodesPerChassis; ch-- {
+		first, n := topo.ChassisNodes(ch)
+		if groupEligible(first, n) {
+			take(first, n)
+		}
+	}
+	// Single nodes, highest IDs first.
+	for id := NodeID(topo.Nodes() - 1); id >= 0 && len(out) < want; id-- {
+		if !taken[id] && ok(id) {
+			taken[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// SelectScattered picks `want` eligible nodes deliberately spread across
+// chassis (round-robin, one node per chassis per sweep) so that no group
+// bonus can be harvested. Used by the grouped-vs-scattered ablation.
+func SelectScattered(c *Cluster, want int, eligible func(NodeID) bool) []NodeID {
+	if want <= 0 {
+		return nil
+	}
+	ok := eligible
+	if ok == nil {
+		ok = func(NodeID) bool { return true }
+	}
+	topo := c.Topology()
+	out := make([]NodeID, 0, want)
+	taken := make(map[NodeID]bool, want)
+	for sweep := 0; sweep < topo.NodesPerChassis && len(out) < want; sweep++ {
+		for ch := 0; ch < topo.Chassis() && len(out) < want; ch++ {
+			first, n := topo.ChassisNodes(ch)
+			if sweep >= n {
+				continue
+			}
+			id := first + NodeID(sweep)
+			if !taken[id] && ok(id) {
+				taken[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// PlannedSaving returns the power that switching off exactly the given node
+// set would save relative to those nodes running busy at nominal frequency,
+// including every chassis and rack bonus the set completes. This is the
+// quantity the offline planner maximizes (the paper's worked example:
+// 20 scattered nodes save 20x344 W = 6880 W, one full 18-node chassis saves
+// 6692 W).
+func PlannedSaving(c *Cluster, ids []NodeID) power.Watts {
+	topo := c.Topology()
+	prof := c.Profile()
+	ov := c.Overhead()
+	perNode := float64(prof.Max() - prof.Down())
+
+	inSet := make(map[NodeID]bool, len(ids))
+	chassisHit := make(map[int]int)
+	for _, id := range ids {
+		if c.checkID(id) != nil || inSet[id] {
+			continue
+		}
+		inSet[id] = true
+		chassisHit[topo.ChassisOf(id)]++
+	}
+	saving := perNode * float64(len(inSet))
+
+	rackFull := make(map[int]int)
+	for ch, n := range chassisHit {
+		if n == topo.NodesPerChassis {
+			saving += ov.ChassisWatts + float64(prof.Down())*float64(topo.NodesPerChassis)
+			rackFull[ch/topo.ChassisPerRack]++
+		}
+	}
+	for _, n := range rackFull {
+		if n == topo.ChassisPerRack {
+			saving += ov.RackWatts
+		}
+	}
+	return power.Watts(saving)
+}

@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/power"
+)
+
+// Algorithm 1 on a two-rack Curie slice: a 60% powercap under the SHUT
+// policy plans a grouped switch-off sized to the cap, harvesting the
+// chassis bonuses of Figure 2.
+func ExamplePlanOffline() {
+	topo := cluster.Topology{Racks: 2, ChassisPerRack: 5, NodesPerChassis: 18, CoresPerNode: 16}
+	c, err := cluster.New(topo, power.CurieProfile(), cluster.CurieOverhead())
+	if err != nil {
+		panic(err)
+	}
+	pm := core.CuriePolicyModel(core.PolicyShut)
+	budget := power.CapFraction(0.6, c.MaxPower())
+
+	plan := core.PlanOffline(c, pm, budget, true, nil)
+	fmt.Printf("mechanism: %v\n", plan.Mechanism)
+	fmt.Printf("reserve %d nodes (need %v, planned %v)\n",
+		len(plan.OffNodes), plan.NeededSaving, plan.PlannedSaving)
+	// Output:
+	// mechanism: Switch-off
+	// reserve 75 nodes (need 27.49 kW, planned 27.80 kW)
+}
+
+// Algorithm 2: the online part lowers a job's frequency until the
+// cluster draw fits the budget.
+func ExampleSelectFreqUnderCap() {
+	c, err := cluster.New(
+		cluster.Topology{Racks: 1, ChassisPerRack: 1, NodesPerChassis: 3, CoresPerNode: 16},
+		power.CurieProfile(), cluster.CurieOverhead())
+	if err != nil {
+		panic(err)
+	}
+	pm := core.CuriePolicyModel(core.PolicyDvfs)
+	// Headroom for one node at 2.0 GHz (idle 117 W -> busy 269 W).
+	budget := power.CapWatts(c.Power() + (269 - 117))
+
+	f, ok := core.SelectFreqUnderCap(c, pm, []cluster.NodeID{0},
+		func(fr dvfs.Freq) power.Cap { return budget })
+	fmt.Println(f, ok)
+	// Output: 2 GHz true
+}

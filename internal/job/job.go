@@ -1,0 +1,147 @@
+// Package job defines the job records flowing through the RJMS: core
+// counts, user runtime estimates (walltimes), the actual runtimes the
+// replay engine uses in place of real executions (the paper's "sleep"
+// jobs), and the DVFS frequency assigned at launch, which stretches the
+// runtime by the degradation model of Section V.
+package job
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dvfs"
+)
+
+// ID identifies a job within one workload.
+type ID int64
+
+// State is the lifecycle state of a job.
+type State int
+
+const (
+	// StatePending means submitted and waiting in the queue.
+	StatePending State = iota
+	// StateRunning means dispatched on nodes.
+	StateRunning
+	// StateCompleted means finished normally.
+	StateCompleted
+	// StateKilled means terminated by the controller (e.g. the extreme
+	// powercap action of Section IV-B).
+	StateKilled
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateRunning:
+		return "running"
+	case StateCompleted:
+		return "completed"
+	case StateKilled:
+		return "killed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Alloc records cores taken on one node.
+type Alloc struct {
+	Node  cluster.NodeID
+	Cores int
+}
+
+// Job is one workload entry. Times are virtual-clock seconds.
+type Job struct {
+	ID     ID
+	User   string
+	Cores  int   // requested (and allocated) core count
+	Submit int64 // submission time
+
+	// Runtime is the job's execution time at nominal frequency — what
+	// the original trace observed. The replay runs a virtual "sleep" of
+	// Runtime stretched by the degradation factor of the launch
+	// frequency.
+	Runtime int64
+
+	// Walltime is the user's requested runtime (the estimate the
+	// scheduler must trust for backfilling; on Curie it overestimates
+	// Runtime by a median factor of about 12000). When a job launches
+	// below nominal frequency the controller extends the walltime by
+	// the same degradation factor (Section V).
+	Walltime int64
+
+	// Mutable scheduling state, owned by the controller.
+	State     State
+	Freq      dvfs.Freq // frequency assigned at launch (0 until then)
+	StartTime int64     // launch time (meaningful once running)
+	EndTime   int64     // completion/kill time (once terminated)
+	Allocs    []Alloc   // node/core allocation while running
+}
+
+// Validate reports structural problems with a job record.
+func (j *Job) Validate() error {
+	switch {
+	case j.Cores <= 0:
+		return fmt.Errorf("job %d: cores = %d, want > 0", j.ID, j.Cores)
+	case j.Submit < 0:
+		return fmt.Errorf("job %d: negative submit time %d", j.ID, j.Submit)
+	case j.Runtime < 0:
+		return fmt.Errorf("job %d: negative runtime %d", j.ID, j.Runtime)
+	case j.Walltime < j.Runtime:
+		return fmt.Errorf("job %d: walltime %d below runtime %d", j.ID, j.Walltime, j.Runtime)
+	}
+	return nil
+}
+
+// ScaledRuntime returns the execution time at frequency f under the
+// degradation model deg.
+func (j *Job) ScaledRuntime(deg *dvfs.Degradation, f dvfs.Freq) int64 {
+	return deg.ScaleDuration(j.Runtime, f)
+}
+
+// ScaledWalltime returns the requested time at frequency f under the
+// degradation model deg ("the walltime of the job needs to be adapted
+// respectively", Section V).
+func (j *Job) ScaledWalltime(deg *dvfs.Degradation, f dvfs.Freq) int64 {
+	return deg.ScaleDuration(j.Walltime, f)
+}
+
+// AllocatedCores sums the allocation.
+func (j *Job) AllocatedCores() int {
+	n := 0
+	for _, a := range j.Allocs {
+		n += a.Cores
+	}
+	return n
+}
+
+// CoreSeconds returns the work the job accumulated: allocated cores times
+// wall-clock running time (the paper's "accumulated cpu time" of Figure 8).
+// For running jobs pass the current time as now; for finished jobs now is
+// ignored.
+func (j *Job) CoreSeconds(now int64) int64 {
+	switch j.State {
+	case StateRunning:
+		if now < j.StartTime {
+			return 0
+		}
+		return int64(j.Cores) * (now - j.StartTime)
+	case StateCompleted, StateKilled:
+		return int64(j.Cores) * (j.EndTime - j.StartTime)
+	default:
+		return 0
+	}
+}
+
+// Clone returns a deep copy (fresh Allocs slice) so replays can reuse an
+// immutable workload across runs.
+func (j *Job) Clone() *Job {
+	cp := *j
+	if j.Allocs != nil {
+		cp.Allocs = make([]Alloc, len(j.Allocs))
+		copy(cp.Allocs, j.Allocs)
+	}
+	return &cp
+}

@@ -1,0 +1,103 @@
+package job
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dvfs"
+)
+
+func valid() *Job {
+	return &Job{ID: 1, User: "u1", Cores: 32, Submit: 10, Runtime: 120, Walltime: 3600}
+}
+
+func TestValidate(t *testing.T) {
+	if err := valid().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Job){
+		func(j *Job) { j.Cores = 0 },
+		func(j *Job) { j.Submit = -1 },
+		func(j *Job) { j.Runtime = -1 },
+		func(j *Job) { j.Walltime = 60 }, // below runtime
+	}
+	for i, mutate := range cases {
+		j := valid()
+		mutate(j)
+		if err := j.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, j)
+		}
+	}
+}
+
+func TestScaledRuntimeAndWalltime(t *testing.T) {
+	j := valid()
+	deg := dvfs.CurieDegradation()
+	if got := j.ScaledRuntime(deg, dvfs.F2700); got != 120 {
+		t.Errorf("nominal runtime = %d", got)
+	}
+	if got := j.ScaledRuntime(deg, dvfs.F1200); got != 196 {
+		t.Errorf("min-freq runtime = %d, want 196", got)
+	}
+	if got := j.ScaledWalltime(deg, dvfs.F1200); got != 5868 {
+		t.Errorf("min-freq walltime = %d, want 5868", got)
+	}
+}
+
+func TestCoreSeconds(t *testing.T) {
+	j := valid()
+	if got := j.CoreSeconds(1000); got != 0 {
+		t.Errorf("pending work = %d, want 0", got)
+	}
+	j.State = StateRunning
+	j.StartTime = 100
+	if got := j.CoreSeconds(160); got != 32*60 {
+		t.Errorf("running work = %d, want %d", got, 32*60)
+	}
+	if got := j.CoreSeconds(50); got != 0 {
+		t.Errorf("work before start = %d, want 0", got)
+	}
+	j.State = StateCompleted
+	j.EndTime = 220
+	if got := j.CoreSeconds(0); got != 32*120 {
+		t.Errorf("completed work = %d, want %d", got, 32*120)
+	}
+	j.State = StateKilled
+	if got := j.CoreSeconds(0); got != 32*120 {
+		t.Errorf("killed work = %d", got)
+	}
+}
+
+func TestAllocatedCores(t *testing.T) {
+	j := valid()
+	j.Allocs = []Alloc{{Node: 0, Cores: 16}, {Node: 1, Cores: 16}}
+	if got := j.AllocatedCores(); got != 32 {
+		t.Errorf("AllocatedCores = %d", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	j := valid()
+	j.Allocs = []Alloc{{Node: cluster.NodeID(3), Cores: 4}}
+	cp := j.Clone()
+	cp.Allocs[0].Cores = 99
+	if j.Allocs[0].Cores == 99 {
+		t.Error("Clone shares the Allocs slice")
+	}
+	j2 := &Job{}
+	if cp2 := j2.Clone(); cp2.Allocs != nil {
+		t.Error("Clone invented an Allocs slice")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		StatePending: "pending", StateRunning: "running",
+		StateCompleted: "completed", StateKilled: "killed",
+		State(7): "State(7)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d) = %q, want %q", int(s), got, want)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package model_test
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// The Section III analysis on the Curie constants: a 40% powercap sits
+// below lambda_min = Pmin/Pmax, so DVFS alone cannot reach it and the
+// model combines both mechanisms.
+func Example() {
+	p := model.CurieParams(5040)
+	plan, err := model.SolveFraction(p, 0.4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("case: %v\n", plan.Case)
+	fmt.Printf("switch off %d nodes, run %d at minimum frequency\n", plan.IntNOff, plan.IntNDvfs)
+	fmt.Printf("surviving work: %.0f node-units of %d\n", plan.Work, p.N)
+	// Output:
+	// case: both-mechanisms
+	// switch off 1403 nodes, run 3637 at minimum frequency
+	// surviving work: 2232 node-units of 5040
+}

@@ -1,0 +1,326 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dvfs"
+)
+
+func curie1000() Params { return CurieParams(1000) }
+
+func TestValidate(t *testing.T) {
+	if err := curie1000().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{N: 0, PMax: 358, PMin: 193, POff: 14, DegMin: 1.63},
+		{N: 10, PMax: 358, PMin: 193, POff: -1, DegMin: 1.63},
+		{N: 10, PMax: 358, PMin: 10, POff: 14, DegMin: 1.63},
+		{N: 10, PMax: 100, PMin: 193, POff: 14, DegMin: 1.63},
+		{N: 10, PMax: 358, PMin: 193, POff: 14, DegMin: 0.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad[%d] accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestUncapped(t *testing.T) {
+	p := curie1000()
+	pl, err := Solve(p, p.MaxPower()+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Case != CaseUncapped {
+		t.Fatalf("case = %v, want uncapped", pl.Case)
+	}
+	if pl.Work != 1000 || pl.IntNOff != 0 || pl.IntNDvfs != 0 {
+		t.Errorf("plan = %+v", pl)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := curie1000()
+	_, err := Solve(p, float64(p.N)*p.POff-1)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveRejectsInvalidParams(t *testing.T) {
+	if _, err := Solve(Params{}, 100); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// With the Curie constants rho < 0, so the paper's rule picks shutdown for
+// any moderate cap; the shutdown-only closed form must hold.
+func TestShutdownOnlyClosedForm(t *testing.T) {
+	p := curie1000()
+	lambda := 0.6
+	pl, err := SolveFraction(p, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.PaperChoice != dvfs.MechanismShutdown {
+		t.Errorf("paper choice = %v, want shutdown (rho=%v)", pl.PaperChoice, pl.Rho)
+	}
+	capW := lambda * p.MaxPower()
+	wantNOff := (float64(p.N)*p.PMax - capW) / (p.PMax - p.POff)
+	// The plan reports the work-maximizing counts; the pure-shutdown
+	// candidate must match the closed form regardless of the winner.
+	gotNOff := (float64(p.N)*p.PMax - capW) / (p.PMax - p.POff)
+	if math.Abs(gotNOff-wantNOff) > 1e-9 {
+		t.Errorf("NOff closed form broken")
+	}
+	if math.Abs(pl.WorkOff-(float64(p.N)-wantNOff)) > 1e-9 {
+		t.Errorf("WorkOff = %v, want %v", pl.WorkOff, float64(p.N)-wantNOff)
+	}
+	// Integral counts satisfy the cap.
+	if got := PowerOfCounts(p, pl.IntNOff, pl.IntNDvfs); got > capW+1e-6 {
+		t.Errorf("integral plan draws %v > cap %v", got, capW)
+	}
+}
+
+func TestDvfsOnlyClosedForm(t *testing.T) {
+	// Choose parameters where DVFS wins the direct work comparison:
+	// tiny degradation.
+	p := Params{N: 100, PMax: 358, PMin: 193, POff: 14, DegMin: 1.05}
+	pl, err := SolveFraction(p, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.DerivedChoice != dvfs.MechanismDVFS {
+		t.Fatalf("derived choice = %v (WorkOff=%v WorkDvfs=%v)", pl.DerivedChoice, pl.WorkOff, pl.WorkDvfs)
+	}
+	if pl.Case != CaseDVFSOnly {
+		t.Fatalf("case = %v", pl.Case)
+	}
+	capW := 0.8 * p.MaxPower()
+	wantNDvfs := (float64(p.N)*p.PMax - capW) / (p.PMax - p.PMin)
+	if math.Abs(pl.NDvfs-wantNDvfs) > 1e-9 {
+		t.Errorf("NDvfs = %v, want %v", pl.NDvfs, wantNDvfs)
+	}
+	wantW := float64(p.N) - wantNDvfs*(1-1/p.DegMin)
+	if math.Abs(pl.Work-wantW) > 1e-9 {
+		t.Errorf("Work = %v, want %v", pl.Work, wantW)
+	}
+}
+
+// Below lambda = Pmin/Pmax the cap is unreachable by DVFS alone (Section
+// III-A) and both mechanisms combine: Ndvfs = (P-N*Poff)/(Pmin-Poff).
+func TestCaseBothClosedForm(t *testing.T) {
+	p := curie1000()
+	lambda := 0.4 // < LambdaMin = 193/358 = 0.539
+	if lambda >= p.LambdaMin() {
+		t.Fatalf("test premise broken: lambda %v >= LambdaMin %v", lambda, p.LambdaMin())
+	}
+	pl, err := SolveFraction(p, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Case != CaseBoth {
+		t.Fatalf("case = %v, want both", pl.Case)
+	}
+	capW := lambda * p.MaxPower()
+	wantNDvfs := (capW - float64(p.N)*p.POff) / (p.PMin - p.POff)
+	if math.Abs(pl.NDvfs-wantNDvfs) > 1e-9 {
+		t.Errorf("NDvfs = %v, want %v", pl.NDvfs, wantNDvfs)
+	}
+	if math.Abs(pl.NOff-(float64(p.N)-wantNDvfs)) > 1e-9 {
+		t.Errorf("NOff = %v, want %v", pl.NOff, float64(p.N)-wantNDvfs)
+	}
+	if math.Abs(pl.Work-wantNDvfs/p.DegMin) > 1e-9 {
+		t.Errorf("Work = %v, want %v", pl.Work, wantNDvfs/p.DegMin)
+	}
+	if !math.IsNaN(pl.WorkDvfs) {
+		t.Errorf("WorkDvfs = %v, want NaN (infeasible)", pl.WorkDvfs)
+	}
+	if got := PowerOfCounts(p, pl.IntNOff, pl.IntNDvfs); got > capW+1e-6 {
+		t.Errorf("integral plan draws %v > cap %v", got, capW)
+	}
+	// In CaseBoth every node is off or at fmin.
+	if pl.IntNOff+pl.IntNDvfs != p.N {
+		t.Errorf("IntNOff+IntNDvfs = %d, want N=%d", pl.IntNOff+pl.IntNDvfs, p.N)
+	}
+}
+
+func TestLambdaMin(t *testing.T) {
+	p := curie1000()
+	want := 193.0 / 358.0
+	if math.Abs(p.LambdaMin()-want) > 1e-12 {
+		t.Errorf("LambdaMin = %v, want %v", p.LambdaMin(), want)
+	}
+	// Just above the threshold DVFS-only is feasible, just below it is not.
+	above, err := SolveFraction(p, want+0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(above.WorkDvfs) {
+		t.Error("DVFS infeasible just above LambdaMin")
+	}
+	below, err := SolveFraction(p, want-0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below.Case != CaseBoth {
+		t.Errorf("case just below LambdaMin = %v, want both", below.Case)
+	}
+}
+
+func TestCaseEither(t *testing.T) {
+	// Pick DegMin exactly at the derived break-even
+	// (PMax-PMin)/(PMax-POff) = 1 - 1/deg => deg = (PMax-POff)/(PMin-POff).
+	p := Params{N: 100, PMax: 358, PMin: 193, POff: 14}
+	p.DegMin = (p.PMax - p.POff) / (p.PMin - p.POff)
+	pl, err := SolveFraction(p, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Case != CaseEither {
+		t.Fatalf("case = %v (WorkOff=%v WorkDvfs=%v)", pl.Case, pl.WorkOff, pl.WorkDvfs)
+	}
+	if pl.DerivedChoice != dvfs.MechanismEither {
+		t.Errorf("derived choice = %v", pl.DerivedChoice)
+	}
+}
+
+// TestPaperVersusDerivedChoice documents the Figure 5 discrepancy: on the
+// Curie constants with degMin = 1.63 the published rho picks shutdown while
+// the direct work comparison favors DVFS.
+func TestPaperVersusDerivedChoice(t *testing.T) {
+	p := curie1000()
+	pl, err := SolveFraction(p, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.PaperChoice != dvfs.MechanismShutdown {
+		t.Errorf("paper choice = %v, want shutdown", pl.PaperChoice)
+	}
+	if pl.DerivedChoice != dvfs.MechanismDVFS {
+		t.Errorf("derived choice = %v, want DVFS (WorkOff=%v WorkDvfs=%v)",
+			pl.DerivedChoice, pl.WorkOff, pl.WorkDvfs)
+	}
+}
+
+func TestCaseString(t *testing.T) {
+	for c, want := range map[Case]string{
+		CaseUncapped: "uncapped", CaseShutdownOnly: "shutdown-only",
+		CaseDVFSOnly: "dvfs-only", CaseEither: "either",
+		CaseBoth: "both-mechanisms", Case(42): "Case(42)",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("Case(%d) = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestWorkOfCounts(t *testing.T) {
+	p := curie1000()
+	if got := WorkOfCounts(p, 0, 0); got != 1000 {
+		t.Errorf("WorkOfCounts(0,0) = %v", got)
+	}
+	if got := WorkOfCounts(p, 1000, 0); got != 0 {
+		t.Errorf("WorkOfCounts(all off) = %v", got)
+	}
+	want := 1000 / p.DegMin
+	if got := WorkOfCounts(p, 0, 1000); math.Abs(got-want) > 1e-9 {
+		t.Errorf("WorkOfCounts(all dvfs) = %v, want %v", got, want)
+	}
+}
+
+func TestPowerOfCounts(t *testing.T) {
+	p := curie1000()
+	if got := PowerOfCounts(p, 0, 0); got != p.MaxPower() {
+		t.Errorf("PowerOfCounts(0,0) = %v, want max", got)
+	}
+	if got := PowerOfCounts(p, 1000, 0); got != 14000 {
+		t.Errorf("PowerOfCounts(all off) = %v, want 14000", got)
+	}
+}
+
+// Property: the integral plan always satisfies the cap, and its work never
+// exceeds the continuous optimum.
+func TestIntegralPlanRespectsCap(t *testing.T) {
+	p := curie1000()
+	f := func(frac uint16) bool {
+		lambda := p.POff/p.PMax + (1-p.POff/p.PMax)*float64(frac)/65535
+		capW := lambda * p.MaxPower()
+		pl, err := Solve(p, capW)
+		if err != nil {
+			return false
+		}
+		if PowerOfCounts(p, pl.IntNOff, pl.IntNDvfs) > capW+1e-6 {
+			return false
+		}
+		return WorkOfCounts(p, pl.IntNOff, pl.IntNDvfs) <= pl.Work+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: work is monotone non-decreasing in the cap.
+func TestWorkMonotoneInCap(t *testing.T) {
+	p := curie1000()
+	f := func(a, b uint16) bool {
+		la := p.POff/p.PMax + (1-p.POff/p.PMax)*float64(a)/65535
+		lb := p.POff/p.PMax + (1-p.POff/p.PMax)*float64(b)/65535
+		if la > lb {
+			la, lb = lb, la
+		}
+		pa, err := SolveFraction(p, la)
+		if err != nil {
+			return false
+		}
+		pb, err := SolveFraction(p, lb)
+		if err != nil {
+			return false
+		}
+		return pa.Work <= pb.Work+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the chosen work equals max(WorkOff, WorkDvfs) whenever both are
+// feasible.
+func TestChosenWorkIsMax(t *testing.T) {
+	p := curie1000()
+	f := func(frac uint16) bool {
+		lambda := p.LambdaMin() + (1-p.LambdaMin())*float64(frac)/65535
+		pl, err := SolveFraction(p, lambda)
+		if err != nil {
+			return false
+		}
+		if pl.Case == CaseUncapped {
+			return pl.Work == float64(p.N)
+		}
+		want := math.Max(pl.WorkOff, pl.WorkDvfs)
+		return math.Abs(pl.Work-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The worked example of Section VI-A: a 6600 W reduction requires 20
+// individual node switch-offs (6880 W saved) at 344 W per node.
+func TestSectionVIAWorkedExample(t *testing.T) {
+	perNode := 358.0 - 14.0
+	if perNode != 344 {
+		t.Fatalf("per-node saving = %v", perNode)
+	}
+	nodes := int(math.Ceil(6600 / perNode))
+	if nodes != 20 {
+		t.Errorf("nodes for 6600 W = %d, want 20", nodes)
+	}
+	if saved := float64(nodes) * perNode; saved != 6880 {
+		t.Errorf("saved = %v, want 6880", saved)
+	}
+}

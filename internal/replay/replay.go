@@ -1,0 +1,221 @@
+// Package replay implements the experimental methodology of Section VII:
+// replaying (synthetic) Curie workload intervals against the RJMS under a
+// powercap scenario — a policy, a cap fraction, and a one-hour reservation
+// window in the middle of the interval — and collecting the utilization
+// and power series plus the Figure 8 totals. A worker pool runs whole
+// scenario sweeps in parallel, one independent controller per scenario.
+package replay
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/reservation"
+	"repro/internal/rjms"
+	"repro/internal/trace"
+)
+
+// Scenario is one experiment cell: workload x policy x cap.
+type Scenario struct {
+	Name     string
+	Workload trace.Config
+	Policy   core.Policy
+
+	// CapFraction is the power budget as a fraction of the machine's
+	// maximum draw; >= 1 (or 0) means no powercap reservation.
+	CapFraction float64
+	// CapStart/CapDuration position the reservation window; zero means
+	// the paper's default: one hour centred in the interval.
+	CapStart    int64
+	CapDuration int64
+	// OpenEnded makes the cap start at CapStart and never end
+	// (the "powercap set for now" mode).
+	OpenEnded bool
+
+	// ScaleRacks shrinks the machine to this many racks (0 = full 56).
+	// The workload's Cores is adjusted to match automatically.
+	ScaleRacks int
+
+	// Jobs replaces the synthetic workload with an explicit job list
+	// (e.g. parsed from a real SWF trace); Workload.Kind still labels
+	// the run and Duration()/DurationSec must be set to the interval
+	// length when the default kind duration does not apply.
+	Jobs []*job.Job
+
+	// Ablations and options, forwarded to the controller.
+	Scattered       bool
+	KillOnOverrun   bool
+	BackfillDepth   int
+	SampleEvery     int64
+	ReservationLead int64
+	PlanningHorizon int64
+	DynamicDVFS     bool
+	// MeasuredNoise > 0 switches the active-cap checks to the noisy
+	// sensor path (relative stddev).
+	MeasuredNoise float64
+	// Compact enables topology-aware (chassis-span-minimizing) node
+	// selection.
+	Compact bool
+}
+
+// Machine returns the topology the scenario runs on.
+func (s Scenario) Machine() cluster.Topology {
+	topo := cluster.CurieTopology()
+	if s.ScaleRacks > 0 {
+		topo.Racks = s.ScaleRacks
+	}
+	return topo
+}
+
+// Duration returns the replayed interval length.
+func (s Scenario) Duration() int64 {
+	if s.Workload.DurationSec > 0 {
+		return s.Workload.DurationSec
+	}
+	return s.Workload.Kind.Duration()
+}
+
+// Capped reports whether the scenario actually reserves power.
+func (s Scenario) Capped() bool { return s.CapFraction > 0 && s.CapFraction < 1 }
+
+// Window returns the powercap reservation window.
+func (s Scenario) Window() (start, end int64) {
+	dur := s.CapDuration
+	if dur == 0 {
+		dur = 3600
+	}
+	start = s.CapStart
+	if start == 0 {
+		start = (s.Duration() - dur) / 2
+		if start < 0 {
+			start = 0
+		}
+	}
+	if s.OpenEnded {
+		return start, reservation.Horizon
+	}
+	return start, start + dur
+}
+
+// Label renders the Figure 8 row name, e.g. "40%/MIX".
+func (s Scenario) Label() string {
+	if !s.Capped() {
+		return "100%/None"
+	}
+	return fmt.Sprintf("%d%%/%s", int(s.CapFraction*100+0.5), s.Policy)
+}
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	Scenario Scenario
+	Plan     core.OfflinePlan
+	Summary  metrics.Summary
+	Samples  []metrics.Sample
+	MaxPower power.Watts
+	Cores    int
+	Err      error
+}
+
+// Run executes one scenario to completion.
+func Run(s Scenario) Result {
+	res := Result{Scenario: s}
+	topo := s.Machine()
+
+	jobs := s.Jobs
+	if jobs == nil {
+		wl := s.Workload
+		wl.Cores = topo.Cores()
+		var err error
+		jobs, err = trace.Generate(wl)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+	}
+
+	cfg := rjms.Config{
+		Topology:           topo,
+		Policy:             s.Policy,
+		ScatteredShutdown:  s.Scattered,
+		KillOnOverrun:      s.KillOnOverrun,
+		BackfillDepth:      s.BackfillDepth,
+		SampleInterval:     s.SampleEvery,
+		ReservationLead:    s.ReservationLead,
+		CapPlanningHorizon: s.PlanningHorizon,
+		DynamicDVFS:        s.DynamicDVFS,
+		MeasuredPowerNoise: s.MeasuredNoise,
+		CompactPlacement:   s.Compact,
+	}
+	ctl, err := rjms.New(cfg)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.MaxPower = ctl.Cluster().MaxPower()
+	res.Cores = ctl.Cluster().Cores()
+
+	if err := ctl.LoadWorkload(jobs); err != nil {
+		res.Err = err
+		return res
+	}
+	if s.Capped() {
+		start, end := s.Window()
+		budget := power.CapFraction(s.CapFraction, ctl.Cluster().MaxPower())
+		plan, err := ctl.ReservePowerCap(start, end, budget)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Plan = plan
+	}
+	sum, err := ctl.Run(s.Duration())
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Summary = sum
+	res.Samples = ctl.Samples()
+	return res
+}
+
+// RunAll executes scenarios on a worker pool (one controller per worker;
+// controllers are single-threaded, the sweep is embarrassingly parallel).
+// workers <= 0 means GOMAXPROCS. Results keep the input order.
+func RunAll(scenarios []Scenario, workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	results := make([]Result, len(scenarios))
+	if workers <= 1 {
+		for i, s := range scenarios {
+			results[i] = Run(s)
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = Run(scenarios[i])
+			}
+		}()
+	}
+	for i := range scenarios {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}

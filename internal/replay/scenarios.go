@@ -1,0 +1,159 @@
+package replay
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// policies evaluated at each cap level in Figure 8. At 80% the paper only
+// shows DVFS and SHUT; MIX joins at 60% and 40% (below its 75% combined
+// threshold).
+func policiesForCap(frac float64) []core.Policy {
+	if frac >= 0.75 {
+		return []core.Policy{core.PolicyDvfs, core.PolicyShut}
+	}
+	return []core.Policy{core.PolicyMix, core.PolicyDvfs, core.PolicyShut}
+}
+
+// Fig8Scenarios builds the full Figure 8 grid: for each 5-hour workload
+// (bigjob, medianjob, smalljob) the uncapped baseline plus
+// {80%, 60%, 40%} x policies. scaleRacks shrinks the machine for faster
+// runs (0 = full Curie); seeds stay fixed so runs are reproducible.
+func Fig8Scenarios(scaleRacks int) []Scenario {
+	kinds := []trace.Config{
+		{Kind: trace.BigJob, Seed: 1003},
+		{Kind: trace.MedianJob, Seed: 1001},
+		{Kind: trace.SmallJob, Seed: 1002},
+	}
+	var out []Scenario
+	for _, wl := range kinds {
+		out = append(out, Scenario{
+			Name:       fmt.Sprintf("%s/100%%/None", wl.Kind),
+			Workload:   wl,
+			Policy:     core.PolicyNone,
+			ScaleRacks: scaleRacks,
+		})
+		for _, frac := range []float64{0.8, 0.6, 0.4} {
+			for _, p := range policiesForCap(frac) {
+				out = append(out, Scenario{
+					Name:        fmt.Sprintf("%s/%d%%/%s", wl.Kind, int(frac*100), p),
+					Workload:    wl,
+					Policy:      p,
+					CapFraction: frac,
+					ScaleRacks:  scaleRacks,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Fig6Scenario is the 24-hour MIX run with a one-hour 40% reservation.
+func Fig6Scenario(scaleRacks int) Scenario {
+	return Scenario{
+		Name:        "24h/40%/MIX",
+		Workload:    trace.Config{Kind: trace.Day24h, Seed: 1004},
+		Policy:      core.PolicyMix,
+		CapFraction: 0.4,
+		ScaleRacks:  scaleRacks,
+	}
+}
+
+// Fig7aScenario is the 5-hour bigjob run under SHUT with a 60% cap.
+func Fig7aScenario(scaleRacks int) Scenario {
+	return Scenario{
+		Name:        "bigjob/60%/SHUT",
+		Workload:    trace.Config{Kind: trace.BigJob, Seed: 1003},
+		Policy:      core.PolicyShut,
+		CapFraction: 0.6,
+		ScaleRacks:  scaleRacks,
+	}
+}
+
+// Fig7bScenario is the 5-hour smalljob run under DVFS with a 40% cap.
+func Fig7bScenario(scaleRacks int) Scenario {
+	return Scenario{
+		Name:        "smalljob/40%/DVFS",
+		Workload:    trace.Config{Kind: trace.SmallJob, Seed: 1002},
+		Policy:      core.PolicyDvfs,
+		CapFraction: 0.4,
+		ScaleRacks:  scaleRacks,
+	}
+}
+
+// Claims24hScenarios reproduces the Section VII-C 24-hour comparison:
+// SHUT vs DVFS vs MIX vs IDLE at a 40% cap, plus the uncapped baseline.
+func Claims24hScenarios(scaleRacks int) []Scenario {
+	wl := trace.Config{Kind: trace.Day24h, Seed: 1004}
+	out := []Scenario{{
+		Name:       "24h/100%/None",
+		Workload:   wl,
+		Policy:     core.PolicyNone,
+		ScaleRacks: scaleRacks,
+	}}
+	for _, p := range []core.Policy{core.PolicyShut, core.PolicyDvfs, core.PolicyMix, core.PolicyIdle} {
+		out = append(out, Scenario{
+			Name:        fmt.Sprintf("24h/40%%/%s", p),
+			Workload:    wl,
+			Policy:      p,
+			CapFraction: 0.4,
+			ScaleRacks:  scaleRacks,
+		})
+	}
+	return out
+}
+
+// AblationGroupingScenarios compares grouped (bonus-aware) against
+// scattered shutdown planning under SHUT.
+func AblationGroupingScenarios(scaleRacks int) []Scenario {
+	wl := trace.Config{Kind: trace.MedianJob, Seed: 1001}
+	return []Scenario{
+		{
+			Name: "medianjob/40%/SHUT/grouped", Workload: wl,
+			Policy: core.PolicyShut, CapFraction: 0.4, ScaleRacks: scaleRacks,
+		},
+		{
+			Name: "medianjob/40%/SHUT/scattered", Workload: wl,
+			Policy: core.PolicyShut, CapFraction: 0.4, ScaleRacks: scaleRacks,
+			Scattered: true,
+		},
+	}
+}
+
+// AblationDynamicDVFSScenarios compares the static launch-time-only DVFS
+// of the paper against its Section VIII future-work extension that
+// re-clocks running jobs at cap boundaries.
+func AblationDynamicDVFSScenarios(scaleRacks int) []Scenario {
+	wl := trace.Config{Kind: trace.MedianJob, Seed: 1001}
+	return []Scenario{
+		{
+			Name: "medianjob/40%/DVFS/static", Workload: wl,
+			Policy: core.PolicyDvfs, CapFraction: 0.4, ScaleRacks: scaleRacks,
+		},
+		{
+			Name: "medianjob/40%/DVFS/dynamic", Workload: wl,
+			Policy: core.PolicyDvfs, CapFraction: 0.4, ScaleRacks: scaleRacks,
+			DynamicDVFS: true,
+		},
+	}
+}
+
+// AblationMixFloorScenarios compares the 2.0 GHz MIX floor against a
+// full-range (1.2 GHz) mixed policy, which is DVFS-with-shutdown; the
+// paper motivates the floor by the non-monotonic energy/performance
+// trade-off.
+func AblationMixFloorScenarios(scaleRacks int) []Scenario {
+	wl := trace.Config{Kind: trace.MedianJob, Seed: 1001}
+	return []Scenario{
+		{
+			Name: "medianjob/40%/MIX-floor2.0", Workload: wl,
+			Policy: core.PolicyMix, CapFraction: 0.4, ScaleRacks: scaleRacks,
+		},
+		{
+			Name: "medianjob/40%/DVFS-full", Workload: wl,
+			Policy: core.PolicyDvfs, CapFraction: 0.4, ScaleRacks: scaleRacks,
+		},
+	}
+}

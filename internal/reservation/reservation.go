@@ -1,0 +1,237 @@
+// Package reservation implements the two reservation kinds the paper adds
+// to SLURM (Section V): powercap reservations — a Watts budget over a time
+// window — and switch-off reservations — a node group planned by the
+// offline algorithm to be powered down during a powercap window. A Book
+// aggregates them and answers the queries the online scheduler needs: the
+// effective cap at an instant, the tightest cap over a job's expected span,
+// and the next boundary at which the controller must wake up.
+package reservation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/power"
+)
+
+// Horizon is the End value of an open-ended window ("powercap set for now
+// with no time restriction").
+const Horizon = int64(math.MaxInt64)
+
+// PowerCap is a power budget over [Start, End).
+type PowerCap struct {
+	ID    int
+	Start int64
+	End   int64 // exclusive; Horizon for open-ended
+	Cap   power.Cap
+}
+
+// Active reports whether the window covers instant t.
+func (p PowerCap) Active(t int64) bool { return t >= p.Start && t < p.End }
+
+// Overlaps reports whether the window intersects [from, to).
+func (p PowerCap) Overlaps(from, to int64) bool { return p.Start < to && from < p.End }
+
+// SwitchOff is a planned group power-down over [Start, End).
+type SwitchOff struct {
+	ID    int
+	Start int64
+	End   int64
+	Nodes []cluster.NodeID
+}
+
+// Active reports whether the window covers instant t.
+func (s SwitchOff) Active(t int64) bool { return t >= s.Start && t < s.End }
+
+// Book holds all reservations of a controller.
+type Book struct {
+	nextID int
+	caps   []PowerCap
+	offs   []SwitchOff
+}
+
+// NewBook returns an empty reservation book.
+func NewBook() *Book { return &Book{nextID: 1} }
+
+// AddPowerCap registers a powercap window and returns its ID. End must be
+// strictly after Start (use Horizon for open-ended) and the cap must be
+// set.
+func (b *Book) AddPowerCap(start, end int64, cap power.Cap) (int, error) {
+	if end <= start {
+		return 0, fmt.Errorf("reservation: empty powercap window [%d,%d)", start, end)
+	}
+	if !cap.IsSet() {
+		return 0, fmt.Errorf("reservation: powercap reservation without a cap value")
+	}
+	id := b.nextID
+	b.nextID++
+	b.caps = append(b.caps, PowerCap{ID: id, Start: start, End: end, Cap: cap})
+	sort.SliceStable(b.caps, func(i, j int) bool { return b.caps[i].Start < b.caps[j].Start })
+	return id, nil
+}
+
+// AddSwitchOff registers a planned group power-down and returns its ID.
+func (b *Book) AddSwitchOff(start, end int64, nodes []cluster.NodeID) (int, error) {
+	if end <= start {
+		return 0, fmt.Errorf("reservation: empty switch-off window [%d,%d)", start, end)
+	}
+	if len(nodes) == 0 {
+		return 0, fmt.Errorf("reservation: switch-off reservation without nodes")
+	}
+	id := b.nextID
+	b.nextID++
+	cp := make([]cluster.NodeID, len(nodes))
+	copy(cp, nodes)
+	b.offs = append(b.offs, SwitchOff{ID: id, Start: start, End: end, Nodes: cp})
+	return id, nil
+}
+
+// Remove deletes a reservation of either kind by ID; unknown IDs are
+// no-ops.
+func (b *Book) Remove(id int) {
+	for i, c := range b.caps {
+		if c.ID == id {
+			b.caps = append(b.caps[:i], b.caps[i+1:]...)
+			return
+		}
+	}
+	for i, o := range b.offs {
+		if o.ID == id {
+			b.offs = append(b.offs[:i], b.offs[i+1:]...)
+			return
+		}
+	}
+}
+
+// CapAt returns the tightest cap active at instant t (NoCap when none).
+func (b *Book) CapAt(t int64) power.Cap {
+	out := power.NoCap
+	for _, c := range b.caps {
+		if c.Start > t {
+			break // caps are sorted by start
+		}
+		if c.Active(t) && (!out.IsSet() || c.Cap.Watts() < out.Watts()) {
+			out = c.Cap
+		}
+	}
+	return out
+}
+
+// MinCapOver returns the tightest cap over the span [from, to) — the budget
+// the online algorithm must respect for a job expected to run over that
+// span (Section IV-B: the job "may overlap with any future reservation of
+// power"). Returns NoCap when no window overlaps.
+func (b *Book) MinCapOver(from, to int64) power.Cap {
+	out := power.NoCap
+	for _, c := range b.caps {
+		if c.Start >= to {
+			break
+		}
+		if c.Overlaps(from, to) && (!out.IsSet() || c.Cap.Watts() < out.Watts()) {
+			out = c.Cap
+		}
+	}
+	return out
+}
+
+// MinFutureCapOver returns the tightest cap among windows that open
+// strictly after `from` (but within `horizon` seconds of it) and overlap
+// [from, to). Windows already active at `from` are excluded — the online
+// algorithm checks those against the actual cluster draw, while future
+// windows are checked against the draw projected after the planned
+// switch-offs. The horizon bounds how far ahead the scheduler prepares:
+// with walltimes overestimated by four orders of magnitude, "overlaps a
+// future reservation" is true of nearly every job nearly all day, and
+// throttling against a cap many hours away would idle the machine (the
+// paper's figures show preparation starting close to the window).
+// horizon <= 0 means unbounded. Returns NoCap when none apply.
+func (b *Book) MinFutureCapOver(from, to, horizon int64) power.Cap {
+	out := power.NoCap
+	for _, c := range b.caps {
+		if c.Start >= to {
+			break
+		}
+		if c.Start <= from || !c.Overlaps(from, to) {
+			continue
+		}
+		if horizon > 0 && c.Start > from+horizon {
+			continue
+		}
+		if !out.IsSet() || c.Cap.Watts() < out.Watts() {
+			out = c.Cap
+		}
+	}
+	return out
+}
+
+// PowerCaps returns the powercap windows sorted by start.
+func (b *Book) PowerCaps() []PowerCap {
+	out := make([]PowerCap, len(b.caps))
+	copy(out, b.caps)
+	return out
+}
+
+// SwitchOffs returns the switch-off reservations in insertion order.
+func (b *Book) SwitchOffs() []SwitchOff {
+	out := make([]SwitchOff, len(b.offs))
+	for i, o := range b.offs {
+		nodes := make([]cluster.NodeID, len(o.Nodes))
+		copy(nodes, o.Nodes)
+		o.Nodes = nodes
+		out[i] = o
+	}
+	return out
+}
+
+// NodeBlocked reports whether scheduling a job on the node over
+// [from, to) would collide with a switch-off reservation. With user
+// walltimes overestimated by four orders of magnitude (Section VII-B),
+// blocking on walltime overlap alone would idle the reserved group hours
+// ahead of the window; instead a reservation starts refusing work only
+// `lead` seconds before its window opens, and nodes still busy at the
+// window start drain to off as their jobs end. lead = 0 reproduces the
+// pure drain behaviour visible in the paper's Figures 6/7 (utilization
+// stays high until the window, then the group powers down sharply).
+func (b *Book) NodeBlocked(id cluster.NodeID, from, to int64, lead int64) bool {
+	for _, o := range b.offs {
+		if o.Start >= to || o.End <= from {
+			continue // job span does not touch the window
+		}
+		if from < o.Start-lead {
+			continue // reservation not yet blocking allocations
+		}
+		for _, n := range o.Nodes {
+			if n == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Boundaries returns every distinct Start/End instant of all reservations
+// strictly after t, ascending — the wake-up points of the controller.
+func (b *Book) Boundaries(t int64) []int64 {
+	set := map[int64]bool{}
+	add := func(v int64) {
+		if v > t && v != Horizon {
+			set[v] = true
+		}
+	}
+	for _, c := range b.caps {
+		add(c.Start)
+		add(c.End)
+	}
+	for _, o := range b.offs {
+		add(o.Start)
+		add(o.End)
+	}
+	out := make([]int64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

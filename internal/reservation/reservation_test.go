@@ -1,0 +1,207 @@
+package reservation
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/power"
+)
+
+func TestAddPowerCapValidation(t *testing.T) {
+	b := NewBook()
+	if _, err := b.AddPowerCap(10, 10, power.CapWatts(100)); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := b.AddPowerCap(10, 5, power.CapWatts(100)); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if _, err := b.AddPowerCap(0, 10, power.NoCap); err == nil {
+		t.Error("unset cap accepted")
+	}
+	id, err := b.AddPowerCap(0, Horizon, power.CapWatts(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Error("zero reservation ID")
+	}
+}
+
+func TestCapAt(t *testing.T) {
+	b := NewBook()
+	mustCap(t, b, 100, 200, 500)
+	mustCap(t, b, 150, 300, 300)
+
+	cases := []struct {
+		t    int64
+		want power.Cap
+	}{
+		{50, power.NoCap},
+		{100, power.CapWatts(500)},
+		{149, power.CapWatts(500)},
+		{150, power.CapWatts(300)}, // overlapping: tightest wins
+		{199, power.CapWatts(300)},
+		{200, power.CapWatts(300)},
+		{299, power.CapWatts(300)},
+		{300, power.NoCap}, // End is exclusive
+	}
+	for _, tc := range cases {
+		if got := b.CapAt(tc.t); got != tc.want {
+			t.Errorf("CapAt(%d) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func mustCap(t *testing.T, b *Book, start, end int64, w power.Watts) int {
+	t.Helper()
+	id, err := b.AddPowerCap(start, end, power.CapWatts(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestMinCapOver(t *testing.T) {
+	b := NewBook()
+	mustCap(t, b, 100, 200, 500)
+	mustCap(t, b, 400, 500, 200)
+
+	if got := b.MinCapOver(0, 50); got.IsSet() {
+		t.Errorf("span before any window capped: %v", got)
+	}
+	if got := b.MinCapOver(0, 150); got != power.CapWatts(500) {
+		t.Errorf("span into first window = %v", got)
+	}
+	if got := b.MinCapOver(0, 450); got != power.CapWatts(200) {
+		t.Errorf("span across both = %v, want tightest 200", got)
+	}
+	if got := b.MinCapOver(200, 400); got.IsSet() {
+		t.Errorf("gap span capped: %v", got)
+	}
+	// Touching boundaries exactly does not overlap.
+	if got := b.MinCapOver(500, 600); got.IsSet() {
+		t.Errorf("span after window capped: %v", got)
+	}
+}
+
+func TestOpenEndedCap(t *testing.T) {
+	b := NewBook()
+	if _, err := b.AddPowerCap(100, Horizon, power.CapWatts(700)); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.CapAt(1 << 50); got != power.CapWatts(700) {
+		t.Errorf("open-ended cap at far future = %v", got)
+	}
+	if got := b.MinCapOver(99, 100); got.IsSet() {
+		t.Errorf("span ending at start capped: %v", got)
+	}
+}
+
+func TestSwitchOffValidationAndCopy(t *testing.T) {
+	b := NewBook()
+	if _, err := b.AddSwitchOff(5, 5, []cluster.NodeID{1}); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := b.AddSwitchOff(0, 5, nil); err == nil {
+		t.Error("empty node set accepted")
+	}
+	nodes := []cluster.NodeID{1, 2}
+	if _, err := b.AddSwitchOff(0, 5, nodes); err != nil {
+		t.Fatal(err)
+	}
+	nodes[0] = 99 // the book must hold a copy
+	offs := b.SwitchOffs()
+	if len(offs) != 1 || offs[0].Nodes[0] != 1 {
+		t.Errorf("book aliases the caller's slice: %+v", offs)
+	}
+	offs[0].Nodes[0] = 77 // and the accessor returns a copy too
+	if b.SwitchOffs()[0].Nodes[0] != 1 {
+		t.Error("SwitchOffs aliases the book's slice")
+	}
+}
+
+func TestNodeBlockedDrainSemantics(t *testing.T) {
+	b := NewBook()
+	if _, err := b.AddSwitchOff(100, 200, []cluster.NodeID{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	// lead = 0: the reservation only refuses work once its window opens.
+	if !b.NodeBlocked(5, 150, 160, 0) {
+		t.Error("node inside window not blocked")
+	}
+	if b.NodeBlocked(5, 50, 101, 0) {
+		t.Error("pre-window job blocked with zero lead (drain semantics)")
+	}
+	if b.NodeBlocked(5, 50, 100, 0) {
+		t.Error("job ending exactly at window start blocked")
+	}
+	if b.NodeBlocked(5, 200, 300, 0) {
+		t.Error("job starting at window end blocked")
+	}
+	if b.NodeBlocked(7, 150, 160, 0) {
+		t.Error("unreserved node blocked")
+	}
+}
+
+func TestNodeBlockedWithLead(t *testing.T) {
+	b := NewBook()
+	if _, err := b.AddSwitchOff(100, 200, []cluster.NodeID{5}); err != nil {
+		t.Fatal(err)
+	}
+	// lead = 30: allocations within 30 s of the window that overlap it
+	// are refused; earlier ones are not.
+	if !b.NodeBlocked(5, 80, 150, 30) {
+		t.Error("overlapping job within the lead not blocked")
+	}
+	if b.NodeBlocked(5, 60, 150, 30) {
+		t.Error("overlapping job before the lead blocked")
+	}
+	// Non-overlapping spans are never blocked regardless of lead.
+	if b.NodeBlocked(5, 80, 100, 1<<40) {
+		t.Error("non-overlapping job blocked by a huge lead")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	b := NewBook()
+	idCap := mustCap(t, b, 0, 100, 500)
+	idOff, err := b.AddSwitchOff(0, 100, []cluster.NodeID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Remove(idCap)
+	if b.CapAt(50).IsSet() {
+		t.Error("removed cap still active")
+	}
+	b.Remove(idOff)
+	if b.NodeBlocked(1, 0, 100, 1<<40) {
+		t.Error("removed switch-off still blocks")
+	}
+	b.Remove(424242) // unknown ID: no-op
+}
+
+func TestBoundaries(t *testing.T) {
+	b := NewBook()
+	mustCap(t, b, 100, 200, 500)
+	if _, err := b.AddSwitchOff(100, 250, []cluster.NodeID{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddPowerCap(300, Horizon, power.CapWatts(10)); err != nil {
+		t.Fatal(err)
+	}
+	got := b.Boundaries(0)
+	want := []int64{100, 200, 250, 300}
+	if len(got) != len(want) {
+		t.Fatalf("Boundaries = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Boundaries = %v, want %v", got, want)
+		}
+	}
+	// Strictly-after filter and deduplication.
+	got = b.Boundaries(200)
+	if len(got) != 2 || got[0] != 250 || got[1] != 300 {
+		t.Errorf("Boundaries(200) = %v, want [250 300]", got)
+	}
+}

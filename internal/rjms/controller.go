@@ -1,0 +1,656 @@
+package rjms
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/powerlog"
+	"repro/internal/reservation"
+	"repro/internal/sched"
+	"repro/internal/simengine"
+)
+
+// Controller is the central RJMS daemon. It is single-goroutine by
+// construction (all activity happens inside the event engine); run
+// independent controllers in parallel for experiment sweeps.
+type Controller struct {
+	cfg  Config
+	pm   core.PolicyModel
+	clus *cluster.Cluster
+	eng  *simengine.Engine
+	book *reservation.Book
+	rec  *metrics.Recorder
+
+	pending   []*job.Job
+	running   map[job.ID]*job.Job
+	nodeJobs  []map[job.ID]dvfs.Freq // per-node running jobs and their frequencies
+	runStates map[job.ID]*runState   // progress accounting for dynamic DVFS
+
+	fairshare *sched.Fairshare
+	weights   sched.MultifactorWeights
+
+	// offPending holds reserved nodes that were busy when their
+	// switch-off window opened; they power down as their jobs drain.
+	offPending map[cluster.NodeID]bool
+
+	horizon    int64
+	sampling   bool
+	passQueued bool
+
+	// Cached projection inputs for optimalFutureFreq.
+	survivorFresh    bool
+	survivorCount    int
+	survivorOverhead power.Watts
+
+	// estimator is non-nil in measurement-based capping mode: active-cap
+	// checks use its guarded estimate instead of the exact bookkeeping.
+	estimator *powerlog.Estimator
+}
+
+// New builds a controller at virtual time 0.
+func New(cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	pm, err := core.NewPolicyModel(cfg.Policy, cfg.Profile, cfg.DegMinFull, cfg.DegMinMix, cfg.MixFloor)
+	if err != nil {
+		return nil, err
+	}
+	clus, err := cluster.New(cfg.Topology, cfg.Profile, *cfg.Overhead)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:        cfg,
+		pm:         pm,
+		clus:       clus,
+		eng:        simengine.New(0),
+		book:       reservation.NewBook(),
+		running:    map[job.ID]*job.Job{},
+		runStates:  map[job.ID]*runState{},
+		nodeJobs:   make([]map[job.ID]dvfs.Freq, cfg.Topology.Nodes()),
+		fairshare:  sched.NewFairshare(cfg.FairshareHalfLife),
+		weights:    sched.DefaultMultifactor(cfg.Topology.Cores()),
+		offPending: map[cluster.NodeID]bool{},
+	}
+	if cfg.MeasuredPowerNoise > 0 {
+		sensor, err := powerlog.NewSensor(cfg.MeasuredPowerSeed, cfg.MeasuredPowerNoise, 0)
+		if err != nil {
+			return nil, err
+		}
+		est, err := powerlog.NewEstimator(sensor, cfg.MeasuredPowerWindow, cfg.MeasuredPowerGuard)
+		if err != nil {
+			return nil, err
+		}
+		c.estimator = est
+		est.Sample(clus.Power())
+	}
+	c.rec = metrics.NewRecorder(0, clus.Power(), 0)
+	return c, nil
+}
+
+// observedPower is the draw the active-cap checks compare against the
+// budget: the exact bookkeeping by default, or the guarded measurement
+// estimate in measured mode.
+func (c *Controller) observedPower() power.Watts {
+	if c.estimator != nil {
+		return c.estimator.Estimate()
+	}
+	return c.clus.Power()
+}
+
+// Cluster exposes the machine state (read-only use expected).
+func (c *Controller) Cluster() *cluster.Cluster { return c.clus }
+
+// PolicyModel exposes the active policy binding.
+func (c *Controller) PolicyModel() core.PolicyModel { return c.pm }
+
+// Now returns the virtual clock.
+func (c *Controller) Now() int64 { return c.eng.Now() }
+
+// PendingCount returns the queued-job count.
+func (c *Controller) PendingCount() int { return len(c.pending) }
+
+// RunningCount returns the dispatched-job count.
+func (c *Controller) RunningCount() int { return len(c.running) }
+
+// LoadWorkload schedules the submission events of a workload. Jobs wider
+// than the machine are rejected.
+func (c *Controller) LoadWorkload(jobs []*job.Job) error {
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if j.Cores > c.clus.Cores() {
+			return fmt.Errorf("rjms: job %d wants %d cores, machine has %d", j.ID, j.Cores, c.clus.Cores())
+		}
+		jj := j.Clone()
+		if _, err := c.eng.At(jj.Submit, func(now int64) { c.submit(jj, now) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReservePowerCap registers a powercap reservation over [start, end)
+// (reservation.Horizon for open-ended) with the given budget, runs the
+// offline planning of Algorithm 1, and schedules the window's switch-off
+// and wake-up actions. It returns the offline plan for inspection.
+func (c *Controller) ReservePowerCap(start, end int64, budget power.Cap) (core.OfflinePlan, error) {
+	if _, err := c.book.AddPowerCap(start, end, budget); err != nil {
+		return core.OfflinePlan{}, err
+	}
+	eligible := func(id cluster.NodeID) bool { return !c.clus.Reserved(id) }
+	plan := core.PlanOffline(c.clus, c.pm, budget, !c.cfg.ScatteredShutdown, eligible)
+	if c.cfg.Policy == core.PolicyIdle {
+		// IDLE keeps nodes powered; no switch-off reservation.
+		plan.OffNodes = nil
+	}
+	if len(plan.OffNodes) > 0 {
+		if _, err := c.book.AddSwitchOff(start, end, plan.OffNodes); err != nil {
+			return plan, err
+		}
+		for _, id := range plan.OffNodes {
+			if err := c.clus.SetReserved(id, true); err != nil {
+				return plan, err
+			}
+		}
+		c.survivorFresh = false
+		offNodes := append([]cluster.NodeID(nil), plan.OffNodes...)
+		if _, err := c.eng.At(start, func(now int64) { c.windowOpen(offNodes, now) }); err != nil {
+			return plan, err
+		}
+		if end != reservation.Horizon {
+			if _, err := c.eng.At(end, func(now int64) { c.windowClose(offNodes, now) }); err != nil {
+				return plan, err
+			}
+		}
+	}
+	// Wake the scheduler at the cap boundaries even without shutdowns:
+	// budgets change what may launch.
+	if _, err := c.eng.At(start, func(now int64) { c.capBoundary(now) }); err != nil {
+		return plan, err
+	}
+	if end != reservation.Horizon {
+		if _, err := c.eng.At(end, func(now int64) { c.capEnded(now) }); err != nil {
+			return plan, err
+		}
+	}
+	return plan, nil
+}
+
+// Run drives the simulation until the given horizon and returns the
+// run's summary. Pending events beyond the horizon stay unfired.
+func (c *Controller) Run(until int64) (metrics.Summary, error) {
+	if until <= 0 {
+		return metrics.Summary{}, fmt.Errorf("rjms: non-positive horizon %d", until)
+	}
+	c.horizon = until
+	if c.cfg.SampleInterval > 0 && !c.sampling {
+		c.sampling = true
+		if _, err := c.eng.At(0, c.sampleTick); err != nil {
+			return metrics.Summary{}, err
+		}
+	}
+	if err := c.eng.Run(until); err != nil {
+		return metrics.Summary{}, err
+	}
+	return c.rec.Finalize(0, until, c.clus.MaxPower(), c.clus.Cores()), nil
+}
+
+// Samples returns the recorded time series.
+func (c *Controller) Samples() []metrics.Sample { return c.rec.Samples() }
+
+// --- event handlers -------------------------------------------------
+
+// requestPass coalesces scheduling passes: all triggers at one timestamp
+// (e.g. a backlog of hundreds of submissions at t=0) share a single pass,
+// enqueued behind them in the same event tick.
+func (c *Controller) requestPass(now int64) {
+	if c.passQueued {
+		return
+	}
+	c.passQueued = true
+	if _, err := c.eng.At(now, func(t int64) {
+		c.passQueued = false
+		c.pass(t)
+	}); err != nil {
+		panic(fmt.Sprintf("rjms: pass scheduling: %v", err))
+	}
+}
+
+func (c *Controller) submit(j *job.Job, now int64) {
+	j.State = job.StatePending
+	c.pending = append(c.pending, j)
+	c.rec.NoteSubmit()
+	c.requestPass(now)
+}
+
+func (c *Controller) capBoundary(now int64) {
+	if c.cfg.DynamicDVFS && c.cfg.Policy.CanScale() {
+		c.throttleRunning(now)
+	}
+	if c.cfg.KillOnOverrun {
+		c.killToFit(now)
+	}
+	c.requestPass(now)
+}
+
+// capEnded fires when a powercap window closes.
+func (c *Controller) capEnded(now int64) {
+	if c.cfg.DynamicDVFS && c.cfg.Policy.CanScale() {
+		c.boostRunning(now)
+	}
+	c.requestPass(now)
+}
+
+// windowOpen powers down the reserved group; busy nodes drain first.
+func (c *Controller) windowOpen(nodes []cluster.NodeID, now int64) {
+	for _, id := range nodes {
+		switch c.clus.State(id) {
+		case cluster.StateIdle:
+			if err := c.clus.PowerOff(id); err == nil {
+				continue
+			}
+		case cluster.StateBusy:
+			c.offPending[id] = true
+		}
+	}
+	c.noteState(now)
+	c.requestPass(now)
+}
+
+// windowClose powers the group back on and releases the reservation
+// flags.
+func (c *Controller) windowClose(nodes []cluster.NodeID, now int64) {
+	for _, id := range nodes {
+		delete(c.offPending, id)
+		_ = c.clus.PowerOn(id)
+		_ = c.clus.SetReserved(id, false)
+	}
+	c.survivorFresh = false
+	c.noteState(now)
+	c.requestPass(now)
+}
+
+func (c *Controller) finish(j *job.Job, now int64, killed bool) {
+	if j.State != job.StateRunning {
+		return
+	}
+	for _, a := range j.Allocs {
+		nj := c.nodeJobs[a.Node]
+		delete(nj, j.ID)
+		rem := dvfs.Freq(0)
+		for _, f := range nj {
+			if f > rem {
+				rem = f
+			}
+		}
+		if err := c.clus.Vacate(a.Node, a.Cores, rem); err != nil {
+			panic(fmt.Sprintf("rjms: vacate inconsistency for job %d node %d: %v", j.ID, a.Node, err))
+		}
+		// Drain-to-off: reserved node freed inside its window.
+		if c.offPending[a.Node] && c.clus.State(a.Node) == cluster.StateIdle {
+			if err := c.clus.PowerOff(a.Node); err == nil {
+				delete(c.offPending, a.Node)
+			}
+		}
+	}
+	if killed {
+		j.State = job.StateKilled
+	} else {
+		j.State = job.StateCompleted
+	}
+	j.EndTime = now
+	if rs := c.runStates[j.ID]; rs != nil {
+		c.eng.Cancel(rs.endEv)
+		delete(c.runStates, j.ID)
+	}
+	delete(c.running, j.ID)
+	c.fairshare.Charge(j.User, float64(j.CoreSeconds(now)), now)
+	c.rec.NoteCompletion(killed)
+	if !killed {
+		c.rec.NoteJobDone(j.StartTime-j.Submit, now-j.StartTime)
+	}
+	c.noteState(now)
+	c.requestPass(now)
+}
+
+func (c *Controller) sampleTick(now int64) {
+	c.addSample(now)
+	next := now + c.cfg.SampleInterval
+	if next <= c.horizon {
+		if _, err := c.eng.At(next, c.sampleTick); err != nil {
+			panic(fmt.Sprintf("rjms: sample scheduling: %v", err))
+		}
+	}
+}
+
+func (c *Controller) addSample(now int64) {
+	capW := power.Watts(0)
+	if b := c.book.CapAt(now); b.IsSet() {
+		capW = b.Watts()
+	}
+	c.rec.AddSample(metrics.Sample{
+		T:           now,
+		CoresByFreq: c.clus.CoresByFreq(),
+		BusyNodes:   c.clus.Count(cluster.StateBusy),
+		IdleNodes:   c.clus.Count(cluster.StateIdle),
+		OffNodes:    c.clus.Count(cluster.StateOff),
+		OffCores:    c.clus.Count(cluster.StateOff) * c.cfg.Topology.CoresPerNode,
+		Power:       c.clus.Power(),
+		Cap:         capW,
+		Bonus:       c.clus.BonusWatts(),
+	})
+}
+
+// noteState pushes the power and busy-core integrals after any mutation
+// and, in measured mode, feeds the sensor.
+func (c *Controller) noteState(now int64) {
+	if c.estimator != nil {
+		c.estimator.Sample(c.clus.Power())
+	}
+	if err := c.rec.NotePower(now, c.clus.Power()); err != nil {
+		panic(fmt.Sprintf("rjms: power meter: %v", err))
+	}
+	if err := c.rec.NoteCores(now, c.clus.BusyCores()); err != nil {
+		panic(fmt.Sprintf("rjms: work meter: %v", err))
+	}
+}
+
+// --- scheduling -----------------------------------------------------
+
+type planned struct {
+	allocs []job.Alloc
+	nodes  []cluster.NodeID
+	freq   dvfs.Freq
+	wall   int64
+}
+
+// freeCoresUpperBound is the quick-reject bound: cores not allocated and
+// not on switched-off nodes.
+func (c *Controller) freeCoresUpperBound() int {
+	off := c.clus.Count(cluster.StateOff) * c.cfg.Topology.CoresPerNode
+	return c.clus.Cores() - c.clus.BusyCores() - off
+}
+
+// plan finds an allocation and frequency for a job, or nil. The node
+// eligibility uses the job's longest possible span (ladder minimum) so a
+// chosen allocation stays valid for any frequency the online algorithm
+// settles on. allocFail reports that the failure happened while finding
+// cores (as opposed to the power check) — the scheduling pass uses it to
+// prune same-or-larger requests within the same pass.
+func (c *Controller) plan(j *job.Job, now int64) (pl *planned, allocFail bool) {
+	if j.Cores > c.freeCoresUpperBound() {
+		return nil, true
+	}
+	wallMax := j.ScaledWalltime(c.pm.Deg, c.pm.Ladder.Min())
+	endMax := now + wallMax
+	eligible := func(id cluster.NodeID) bool {
+		return !c.book.NodeBlocked(id, now, endMax, c.cfg.ReservationLead)
+	}
+	var allocs []job.Alloc
+	if c.clus.ReservedCount() > 0 {
+		// Pack nodes earmarked for switch-off first: work there drains
+		// away before the window, saving the survivors' budget.
+		allocs = sched.AllocatePreferring(c.clus, j.Cores, eligible, c.clus.Reserved)
+	} else if c.cfg.CompactPlacement {
+		allocs = sched.AllocateCompact(c.clus, j.Cores, eligible)
+	} else {
+		allocs = sched.Allocate(c.clus, j.Cores, eligible)
+	}
+	if allocs == nil {
+		return nil, true
+	}
+	nodes := make([]cluster.NodeID, len(allocs))
+	for i, a := range allocs {
+		nodes[i] = a.Node
+	}
+	capNow := c.book.CapAt(now)
+	f, ok := core.SelectFreq(c.pm, func(f dvfs.Freq) bool {
+		end := now + j.ScaledWalltime(c.pm.Deg, f)
+		// Active cap: checked against the observed draw (Algorithm 2;
+		// exact bookkeeping, or the guarded measurement estimate).
+		if capNow.IsSet() && !capNow.Allows(c.observedPower()+c.clus.OccupyDelta(nodes, f)) {
+			return false
+		}
+		// A future window the job's walltime crosses caps the launch
+		// frequency at the window's "optimal CPU frequency" (Section
+		// IV-B): the highest rung at which every surviving node could
+		// run busy within the budget. Jobs still launch — the paper's
+		// Figure 6 shows the system "preparing itself" by running at
+		// 2.0 GHz ahead of the reservation, not by idling.
+		if fut := c.book.MinFutureCapOver(now, end, c.cfg.CapPlanningHorizon); fut.IsSet() {
+			if f > c.optimalFutureFreq(fut) {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		return nil, false
+	}
+	return &planned{allocs: allocs, nodes: nodes, freq: f, wall: j.ScaledWalltime(c.pm.Deg, f)}, false
+}
+
+func (c *Controller) commit(j *job.Job, pl *planned, now int64) {
+	for _, a := range pl.allocs {
+		if err := c.clus.Occupy(a.Node, a.Cores, pl.freq); err != nil {
+			panic(fmt.Sprintf("rjms: occupy inconsistency for job %d: %v", j.ID, err))
+		}
+		if c.nodeJobs[a.Node] == nil {
+			c.nodeJobs[a.Node] = map[job.ID]dvfs.Freq{}
+		}
+		c.nodeJobs[a.Node][j.ID] = pl.freq
+	}
+	j.State = job.StateRunning
+	j.Freq = pl.freq
+	j.StartTime = now
+	j.Allocs = pl.allocs
+	c.running[j.ID] = j
+	c.rec.NoteLaunch(pl.freq, now-j.Submit)
+
+	runFor := j.ScaledRuntime(c.pm.Deg, pl.freq)
+	ev, err := c.eng.At(now+runFor, func(t int64) { c.finish(j, t, false) })
+	if err != nil {
+		panic(fmt.Sprintf("rjms: end scheduling for job %d: %v", j.ID, err))
+	}
+	c.runStates[j.ID] = &runState{endEv: ev, remainingNominal: float64(j.Runtime), freqSince: now}
+	c.noteState(now)
+}
+
+func (c *Controller) runningView() []sched.RunningJob {
+	out := make([]sched.RunningJob, 0, len(c.running))
+	ids := make([]job.ID, 0, len(c.running))
+	for id := range c.running {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		j := c.running[id]
+		out = append(out, sched.RunningJob{
+			Cores:       j.Cores,
+			ExpectedEnd: j.StartTime + j.ScaledWalltime(c.pm.Deg, j.Freq),
+		})
+	}
+	return out
+}
+
+// pass runs one EASY-backfill scheduling cycle. Within one pass,
+// failures are memoized by core count: once an allocation (or the power
+// check) has refused a request of c cores, requests of >= c cores are
+// pruned — the cluster state only shrinks as the pass commits jobs, so
+// the pruning is sound for allocations and a SLURM-like heuristic for
+// the power check.
+func (c *Controller) pass(now int64) {
+	if len(c.pending) == 0 {
+		return
+	}
+	order := c.pending
+	if c.cfg.Priority != sched.FCFS {
+		order = sched.Order(c.pending, c.cfg.Priority, c.weights, c.fairshare, now)
+	}
+	started := map[job.ID]bool{}
+
+	shadowAt := int64(-1)
+	shadowNeed := 0
+	freeAtShadow := 0
+	minAllocFail := math.MaxInt
+	minPowerFail := math.MaxInt
+
+	tryPlan := func(j *job.Job) (*planned, bool) {
+		if j.Cores >= minAllocFail || j.Cores >= minPowerFail {
+			return nil, j.Cores >= minAllocFail
+		}
+		pl, allocFail := c.plan(j, now)
+		if pl == nil {
+			if allocFail {
+				minAllocFail = j.Cores
+			} else {
+				minPowerFail = j.Cores
+			}
+		}
+		return pl, allocFail
+	}
+
+	considered := 0
+	for _, j := range order {
+		if considered >= c.cfg.BackfillDepth {
+			break
+		}
+		considered++
+
+		if shadowAt < 0 {
+			if pl, _ := tryPlan(j); pl != nil {
+				c.commit(j, pl, now)
+				started[j.ID] = true
+				continue
+			}
+			// Head blocked: set up the EASY reservation.
+			running := c.runningView()
+			free := c.freeCoresUpperBound()
+			if at, ok := sched.ShadowTime(running, free, j.Cores, now); ok {
+				shadowAt = at
+				shadowNeed = j.Cores
+				freeAtShadow = sched.FreeCoresAt(running, free, at)
+			} else {
+				// Cannot fit even when everything drains (nodes off);
+				// backfill the rest unconstrained.
+				shadowAt = math.MaxInt64
+			}
+			continue
+		}
+
+		// Backfill candidate: must not delay the head reservation.
+		pl, _ := tryPlan(j)
+		if pl == nil {
+			continue
+		}
+		if now+pl.wall > shadowAt && shadowAt != math.MaxInt64 {
+			if freeAtShadow-j.Cores < shadowNeed {
+				continue
+			}
+			freeAtShadow -= j.Cores
+		}
+		c.commit(j, pl, now)
+		started[j.ID] = true
+	}
+
+	if len(started) > 0 {
+		kept := c.pending[:0]
+		for _, j := range c.pending {
+			if !started[j.ID] {
+				kept = append(kept, j)
+			}
+		}
+		c.pending = kept
+	}
+}
+
+// optimalFutureFreq returns the highest policy-ladder frequency at which
+// all surviving (unreserved) nodes could run busy within the future
+// budget, accounting for the shared equipment of the chassis and racks
+// that keep at least one survivor. When even the ladder minimum exceeds
+// the budget the minimum is returned: launches are then as conservative
+// as the policy allows and the active-cap check takes over once the
+// window opens.
+func (c *Controller) optimalFutureFreq(budget power.Cap) dvfs.Freq {
+	c.ensureSurvivorStats()
+	prof := c.clus.Profile()
+	for _, f := range c.pm.Ladder.Descending() {
+		projected := power.Watts(float64(c.survivorCount)*float64(prof.Busy(f))) + c.survivorOverhead
+		if budget.Allows(projected) {
+			return f
+		}
+	}
+	return c.pm.Ladder.Min()
+}
+
+// ensureSurvivorStats caches the survivor count and the shared-equipment
+// draw of groups containing at least one unreserved node; invalidated
+// whenever reservation flags change.
+func (c *Controller) ensureSurvivorStats() {
+	if c.survivorFresh {
+		return
+	}
+	topo := c.cfg.Topology
+	ov := c.clus.Overhead()
+	chassisHasSurvivor := make([]bool, topo.Chassis())
+	rackHasSurvivor := make([]bool, topo.Racks)
+	count := 0
+	c.clus.ForEach(func(n cluster.NodeInfo) bool {
+		if !n.Reserved {
+			count++
+			chassisHasSurvivor[topo.ChassisOf(n.ID)] = true
+			rackHasSurvivor[topo.RackOf(n.ID)] = true
+		}
+		return true
+	})
+	overhead := 0.0
+	for _, has := range chassisHasSurvivor {
+		if has {
+			overhead += ov.ChassisWatts
+		}
+	}
+	for _, has := range rackHasSurvivor {
+		if has {
+			overhead += ov.RackWatts
+		}
+	}
+	c.survivorCount = count
+	c.survivorOverhead = power.Watts(overhead)
+	c.survivorFresh = true
+}
+
+// killToFit implements the "extreme actions" option: terminate running
+// jobs, newest first, until the draw respects the active cap.
+func (c *Controller) killToFit(now int64) {
+	budget := c.book.CapAt(now)
+	if !budget.IsSet() || budget.Allows(c.observedPower()) {
+		return
+	}
+	victims := make([]*job.Job, 0, len(c.running))
+	for _, j := range c.running {
+		victims = append(victims, j)
+	}
+	sort.Slice(victims, func(i, k int) bool {
+		if victims[i].StartTime != victims[k].StartTime {
+			return victims[i].StartTime > victims[k].StartTime
+		}
+		return victims[i].ID > victims[k].ID
+	})
+	for _, v := range victims {
+		if budget.Allows(c.observedPower()) {
+			return
+		}
+		c.finish(v, now, true)
+	}
+}

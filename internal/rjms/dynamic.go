@@ -1,0 +1,193 @@
+package rjms
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dvfs"
+	"repro/internal/job"
+	"repro/internal/power"
+	"repro/internal/simengine"
+)
+
+// Dynamic DVFS of running jobs — the paper's first future-work item
+// (Section VIII): "dynamically change the CPU frequencies while the jobs
+// are running; this will allow nodes to adjust the power consumption
+// instantly whenever it is needed. This will eventually result into
+// faster power decrease when a powercap period is approaching and lower
+// jobs' turnaround time after a powercap period is over."
+//
+// When Config.DynamicDVFS is set (DVFS and MIX policies), the controller
+// re-clocks running jobs at cap boundaries: down, largest consumers
+// first, until the active budget is met; and back up, oldest jobs first,
+// once the window closes. Progress is accounted exactly: a job's
+// remaining nominal work shrinks with elapsed time divided by the
+// degradation factor of the frequency it ran at, and its completion
+// event is rescheduled accordingly.
+
+// runState tracks one running job's progress for re-clocking.
+type runState struct {
+	endEv            simengine.EventID
+	remainingNominal float64 // nominal-frequency seconds of work left at freqSince
+	freqSince        int64   // when the current frequency took effect
+}
+
+// reclock moves a running job to frequency f at time now, updating the
+// job's nodes, its remaining-work accounting and its completion event.
+func (c *Controller) reclock(j *job.Job, now int64, f dvfs.Freq) {
+	rs := c.runStates[j.ID]
+	if rs == nil || j.State != job.StateRunning || f == j.Freq {
+		return
+	}
+	// Consume the progress made at the old frequency.
+	elapsed := now - rs.freqSince
+	if elapsed > 0 {
+		rs.remainingNominal -= float64(elapsed) / c.pm.Deg.Factor(j.Freq)
+		if rs.remainingNominal < 0 {
+			rs.remainingNominal = 0
+		}
+	}
+	rs.freqSince = now
+	j.Freq = f
+
+	// Re-derive each hosting node's frequency.
+	for _, a := range j.Allocs {
+		nj := c.nodeJobs[a.Node]
+		nj[j.ID] = f
+		max := dvfs.Freq(0)
+		for _, jf := range nj {
+			if jf > max {
+				max = jf
+			}
+		}
+		if err := c.clus.SetFreq(a.Node, max); err != nil {
+			panic(fmt.Sprintf("rjms: reclock job %d node %d: %v", j.ID, a.Node, err))
+		}
+	}
+
+	// Reschedule completion: remaining work stretched by the new factor,
+	// rounded up so the job never finishes with work outstanding.
+	c.eng.Cancel(rs.endEv)
+	left := int64(rs.remainingNominal*c.pm.Deg.Factor(f) + 0.999999)
+	ev, err := c.eng.At(now+left, func(t int64) { c.finish(j, t, false) })
+	if err != nil {
+		panic(fmt.Sprintf("rjms: reclock end scheduling for job %d: %v", j.ID, err))
+	}
+	rs.endEv = ev
+	c.rec.NoteRescale()
+	c.noteState(now)
+}
+
+// sortedRunning returns the running jobs in a deterministic order chosen
+// by less.
+func (c *Controller) sortedRunning(less func(a, b *job.Job) bool) []*job.Job {
+	out := make([]*job.Job, 0, len(c.running))
+	for _, j := range c.running {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return less(out[i], out[k]) })
+	return out
+}
+
+// throttleRunning lowers running jobs' frequencies, one ladder rung at a
+// time — highest frequency first, then youngest — until the active cap
+// admits the cluster draw or everything sits at the policy floor.
+func (c *Controller) throttleRunning(now int64) {
+	budget := c.book.CapAt(now)
+	if !budget.IsSet() || budget.Allows(c.observedPower()) {
+		return
+	}
+	jobs := c.sortedRunning(func(a, b *job.Job) bool {
+		if a.Freq != b.Freq {
+			return a.Freq > b.Freq
+		}
+		if a.StartTime != b.StartTime {
+			return a.StartTime > b.StartTime
+		}
+		return a.ID > b.ID
+	})
+	floor := c.pm.Ladder.Min()
+	// Round-robin rung-by-rung so the slowdown spreads fairly instead of
+	// pinning a few victims to the floor.
+	for rung := 0; rung < len(c.pm.Ladder); rung++ {
+		changed := false
+		for _, j := range jobs {
+			if budget.Allows(c.observedPower()) {
+				return
+			}
+			if j.State != job.StateRunning || j.Freq <= floor {
+				continue
+			}
+			below, ok := c.pm.Ladder.Below(j.Freq)
+			if !ok {
+				continue
+			}
+			c.reclock(j, now, below)
+			changed = true
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// boostRunning raises running jobs back toward nominal frequency, oldest
+// first, while any still-active budget admits the uplift. With no active
+// cap every job returns to nominal — the paper's "lower jobs' turnaround
+// time after a powercap period is over".
+func (c *Controller) boostRunning(now int64) {
+	budget := c.book.CapAt(now)
+	jobs := c.sortedRunning(func(a, b *job.Job) bool {
+		if a.StartTime != b.StartTime {
+			return a.StartTime < b.StartTime
+		}
+		return a.ID < b.ID
+	})
+	nominal := c.pm.Ladder.Max()
+	for _, j := range jobs {
+		if j.State != job.StateRunning || j.Freq >= nominal {
+			continue
+		}
+		target := nominal
+		for target > j.Freq {
+			if !budget.IsSet() || budget.Allows(c.observedPower()+c.upliftDelta(j, target)) {
+				break
+			}
+			below, ok := c.pm.Ladder.Below(target)
+			if !ok || below <= j.Freq {
+				target = j.Freq
+				break
+			}
+			target = below
+		}
+		if target > j.Freq {
+			c.reclock(j, now, target)
+		}
+	}
+}
+
+// upliftDelta computes the extra draw of raising one running job to
+// frequency f, given the other jobs sharing its nodes.
+func (c *Controller) upliftDelta(j *job.Job, f dvfs.Freq) (d power.Watts) {
+	prof := c.clus.Profile()
+	for _, a := range j.Allocs {
+		info, err := c.clus.Info(a.Node)
+		if err != nil {
+			continue
+		}
+		maxOther := dvfs.Freq(0)
+		for id, jf := range c.nodeJobs[a.Node] {
+			if id != j.ID && jf > maxOther {
+				maxOther = jf
+			}
+		}
+		newF := f
+		if maxOther > newF {
+			newF = maxOther
+		}
+		if newF > info.Freq {
+			d += prof.Busy(newF) - prof.Busy(info.Freq)
+		}
+	}
+	return d
+}

@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/job"
+)
+
+// Allocate finds cores for a job on the cluster. It packs partially used
+// busy nodes first (cheapest under the powercap: the paper notes jobs
+// "filling partially used nodes will always pass the powercapping
+// criteria"), then idle nodes in ascending ID order. eligible filters
+// nodes (nil accepts all powered-on nodes); off nodes are never used.
+// Returns nil when the request cannot be satisfied.
+func Allocate(c *cluster.Cluster, cores int, eligible func(cluster.NodeID) bool) []job.Alloc {
+	return AllocatePreferring(c, cores, eligible, nil)
+}
+
+// AllocatePreferring is Allocate with a node preference: preferred nodes
+// are packed before the others (busy-partial first within each class).
+// The powercap controller prefers nodes earmarked for an upcoming
+// switch-off — work placed there drains away before the window while the
+// surviving nodes' power budget is saved for jobs that outlast it.
+func AllocatePreferring(c *cluster.Cluster, cores int, eligible, prefer func(cluster.NodeID) bool) []job.Alloc {
+	if cores <= 0 {
+		return nil
+	}
+	ok := eligible
+	if ok == nil {
+		ok = func(cluster.NodeID) bool { return true }
+	}
+	need := cores
+	var allocs []job.Alloc
+
+	take := func(st cluster.NodeState, preferred bool) {
+		c.ForEach(func(n cluster.NodeInfo) bool {
+			if need <= 0 {
+				return false
+			}
+			if n.State != st {
+				return true
+			}
+			if prefer != nil && prefer(n.ID) != preferred {
+				return true
+			}
+			free := c.FreeCores(n.ID)
+			if free <= 0 || !ok(n.ID) {
+				return true
+			}
+			grab := free
+			if grab > need {
+				grab = need
+			}
+			allocs = append(allocs, job.Alloc{Node: n.ID, Cores: grab})
+			need -= grab
+			return true
+		})
+	}
+	if prefer != nil {
+		take(cluster.StateBusy, true)
+		take(cluster.StateIdle, true)
+	}
+	take(cluster.StateBusy, false)
+	if need > 0 {
+		take(cluster.StateIdle, false)
+	}
+	if need > 0 {
+		return nil
+	}
+	return allocs
+}
+
+// FreeCores returns the total free cores on powered-on nodes accepted by
+// eligible (nil accepts all). Used as the quick feasibility check before
+// a full Allocate scan.
+func FreeCores(c *cluster.Cluster, eligible func(cluster.NodeID) bool) int {
+	total := 0
+	c.ForEach(func(n cluster.NodeInfo) bool {
+		if n.State == cluster.StateOff {
+			return true
+		}
+		if eligible != nil && !eligible(n.ID) {
+			return true
+		}
+		total += c.FreeCores(n.ID)
+		return true
+	})
+	return total
+}

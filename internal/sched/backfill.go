@@ -1,0 +1,52 @@
+package sched
+
+import "sort"
+
+// RunningJob is the view of a dispatched job the backfill logic needs:
+// its core count and the time the scheduler must assume it ends (start +
+// scaled walltime — the user estimate, not the actual runtime; the
+// paper's Section VII-B stresses how badly those estimates are off and
+// how that cripples backfilling).
+type RunningJob struct {
+	Cores       int
+	ExpectedEnd int64
+}
+
+// ShadowTime computes the EASY-backfill reservation point for the head
+// blocked job: the earliest instant at which at least `need` cores are
+// free, assuming running jobs release their cores at their expected ends.
+// freeNow is the currently free core count. Returns ok=false when even
+// with everything released the job does not fit (it then waits for state
+// changes such as nodes powering back on).
+func ShadowTime(running []RunningJob, freeNow, need int, now int64) (int64, bool) {
+	if need <= freeNow {
+		return now, true
+	}
+	rs := make([]RunningJob, len(running))
+	copy(rs, running)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].ExpectedEnd < rs[j].ExpectedEnd })
+	free := freeNow
+	for _, r := range rs {
+		free += r.Cores
+		if free >= need {
+			end := r.ExpectedEnd
+			if end < now {
+				end = now
+			}
+			return end, true
+		}
+	}
+	return 0, false
+}
+
+// FreeCoresAt projects how many cores are free at a future instant t,
+// given the current free count and the running set.
+func FreeCoresAt(running []RunningJob, freeNow int, t int64) int {
+	free := freeNow
+	for _, r := range running {
+		if r.ExpectedEnd <= t {
+			free += r.Cores
+		}
+	}
+	return free
+}

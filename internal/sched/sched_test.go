@@ -1,0 +1,328 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/dvfs"
+	"repro/internal/job"
+	"repro/internal/power"
+)
+
+func testCluster() *cluster.Cluster {
+	topo := cluster.Topology{Racks: 1, ChassisPerRack: 2, NodesPerChassis: 3, CoresPerNode: 4}
+	c, err := cluster.New(topo, power.CurieProfile(), cluster.CurieOverhead())
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestOrderFCFS(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: 3, Submit: 20},
+		{ID: 1, Submit: 10},
+		{ID: 2, Submit: 10},
+	}
+	got := Order(jobs, FCFS, MultifactorWeights{}, nil, 100)
+	want := []job.ID{1, 2, 3}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("order = %v %v %v, want %v", got[0].ID, got[1].ID, got[2].ID, want)
+		}
+	}
+	// Input order untouched.
+	if jobs[0].ID != 3 {
+		t.Error("Order mutated its input")
+	}
+}
+
+func TestOrderMultifactorAge(t *testing.T) {
+	w := MultifactorWeights{AgeWeight: 1000, AgeSaturation: 100}
+	jobs := []*job.Job{
+		{ID: 1, Submit: 90}, // young
+		{ID: 2, Submit: 0},  // old
+	}
+	got := Order(jobs, Multifactor, w, nil, 100)
+	if got[0].ID != 2 {
+		t.Errorf("older job should lead: got %v first", got[0].ID)
+	}
+}
+
+func TestOrderMultifactorSize(t *testing.T) {
+	w := MultifactorWeights{SizeWeight: 1000, MaxCores: 1000}
+	jobs := []*job.Job{
+		{ID: 1, Submit: 0, Cores: 10},
+		{ID: 2, Submit: 0, Cores: 900},
+	}
+	got := Order(jobs, Multifactor, w, nil, 0)
+	if got[0].ID != 2 {
+		t.Errorf("bigger job should lead with size weight: got %v first", got[0].ID)
+	}
+}
+
+func TestOrderMultifactorFairshare(t *testing.T) {
+	fs := NewFairshare(0)
+	fs.Charge("heavy", 1e6, 0)
+	w := MultifactorWeights{FairshareWeight: 1000}
+	jobs := []*job.Job{
+		{ID: 1, Submit: 0, User: "heavy"},
+		{ID: 2, Submit: 0, User: "light"},
+	}
+	got := Order(jobs, Multifactor, w, fs, 10)
+	if got[0].ID != 2 {
+		t.Errorf("light user should lead: got %v first", got[0].ID)
+	}
+}
+
+func TestOrderMultifactorTieBreak(t *testing.T) {
+	w := DefaultMultifactor(1000)
+	jobs := []*job.Job{
+		{ID: 2, Submit: 5, Cores: 10, User: "u"},
+		{ID: 1, Submit: 5, Cores: 10, User: "u"},
+	}
+	got := Order(jobs, Multifactor, w, nil, 10)
+	if got[0].ID != 1 {
+		t.Errorf("equal-priority tie should break by ID: got %v first", got[0].ID)
+	}
+}
+
+func TestFairshareDecay(t *testing.T) {
+	fs := NewFairshare(100)
+	fs.Charge("u", 1000, 0)
+	got := fs.Usage("u", 100)
+	if math.Abs(got-500) > 1e-9 {
+		t.Errorf("usage after one half-life = %v, want 500", got)
+	}
+	if got := fs.Usage("u", 300); math.Abs(got-125) > 1e-9 {
+		t.Errorf("usage after three half-lives = %v, want 125", got)
+	}
+	// Charging re-anchors the decay clock.
+	fs.Charge("u", 0, 200)
+	if got := fs.Usage("u", 300); math.Abs(got-125) > 1e-9 {
+		t.Errorf("re-anchored usage = %v, want 125", got)
+	}
+}
+
+func TestFairshareNoDecay(t *testing.T) {
+	var fs Fairshare // zero value usable
+	fs.Charge("u", 100, 0)
+	if got := fs.Usage("u", 1e9); got != 100 {
+		t.Errorf("undecayed usage = %v, want 100", got)
+	}
+	if got := fs.MaxUsage(0); got != 100 {
+		t.Errorf("MaxUsage = %v, want 100", got)
+	}
+	empty := NewFairshare(0)
+	if got := empty.MaxUsage(0); got != 1 {
+		t.Errorf("empty MaxUsage = %v, want 1", got)
+	}
+}
+
+func TestAllocateIdleNodes(t *testing.T) {
+	c := testCluster()
+	allocs := Allocate(c, 6, nil)
+	if allocs == nil {
+		t.Fatal("allocation failed on an empty cluster")
+	}
+	total := 0
+	for _, a := range allocs {
+		total += a.Cores
+	}
+	if total != 6 {
+		t.Errorf("allocated %d cores, want 6", total)
+	}
+	// Deterministic: lowest IDs first.
+	if allocs[0].Node != 0 || allocs[0].Cores != 4 || allocs[1].Node != 1 || allocs[1].Cores != 2 {
+		t.Errorf("allocation = %+v", allocs)
+	}
+}
+
+func TestAllocatePrefersPartiallyUsed(t *testing.T) {
+	c := testCluster()
+	// Node 3 has 2 cores busy, 2 free.
+	if err := c.Occupy(3, 2, dvfs.F2700); err != nil {
+		t.Fatal(err)
+	}
+	allocs := Allocate(c, 2, nil)
+	if len(allocs) != 1 || allocs[0].Node != 3 {
+		t.Errorf("allocation should fill the busy node first: %+v", allocs)
+	}
+}
+
+func TestAllocateSkipsIneligibleAndOff(t *testing.T) {
+	c := testCluster()
+	if err := c.PowerOff(0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := Allocate(c, 4, func(id cluster.NodeID) bool { return id != 1 })
+	if allocs == nil {
+		t.Fatal("allocation failed")
+	}
+	for _, a := range allocs {
+		if a.Node == 0 || a.Node == 1 {
+			t.Errorf("allocated forbidden node %d", a.Node)
+		}
+	}
+}
+
+func TestAllocateInsufficient(t *testing.T) {
+	c := testCluster() // 24 cores total
+	if got := Allocate(c, 25, nil); got != nil {
+		t.Errorf("oversized request satisfied: %+v", got)
+	}
+	if got := Allocate(c, 0, nil); got != nil {
+		t.Errorf("zero request returned %+v", got)
+	}
+}
+
+func TestAllocateExactFit(t *testing.T) {
+	c := testCluster()
+	got := Allocate(c, 24, nil)
+	if got == nil {
+		t.Fatal("whole-machine allocation failed")
+	}
+	if len(got) != 6 {
+		t.Errorf("allocation spans %d nodes, want 6", len(got))
+	}
+}
+
+func TestFreeCores(t *testing.T) {
+	c := testCluster()
+	if got := FreeCores(c, nil); got != 24 {
+		t.Errorf("FreeCores = %d, want 24", got)
+	}
+	if err := c.Occupy(0, 3, dvfs.F2700); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PowerOff(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := FreeCores(c, nil); got != 24-3-4 {
+		t.Errorf("FreeCores = %d, want 17", got)
+	}
+	if got := FreeCores(c, func(id cluster.NodeID) bool { return id != 1 }); got != 13 {
+		t.Errorf("filtered FreeCores = %d, want 13", got)
+	}
+}
+
+func TestShadowTime(t *testing.T) {
+	running := []RunningJob{
+		{Cores: 10, ExpectedEnd: 300},
+		{Cores: 5, ExpectedEnd: 100},
+		{Cores: 5, ExpectedEnd: 200},
+	}
+	// Need 12, have 4 free: after t=100 we have 9, after t=200 we have 14.
+	at, ok := ShadowTime(running, 4, 12, 50)
+	if !ok || at != 200 {
+		t.Errorf("ShadowTime = %d,%v want 200,true", at, ok)
+	}
+	// Fits immediately.
+	at, ok = ShadowTime(running, 20, 12, 50)
+	if !ok || at != 50 {
+		t.Errorf("immediate ShadowTime = %d,%v", at, ok)
+	}
+	// Never fits.
+	if _, ok := ShadowTime(running, 4, 100, 50); ok {
+		t.Error("impossible demand reported satisfiable")
+	}
+	// Expected end in the past clamps to now.
+	at, ok = ShadowTime([]RunningJob{{Cores: 10, ExpectedEnd: 10}}, 0, 5, 50)
+	if !ok || at != 50 {
+		t.Errorf("past-end ShadowTime = %d,%v want 50,true", at, ok)
+	}
+	// Does not mutate its input order.
+	if running[0].ExpectedEnd != 300 {
+		t.Error("ShadowTime mutated the running slice")
+	}
+}
+
+func TestFreeCoresAt(t *testing.T) {
+	running := []RunningJob{
+		{Cores: 10, ExpectedEnd: 300},
+		{Cores: 5, ExpectedEnd: 100},
+	}
+	if got := FreeCoresAt(running, 2, 99); got != 2 {
+		t.Errorf("FreeCoresAt(99) = %d", got)
+	}
+	if got := FreeCoresAt(running, 2, 100); got != 7 {
+		t.Errorf("FreeCoresAt(100) = %d", got)
+	}
+	if got := FreeCoresAt(running, 2, 1000); got != 17 {
+		t.Errorf("FreeCoresAt(1000) = %d", got)
+	}
+}
+
+// Property: ShadowTime is the earliest feasible instant — one second
+// earlier the cores are insufficient (when the shadow lies after now).
+func TestShadowTimeEarliest(t *testing.T) {
+	f := func(cores []uint8, ends []uint16, freeNow, need uint8) bool {
+		n := len(cores)
+		if len(ends) < n {
+			n = len(ends)
+		}
+		running := make([]RunningJob, 0, n)
+		for i := 0; i < n; i++ {
+			running = append(running, RunningJob{
+				Cores:       int(cores[i]%32) + 1,
+				ExpectedEnd: int64(ends[i]),
+			})
+		}
+		now := int64(10)
+		at, ok := ShadowTime(running, int(freeNow%16), int(need%64)+1, now)
+		if !ok {
+			// Verify it truly never fits.
+			return FreeCoresAt(running, int(freeNow%16), math.MaxInt64/2) < int(need%64)+1
+		}
+		if at < now {
+			return false
+		}
+		if FreeCoresAt(running, int(freeNow%16), at) < int(need%64)+1 {
+			return false
+		}
+		if at > now {
+			return FreeCoresAt(running, int(freeNow%16), at-1) < int(need%64)+1
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: allocations never exceed node capacity and sum exactly to the
+// request.
+func TestAllocateProperty(t *testing.T) {
+	f := func(busy [6]uint8, req uint8) bool {
+		c := testCluster()
+		for i, b := range busy {
+			n := int(b) % 5
+			if n > 0 {
+				if err := c.Occupy(cluster.NodeID(i), n, dvfs.F2700); err != nil {
+					return false
+				}
+			}
+		}
+		need := int(req)%30 + 1
+		allocs := Allocate(c, need, nil)
+		free := FreeCores(c, nil)
+		if allocs == nil {
+			return need > free
+		}
+		sum := 0
+		seen := map[cluster.NodeID]bool{}
+		for _, a := range allocs {
+			if a.Cores <= 0 || a.Cores > c.FreeCores(a.Node) || seen[a.Node] {
+				return false
+			}
+			seen[a.Node] = true
+			sum += a.Cores
+		}
+		return sum == need
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

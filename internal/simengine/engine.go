@@ -1,0 +1,177 @@
+// Package simengine is a deterministic discrete-event simulation core. It
+// replaces the paper's real-time "multiple-slurmd" emulation (Section VII-A)
+// with virtual time: the controller logic runs unchanged, but hours of
+// replayed workload execute in milliseconds and every run is exactly
+// reproducible. Events at equal timestamps fire in scheduling order (FIFO),
+// which gives the deterministic tie-breaking the replay methodology of
+// Section VII-B relies on ("as the replay is deterministic, we can compare
+// the different replays").
+package simengine
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time in seconds since the start of the simulation.
+type Time = int64
+
+// Handler is an event callback; it receives the current virtual time.
+type Handler func(now Time)
+
+type event struct {
+	at       Time
+	seq      uint64 // FIFO tie-break for equal timestamps
+	fn       Handler
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// EventID allows cancelling a scheduled event.
+type EventID struct{ ev *event }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine owns the virtual clock and the pending event set. It is not safe
+// for concurrent use; run independent engines in parallel instead.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	running bool
+	stopped bool
+	fired   uint64
+}
+
+// New returns an engine whose clock starts at time start.
+func New(start Time) *Engine {
+	return &Engine{now: start}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns how many events are scheduled and not yet fired or
+// cancelled.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn at absolute time at. Scheduling in the past (before the
+// current clock) is an error: a simulator that silently reorders causality
+// produces wrong replays.
+func (e *Engine) At(at Time, fn Handler) (EventID, error) {
+	if fn == nil {
+		return EventID{}, fmt.Errorf("simengine: nil handler")
+	}
+	if at < e.now {
+		return EventID{}, fmt.Errorf("simengine: schedule at t=%d before now t=%d", at, e.now)
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return EventID{ev: ev}, nil
+}
+
+// After schedules fn d seconds from now; d must be >= 0.
+func (e *Engine) After(d int64, fn Handler) (EventID, error) {
+	if d < 0 {
+		return EventID{}, fmt.Errorf("simengine: negative delay %d", d)
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an already
+// fired or already cancelled event is a harmless no-op.
+func (e *Engine) Cancel(id EventID) {
+	if id.ev != nil {
+		id.ev.canceled = true
+	}
+}
+
+// Stop makes Run return after the currently executing handler.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue drains, Stop is
+// called, or the next event lies strictly beyond horizon (which then
+// becomes the clock value). A negative horizon means "no horizon".
+// Handlers may schedule further events, including at the current time.
+func (e *Engine) Run(horizon Time) error {
+	if e.running {
+		return fmt.Errorf("simengine: Run reentered")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	for len(e.events) > 0 && !e.stopped {
+		ev := e.events[0]
+		if ev.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if horizon >= 0 && ev.at > horizon {
+			e.now = horizon
+			return nil
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		e.fired++
+		ev.fn(e.now)
+	}
+	if horizon >= 0 && e.now < horizon {
+		e.now = horizon
+	}
+	return nil
+}
+
+// Step fires exactly the next pending event (if any) and reports whether
+// one fired.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn(e.now)
+		return true
+	}
+	return false
+}

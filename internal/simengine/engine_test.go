@@ -1,0 +1,248 @@
+package simengine
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunOrders(t *testing.T) {
+	e := New(0)
+	var got []int64
+	for _, at := range []Time{30, 10, 20} {
+		at := at
+		if _, err := e.At(at, func(now Time) { got = append(got, now) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now = %d, want 30", e.Now())
+	}
+	if e.Fired() != 3 {
+		t.Errorf("Fired = %d, want 3", e.Fired())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := New(0)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := e.At(5, func(Time) { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Errorf("same-time events fired out of FIFO order: %v", got)
+	}
+}
+
+func TestSchedulingFromHandler(t *testing.T) {
+	e := New(0)
+	var hits []Time
+	if _, err := e.At(1, func(now Time) {
+		hits = append(hits, now)
+		if _, err := e.After(2, func(now Time) { hits = append(hits, now) }); err != nil {
+			t.Error(err)
+		}
+		// Same-time chaining is allowed.
+		if _, err := e.After(0, func(now Time) { hits = append(hits, now) }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{1, 1, 3}
+	if len(hits) != 3 || hits[0] != want[0] || hits[1] != want[1] || hits[2] != want[2] {
+		t.Errorf("hits = %v, want %v", hits, want)
+	}
+}
+
+func TestPastSchedulingRejected(t *testing.T) {
+	e := New(100)
+	if _, err := e.At(99, func(Time) {}); err == nil {
+		t.Error("past event accepted")
+	}
+	if _, err := e.After(-1, func(Time) {}); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if _, err := e.At(100, nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(0)
+	fired := false
+	id, err := e.At(5, func(Time) { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Cancel(id)
+	e.Cancel(id) // double cancel is a no-op
+	e.Cancel(EventID{})
+	if err := e.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	e := New(0)
+	var fired []Time
+	for _, at := range []Time{5, 15, 25} {
+		if _, err := e.At(at, func(now Time) { fired = append(fired, now) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want two events", fired)
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now = %d, want horizon 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	// Resume to drain the rest.
+	if err := e.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 || fired[2] != 25 {
+		t.Errorf("after resume fired = %v", fired)
+	}
+}
+
+func TestHorizonAdvancesEmptyClock(t *testing.T) {
+	e := New(0)
+	if err := e.Run(42); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 42 {
+		t.Errorf("Now = %d, want 42", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New(0)
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		if _, err := e.At(i, func(Time) {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("count = %d, want 3 (stopped)", count)
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := New(0)
+	n := 0
+	for i := Time(1); i <= 3; i++ {
+		if _, err := e.At(i, func(Time) { n++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !e.Step() || n != 1 {
+		t.Fatalf("first Step: n=%d", n)
+	}
+	if !e.Step() || !e.Step() {
+		t.Fatal("steps failed")
+	}
+	if e.Step() {
+		t.Error("Step on empty queue reported true")
+	}
+	if n != 3 {
+		t.Errorf("n = %d", n)
+	}
+}
+
+func TestStepSkipsCancelled(t *testing.T) {
+	e := New(0)
+	fired := false
+	id, _ := e.At(1, func(Time) {})
+	if _, err := e.At(2, func(Time) { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	e.Cancel(id)
+	if !e.Step() {
+		t.Fatal("Step found nothing")
+	}
+	if !fired {
+		t.Error("Step fired the cancelled event instead of the live one")
+	}
+}
+
+func TestRunReentry(t *testing.T) {
+	e := New(0)
+	var inner error
+	if _, err := e.At(1, func(Time) { inner = e.Run(-1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	if inner == nil {
+		t.Error("reentrant Run accepted")
+	}
+}
+
+// Property: any multiset of event times fires in sorted order.
+func TestFiringOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := New(0)
+		var fired []Time
+		for _, at := range times {
+			if _, err := e.At(Time(at), func(now Time) { fired = append(fired, now) }); err != nil {
+				return false
+			}
+		}
+		if err := e.Run(-1); err != nil {
+			return false
+		}
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,350 @@
+// Package slurmconf reads and writes a SLURM-flavoured configuration
+// format for the powercap controller, mirroring how Section V of the
+// paper surfaces its mechanism: per-node watt parameters (IdleWatts,
+// MaxWatts, DownWatts, CpuFreqXWatts), the PowerCap controller state, the
+// SchedulerParameters powercap mode (SHUT/DVFS/MIX) and the topology
+// layout. The format is line-oriented `Key=Value` with `#` comments,
+// case-insensitive keys, and watt lists as `freq:watts` pairs.
+//
+// Example:
+//
+//	# curie.conf
+//	ClusterName=curie
+//	Topology=56x5x18
+//	CoresPerNode=16
+//	DownWatts=14
+//	IdleWatts=117
+//	CpuFreqWatts=1200:193,1400:213,1600:234,1800:248,2000:269,2200:289,2400:317,2700:358
+//	ChassisWatts=248
+//	RackWatts=900
+//	SchedulerParameters=powercap_policy=MIX,bf_max_job_test=100
+//	ReservationLead=1800
+//	CapPlanningHorizon=3600
+package slurmconf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/power"
+	"repro/internal/rjms"
+)
+
+// File is the parsed configuration.
+type File struct {
+	ClusterName string
+	Config      rjms.Config
+}
+
+// Parse reads the configuration format from r. Unknown keys are an
+// error (the paper's deployment depends on exact parameter names).
+func Parse(r io.Reader) (*File, error) {
+	f := &File{}
+	freqWatts := map[dvfs.Freq]power.Watts{}
+	var downW, idleW power.Watts
+	haveProfile := false
+	var overhead cluster.Overhead
+	haveOverhead := false
+
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if i := strings.Index(text, "#"); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		eq := strings.Index(text, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("slurmconf: line %d: missing '=' in %q", line, text)
+		}
+		key := strings.ToLower(strings.TrimSpace(text[:eq]))
+		val := strings.TrimSpace(text[eq+1:])
+		var err error
+		switch key {
+		case "clustername":
+			f.ClusterName = val
+		case "topology":
+			f.Config.Topology, err = parseTopology(val, f.Config.Topology.CoresPerNode)
+		case "corespernode":
+			var n int
+			n, err = strconv.Atoi(val)
+			f.Config.Topology.CoresPerNode = n
+		case "downwatts":
+			downW, err = parseWatts(val)
+			haveProfile = true
+		case "idlewatts":
+			idleW, err = parseWatts(val)
+			haveProfile = true
+		case "cpufreqwatts":
+			err = parseFreqWatts(val, freqWatts)
+			haveProfile = true
+		case "chassiswatts":
+			var w power.Watts
+			w, err = parseWatts(val)
+			overhead.ChassisWatts = float64(w)
+			haveOverhead = true
+		case "rackwatts":
+			var w power.Watts
+			w, err = parseWatts(val)
+			overhead.RackWatts = float64(w)
+			haveOverhead = true
+		case "schedulerparameters":
+			err = parseSchedulerParameters(val, &f.Config)
+		case "reservationlead":
+			f.Config.ReservationLead, err = strconv.ParseInt(val, 10, 64)
+		case "capplanninghorizon":
+			f.Config.CapPlanningHorizon, err = strconv.ParseInt(val, 10, 64)
+		case "sampleinterval":
+			f.Config.SampleInterval, err = strconv.ParseInt(val, 10, 64)
+		case "degminfull":
+			f.Config.DegMinFull, err = strconv.ParseFloat(val, 64)
+		case "degminmix":
+			f.Config.DegMinMix, err = strconv.ParseFloat(val, 64)
+		case "mixfloor":
+			f.Config.MixFloor, err = dvfs.ParseFreq(val)
+		case "killonoverrun":
+			f.Config.KillOnOverrun, err = strconv.ParseBool(val)
+		case "dynamicdvfs":
+			f.Config.DynamicDVFS, err = strconv.ParseBool(val)
+		case "measuredpowernoise":
+			f.Config.MeasuredPowerNoise, err = strconv.ParseFloat(val, 64)
+		case "measuredpowerseed":
+			f.Config.MeasuredPowerSeed, err = strconv.ParseInt(val, 10, 64)
+		case "measuredpowerwindow":
+			f.Config.MeasuredPowerWindow, err = strconv.Atoi(val)
+		case "measuredpowerguard":
+			f.Config.MeasuredPowerGuard, err = strconv.ParseFloat(val, 64)
+		default:
+			return nil, fmt.Errorf("slurmconf: line %d: unknown key %q", line, key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("slurmconf: line %d (%s): %v", line, key, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("slurmconf: %v", err)
+	}
+
+	if haveProfile {
+		if len(freqWatts) == 0 {
+			return nil, fmt.Errorf("slurmconf: DownWatts/IdleWatts given without CpuFreqWatts")
+		}
+		prof, err := power.NewProfile(downW, idleW, freqWatts)
+		if err != nil {
+			return nil, fmt.Errorf("slurmconf: %v", err)
+		}
+		f.Config.Profile = prof
+	}
+	if haveOverhead {
+		f.Config.Overhead = &overhead
+	}
+	return f, nil
+}
+
+func parseWatts(s string) (power.Watts, error) {
+	s = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), "W"))
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative wattage %v", v)
+	}
+	return power.Watts(v), nil
+}
+
+func parseTopology(s string, coresPerNode int) (cluster.Topology, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 3 && len(parts) != 4 {
+		return cluster.Topology{}, fmt.Errorf("topology %q, want RACKSxCHASSISxNODES[xCORES]", s)
+	}
+	nums := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return cluster.Topology{}, err
+		}
+		nums[i] = n
+	}
+	t := cluster.Topology{Racks: nums[0], ChassisPerRack: nums[1], NodesPerChassis: nums[2], CoresPerNode: coresPerNode}
+	if len(nums) == 4 {
+		t.CoresPerNode = nums[3]
+	}
+	if t.CoresPerNode == 0 {
+		t.CoresPerNode = 16
+	}
+	return t, t.Validate()
+}
+
+func parseFreqWatts(s string, out map[dvfs.Freq]power.Watts) error {
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		kv := strings.Split(pair, ":")
+		if len(kv) != 2 {
+			return fmt.Errorf("CpuFreqWatts entry %q, want freq:watts", pair)
+		}
+		fr, err := dvfs.ParseFreq(kv[0])
+		if err != nil {
+			return err
+		}
+		w, err := parseWatts(kv[1])
+		if err != nil {
+			return err
+		}
+		out[fr] = w
+	}
+	if len(out) == 0 {
+		return fmt.Errorf("empty CpuFreqWatts")
+	}
+	return nil
+}
+
+func parseSchedulerParameters(s string, cfg *rjms.Config) error {
+	for _, opt := range strings.Split(s, ",") {
+		opt = strings.TrimSpace(opt)
+		if opt == "" {
+			continue
+		}
+		kv := strings.SplitN(opt, "=", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("SchedulerParameters option %q, want key=value", opt)
+		}
+		key := strings.ToLower(strings.TrimSpace(kv[0]))
+		val := strings.TrimSpace(kv[1])
+		switch key {
+		case "powercap_policy":
+			p, err := core.ParsePolicy(val)
+			if err != nil {
+				return err
+			}
+			cfg.Policy = p
+		case "bf_max_job_test":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return err
+			}
+			cfg.BackfillDepth = n
+		case "powercap_scattered":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return err
+			}
+			cfg.ScatteredShutdown = b
+		case "topology_compact":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return err
+			}
+			cfg.CompactPlacement = b
+		default:
+			return fmt.Errorf("unknown SchedulerParameters option %q", key)
+		}
+	}
+	return nil
+}
+
+// Write serializes a configuration in the same format Parse accepts.
+func Write(w io.Writer, f *File) error {
+	bw := bufio.NewWriter(w)
+	cfg := f.Config
+	if f.ClusterName != "" {
+		fmt.Fprintf(bw, "ClusterName=%s\n", f.ClusterName)
+	}
+	if cfg.Topology != (cluster.Topology{}) {
+		fmt.Fprintf(bw, "Topology=%dx%dx%dx%d\n",
+			cfg.Topology.Racks, cfg.Topology.ChassisPerRack,
+			cfg.Topology.NodesPerChassis, cfg.Topology.CoresPerNode)
+	}
+	if p := cfg.Profile; p != nil {
+		fmt.Fprintf(bw, "DownWatts=%.0f\n", float64(p.Down()))
+		fmt.Fprintf(bw, "IdleWatts=%.0f\n", float64(p.Idle()))
+		freqs := p.Frequencies()
+		sort.Slice(freqs, func(i, j int) bool { return freqs[i] < freqs[j] })
+		entries := make([]string, len(freqs))
+		for i, fr := range freqs {
+			entries[i] = fmt.Sprintf("%d:%.0f", int(fr), float64(p.Busy(fr)))
+		}
+		fmt.Fprintf(bw, "CpuFreqWatts=%s\n", strings.Join(entries, ","))
+	}
+	if ov := cfg.Overhead; ov != nil {
+		fmt.Fprintf(bw, "ChassisWatts=%.0f\n", ov.ChassisWatts)
+		fmt.Fprintf(bw, "RackWatts=%.0f\n", ov.RackWatts)
+	}
+	params := []string{fmt.Sprintf("powercap_policy=%s", cfg.Policy)}
+	if cfg.BackfillDepth != 0 {
+		params = append(params, fmt.Sprintf("bf_max_job_test=%d", cfg.BackfillDepth))
+	}
+	if cfg.ScatteredShutdown {
+		params = append(params, "powercap_scattered=true")
+	}
+	if cfg.CompactPlacement {
+		params = append(params, "topology_compact=true")
+	}
+	fmt.Fprintf(bw, "SchedulerParameters=%s\n", strings.Join(params, ","))
+	if cfg.ReservationLead != 0 {
+		fmt.Fprintf(bw, "ReservationLead=%d\n", cfg.ReservationLead)
+	}
+	if cfg.CapPlanningHorizon != 0 {
+		fmt.Fprintf(bw, "CapPlanningHorizon=%d\n", cfg.CapPlanningHorizon)
+	}
+	if cfg.SampleInterval != 0 {
+		fmt.Fprintf(bw, "SampleInterval=%d\n", cfg.SampleInterval)
+	}
+	if cfg.DegMinFull != 0 {
+		fmt.Fprintf(bw, "DegMinFull=%g\n", cfg.DegMinFull)
+	}
+	if cfg.DegMinMix != 0 {
+		fmt.Fprintf(bw, "DegMinMix=%g\n", cfg.DegMinMix)
+	}
+	if cfg.MixFloor != 0 {
+		fmt.Fprintf(bw, "MixFloor=%d\n", int(cfg.MixFloor))
+	}
+	if cfg.KillOnOverrun {
+		fmt.Fprintf(bw, "KillOnOverrun=true\n")
+	}
+	if cfg.DynamicDVFS {
+		fmt.Fprintf(bw, "DynamicDVFS=true\n")
+	}
+	if cfg.MeasuredPowerNoise > 0 {
+		fmt.Fprintf(bw, "MeasuredPowerNoise=%g\n", cfg.MeasuredPowerNoise)
+		if cfg.MeasuredPowerSeed != 0 {
+			fmt.Fprintf(bw, "MeasuredPowerSeed=%d\n", cfg.MeasuredPowerSeed)
+		}
+		if cfg.MeasuredPowerWindow != 0 {
+			fmt.Fprintf(bw, "MeasuredPowerWindow=%d\n", cfg.MeasuredPowerWindow)
+		}
+		if cfg.MeasuredPowerGuard != 0 {
+			fmt.Fprintf(bw, "MeasuredPowerGuard=%g\n", cfg.MeasuredPowerGuard)
+		}
+	}
+	return bw.Flush()
+}
+
+// CurieFile returns the configuration of the paper's testbed.
+func CurieFile(policy core.Policy) *File {
+	prof := power.CurieProfile()
+	ov := cluster.CurieOverhead()
+	return &File{
+		ClusterName: "curie",
+		Config: rjms.Config{
+			Topology: cluster.CurieTopology(),
+			Profile:  prof,
+			Overhead: &ov,
+			Policy:   policy,
+		},
+	}
+}

@@ -1,0 +1,168 @@
+package slurmconf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/rjms"
+)
+
+const curieConf = `
+# Curie powercap configuration (Section V parameters)
+ClusterName=curie
+Topology=56x5x18
+CoresPerNode=16
+DownWatts=14
+IdleWatts=117
+CpuFreqWatts=1200:193,1400:213,1600:234,1800:248,2000:269,2200:289,2400:317,2700:358
+ChassisWatts=248
+RackWatts=900
+SchedulerParameters=powercap_policy=MIX,bf_max_job_test=100
+ReservationLead=1800   # drain lead
+CapPlanningHorizon=3600
+DynamicDVFS=true
+`
+
+func TestParseCurieConf(t *testing.T) {
+	f, err := Parse(strings.NewReader(curieConf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ClusterName != "curie" {
+		t.Errorf("cluster name = %q", f.ClusterName)
+	}
+	cfg := f.Config
+	if cfg.Topology != cluster.CurieTopology() {
+		t.Errorf("topology = %+v", cfg.Topology)
+	}
+	if cfg.Profile == nil {
+		t.Fatal("no profile parsed")
+	}
+	if cfg.Profile.Down() != 14 || cfg.Profile.Idle() != 117 || cfg.Profile.Max() != 358 {
+		t.Errorf("profile endpoints wrong: %v %v %v",
+			cfg.Profile.Down(), cfg.Profile.Idle(), cfg.Profile.Max())
+	}
+	if got := cfg.Profile.Busy(dvfs.F2000); got != 269 {
+		t.Errorf("Busy(2.0) = %v", got)
+	}
+	if cfg.Overhead == nil || cfg.Overhead.ChassisWatts != 248 || cfg.Overhead.RackWatts != 900 {
+		t.Errorf("overhead = %+v", cfg.Overhead)
+	}
+	if cfg.Policy != core.PolicyMix {
+		t.Errorf("policy = %v", cfg.Policy)
+	}
+	if cfg.BackfillDepth != 100 {
+		t.Errorf("backfill depth = %d", cfg.BackfillDepth)
+	}
+	if cfg.ReservationLead != 1800 || cfg.CapPlanningHorizon != 3600 {
+		t.Errorf("lead/horizon = %d/%d", cfg.ReservationLead, cfg.CapPlanningHorizon)
+	}
+	if !cfg.DynamicDVFS {
+		t.Error("DynamicDVFS not parsed")
+	}
+	// The parsed config must build a working controller.
+	ctl, err := rjms.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Cluster().Nodes() != 5040 {
+		t.Errorf("controller nodes = %d", ctl.Cluster().Nodes())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing equals":      "ClusterName curie\n",
+		"unknown key":         "Frobnicate=1\n",
+		"bad topology":        "Topology=56x5\n",
+		"bad freq pair":       "CpuFreqWatts=1200-193\n",
+		"negative watts":      "IdleWatts=-3\nCpuFreqWatts=2700:358\nDownWatts=1\n",
+		"profile w/o freqs":   "IdleWatts=117\nDownWatts=14\n",
+		"bad sched param":     "SchedulerParameters=warp_speed=9\n",
+		"malformed sched":     "SchedulerParameters=powercap_policy\n",
+		"bad policy":          "SchedulerParameters=powercap_policy=TURBO\n",
+		"bad bool":            "KillOnOverrun=maybe\n",
+		"bad lead":            "ReservationLead=soon\n",
+		"non-monotone watts":  "DownWatts=14\nIdleWatts=117\nCpuFreqWatts=1200:300,2700:200\n",
+		"bad chassis watts":   "ChassisWatts=heavy\n",
+		"bad mix floor":       "MixFloor=fast\n",
+		"bad backfill number": "SchedulerParameters=bf_max_job_test=lots\n",
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestParseTopologyWithCores(t *testing.T) {
+	f, err := Parse(strings.NewReader("Topology=2x3x4x8\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cluster.Topology{Racks: 2, ChassisPerRack: 3, NodesPerChassis: 4, CoresPerNode: 8}
+	if f.Config.Topology != want {
+		t.Errorf("topology = %+v, want %+v", f.Config.Topology, want)
+	}
+	// Three-part form defaults cores to 16.
+	f, err = Parse(strings.NewReader("Topology=2x3x4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Config.Topology.CoresPerNode != 16 {
+		t.Errorf("default cores = %d", f.Config.Topology.CoresPerNode)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := CurieFile(core.PolicyShut)
+	orig.Config.BackfillDepth = 50
+	orig.Config.ScatteredShutdown = true
+	orig.Config.ReservationLead = 900
+	orig.Config.KillOnOverrun = true
+	orig.Config.DynamicDVFS = true
+	orig.Config.DegMinFull = 1.63
+	orig.Config.MixFloor = dvfs.F2000
+
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, buf.String())
+	}
+	if back.ClusterName != "curie" {
+		t.Errorf("name = %q", back.ClusterName)
+	}
+	a, b := orig.Config, back.Config
+	if a.Topology != b.Topology || a.Policy != b.Policy ||
+		a.BackfillDepth != b.BackfillDepth || a.ScatteredShutdown != b.ScatteredShutdown ||
+		a.ReservationLead != b.ReservationLead || a.KillOnOverrun != b.KillOnOverrun ||
+		a.DynamicDVFS != b.DynamicDVFS || a.DegMinFull != b.DegMinFull || a.MixFloor != b.MixFloor {
+		t.Errorf("config mismatch:\n  wrote %+v\n  read  %+v", a, b)
+	}
+	for _, fr := range a.Profile.Frequencies() {
+		if a.Profile.Busy(fr) != b.Profile.Busy(fr) {
+			t.Errorf("profile mismatch at %v", fr)
+		}
+	}
+	if b.Overhead.ChassisWatts != 248 || b.Overhead.RackWatts != 900 {
+		t.Errorf("overhead mismatch: %+v", b.Overhead)
+	}
+}
+
+func TestWattSuffixAndComments(t *testing.T) {
+	in := "IdleWatts=117W # inline comment\nDownWatts=14 W\nCpuFreqWatts=2700:358W\n"
+	f, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Config.Profile.Idle() != 117 || f.Config.Profile.Down() != 14 {
+		t.Errorf("suffixed watts parsed wrong: %+v", f.Config.Profile)
+	}
+}

@@ -1,0 +1,275 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"repro/internal/job"
+)
+
+// Kind selects one of the four replayed workload intervals of Section
+// VII-B.
+type Kind int
+
+const (
+	// MedianJob is the 5-hour interval with jobs representative of the
+	// whole Curie workload.
+	MedianJob Kind = iota
+	// SmallJob is the 5-hour interval with more small jobs.
+	SmallJob
+	// BigJob is the 5-hour interval with more big jobs.
+	BigJob
+	// Day24h is the 24-hour representative interval.
+	Day24h
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case MedianJob:
+		return "medianjob"
+	case SmallJob:
+		return "smalljob"
+	case BigJob:
+		return "bigjob"
+	case Day24h:
+		return "24h"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind parses the interval names used on command lines.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "medianjob", "median":
+		return MedianJob, nil
+	case "smalljob", "small":
+		return SmallJob, nil
+	case "bigjob", "big":
+		return BigJob, nil
+	case "24h", "day":
+		return Day24h, nil
+	}
+	return 0, fmt.Errorf("trace: unknown workload kind %q", s)
+}
+
+// Duration returns the interval length in seconds (5 h, or 24 h for
+// Day24h).
+func (k Kind) Duration() int64 {
+	if k == Day24h {
+		return 24 * 3600
+	}
+	return 5 * 3600
+}
+
+// Config parameterizes the synthetic Curie workload generator.
+type Config struct {
+	Kind Kind
+	Seed int64
+	// DurationSec is the interval length; 0 means the kind's default.
+	DurationSec int64
+	// Cores is the machine size; 0 means Curie's 80640.
+	Cores int
+	// LoadFactor scales the submitted work relative to the machine's
+	// capacity over the interval. The paper's intervals are overloaded:
+	// "there are always at least enough jobs in the submission queues
+	// to fill a second cluster of the same size", i.e. a factor of 2.
+	// 0 means 2.0.
+	LoadFactor float64
+	// BacklogFraction is the fraction of jobs already queued at t=0
+	// (the "interval initial state"); 0 means 0.3.
+	BacklogFraction float64
+	// Users is the distinct-user count for fairshare; 0 means 150.
+	Users int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DurationSec == 0 {
+		c.DurationSec = c.Kind.Duration()
+	}
+	if c.Cores == 0 {
+		c.Cores = 80640
+	}
+	if c.LoadFactor == 0 {
+		c.LoadFactor = 2.0
+	}
+	if c.BacklogFraction == 0 {
+		c.BacklogFraction = 0.3
+	}
+	if c.Users == 0 {
+		c.Users = 150
+	}
+	return c
+}
+
+// class mix per workload kind; fractions are by job count.
+type mix struct{ small, medium float64 } // huge = 1 - small - medium
+
+func kindMix(k Kind) mix {
+	switch k {
+	case SmallJob:
+		return mix{small: 0.85, medium: 0.1495}
+	case BigJob:
+		return mix{small: 0.52, medium: 0.475}
+	default: // MedianJob, Day24h: the paper's whole-workload shape
+		return mix{small: 0.69, medium: 0.309}
+	}
+}
+
+// Generate synthesizes a deterministic workload interval. The same Config
+// always yields the identical job list.
+func Generate(cfg Config) ([]*job.Job, error) {
+	c := cfg.withDefaults()
+	if c.DurationSec <= 0 {
+		return nil, fmt.Errorf("trace: non-positive duration %d", c.DurationSec)
+	}
+	if c.Cores <= 0 {
+		return nil, fmt.Errorf("trace: non-positive machine size %d", c.Cores)
+	}
+	if c.LoadFactor < 0 || c.BacklogFraction < 0 || c.BacklogFraction > 1 {
+		return nil, fmt.Errorf("trace: invalid load %v / backlog %v", c.LoadFactor, c.BacklogFraction)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	m := kindMix(c.Kind)
+	targetWork := c.LoadFactor * float64(c.Cores) * float64(c.DurationSec)
+	hugeThreshold := float64(c.Cores) * 3600
+
+	var jobs []*job.Job
+	var work float64
+	id := job.ID(1)
+	const maxJobs = 200000 // hard safety bound
+	for work < targetWork && len(jobs) < maxJobs {
+		j := sampleJob(rng, c, m, hugeThreshold)
+		j.ID = id
+		id++
+		work += float64(j.Cores) * float64(j.Runtime)
+		jobs = append(jobs, j)
+	}
+
+	// Arrival process: a backlog at t=0 plus uniform arrivals over the
+	// first 90% of the interval so the queue never drains.
+	for _, j := range jobs {
+		if rng.Float64() < c.BacklogFraction {
+			j.Submit = 0
+		} else {
+			j.Submit = int64(rng.Float64() * 0.9 * float64(c.DurationSec))
+		}
+	}
+	sort.SliceStable(jobs, func(i, k int) bool {
+		if jobs[i].Submit != jobs[k].Submit {
+			return jobs[i].Submit < jobs[k].Submit
+		}
+		return jobs[i].ID < jobs[k].ID
+	})
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: generator produced invalid job: %v", err)
+		}
+	}
+	return jobs, nil
+}
+
+// logUniform samples exp(U(ln lo, ln hi)).
+func logUniform(rng *rand.Rand, lo, hi float64) float64 {
+	return math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
+}
+
+// bits16 returns how many power-of-two size buckets fit below n
+// (1 -> 1, 256..511 -> 9), capped at 9 to mirror the 1..256 ladder.
+func bits16(n int) int {
+	b := 1
+	for v := 2; v <= n && b < 9; v *= 2 {
+		b++
+	}
+	return b
+}
+
+var walltimeMenu = []int64{1800, 3600, 7200, 14400, 43200, 86400}
+
+// pickWalltime returns a requested time from the common menu, at least
+// min, biased towards 24 h — the source of the four-orders-of-magnitude
+// overestimation of Section VII-B.
+func pickWalltime(rng *rand.Rand, min int64) int64 {
+	if rng.Float64() < 0.55 {
+		if min <= 86400 {
+			return 86400
+		}
+		return min
+	}
+	for _, w := range walltimeMenu {
+		if w >= min && rng.Float64() < 0.5 {
+			return w
+		}
+	}
+	if min < 86400 {
+		return 86400
+	}
+	return min
+}
+
+func sampleJob(rng *rand.Rand, c Config, m mix, hugeThreshold float64) *job.Job {
+	u := rng.Float64()
+	j := &job.Job{User: "user" + strconv.Itoa(rng.Intn(c.Users))}
+	// Size classes scale with the machine so reduced-scale replays keep
+	// the Curie shape: "small" tops out at 512 cores of 80640 (0.64%),
+	// "medium" spans roughly 0.64%-10% of the machine.
+	smallMax := c.Cores * 512 / 80640
+	if smallMax < 1 {
+		smallMax = 1
+	}
+	switch {
+	case u < m.small:
+		// Small and short: <512-equivalent cores, <2 minutes.
+		j.Cores = 1 << rng.Intn(bits16(smallMax))
+		if rng.Float64() < 0.2 {
+			j.Cores = smallMax - smallMax/50
+		}
+		j.Runtime = int64(logUniform(rng, 2, 115))
+	case u < m.small+m.medium:
+		// Medium: fractions of a percent to ~10% of the machine.
+		// Runtimes stay short — the Curie trace is dominated by jobs of
+		// seconds to minutes (median walltime overestimation of 12000x
+		// against mostly 24 h requests), with a thin tail up to an
+		// hour.
+		j.Cores = smallMax << rng.Intn(5)
+		j.Runtime = int64(logUniform(rng, 30, 3600))
+	default:
+		// Huge: "more than the equivalent of the whole cluster for 1
+		// hour" — cores x runtime above the cluster-hour. These are
+		// wide-and-long rather than machine-wide: a tenth to a third
+		// of the machine for many hours.
+		width := 10 - rng.Intn(8) // machine/10 .. machine/3
+		j.Cores = c.Cores / width
+		j.Cores -= j.Cores % 16
+		if j.Cores <= 0 {
+			j.Cores = 16
+		}
+		minRun := hugeThreshold/float64(j.Cores) + 1
+		j.Runtime = int64(minRun * (1.05 + rng.Float64()))
+	}
+	if j.Cores > c.Cores {
+		j.Cores = c.Cores
+	}
+	if j.Runtime < 1 {
+		j.Runtime = 1
+	}
+	j.Walltime = pickWalltime(rng, j.Runtime)
+	if j.Walltime < j.Runtime {
+		j.Walltime = j.Runtime
+	}
+	return j
+}
+
+// Workloads returns the four paper intervals with deterministic seeds.
+func Workloads() []Config {
+	return []Config{
+		{Kind: MedianJob, Seed: 1001},
+		{Kind: SmallJob, Seed: 1002},
+		{Kind: BigJob, Seed: 1003},
+		{Kind: Day24h, Seed: 1004},
+	}
+}

@@ -1,0 +1,224 @@
+// Package trace reads and writes workloads in the Standard Workload Format
+// (SWF) of the Parallel Workloads Archive — the format the Curie trace the
+// paper replays is published in — and synthesizes Curie-like workload
+// intervals with the statistical features Section VII-B reports: an
+// overloaded submission queue, a large majority of small short jobs, a tiny
+// fraction of huge jobs, and walltime requests that overestimate runtimes
+// by four orders of magnitude.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/job"
+)
+
+// swf field indices (0-based) of the 18-column Standard Workload Format.
+const (
+	swfJobID = iota
+	swfSubmit
+	swfWait
+	swfRunTime
+	swfAllocProcs
+	swfAvgCPU
+	swfUsedMem
+	swfReqProcs
+	swfReqTime
+	swfReqMem
+	swfStatus
+	swfUserID
+	swfGroupID
+	swfExecutable
+	swfQueue
+	swfPartition
+	swfPreceding
+	swfThinkTime
+	swfFields
+)
+
+// ReadSWF parses an SWF stream into jobs. Header/comment lines start with
+// ';'. Jobs with unknown (-1) runtimes or processor counts are skipped, as
+// the paper's replay does. The requested time falls back to the runtime
+// when absent. Submit times are kept as-is (seconds).
+func ReadSWF(r io.Reader) ([]*job.Job, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []*job.Job
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, ";") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < swfThinkTime+1 && len(fields) < 5 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want at least 5", line, len(fields))
+		}
+		get := func(i int) (int64, error) {
+			if i >= len(fields) {
+				return -1, nil
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return 0, fmt.Errorf("trace: line %d field %d: %v", line, i+1, err)
+			}
+			return int64(v), nil
+		}
+		id, err := get(swfJobID)
+		if err != nil {
+			return nil, err
+		}
+		submit, err := get(swfSubmit)
+		if err != nil {
+			return nil, err
+		}
+		run, err := get(swfRunTime)
+		if err != nil {
+			return nil, err
+		}
+		procs, err := get(swfAllocProcs)
+		if err != nil {
+			return nil, err
+		}
+		reqProcs, err := get(swfReqProcs)
+		if err != nil {
+			return nil, err
+		}
+		reqTime, err := get(swfReqTime)
+		if err != nil {
+			return nil, err
+		}
+		user, err := get(swfUserID)
+		if err != nil {
+			return nil, err
+		}
+
+		if procs <= 0 {
+			procs = reqProcs
+		}
+		if run < 0 || procs <= 0 {
+			continue // incomplete record, mirroring the replay filter
+		}
+		if reqTime < run {
+			reqTime = run
+		}
+		if submit < 0 {
+			submit = 0
+		}
+		out = append(out, &job.Job{
+			ID:       job.ID(id),
+			User:     "user" + strconv.FormatInt(user, 10),
+			Cores:    int(procs),
+			Submit:   submit,
+			Runtime:  run,
+			Walltime: reqTime,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %v", err)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Submit != out[j].Submit {
+			return out[i].Submit < out[j].Submit
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// WriteSWF serializes jobs as SWF with a minimal header. Unknown fields
+// are written as -1 per the SWF convention.
+func WriteSWF(w io.Writer, jobs []*job.Job, comment string) error {
+	bw := bufio.NewWriter(w)
+	if comment != "" {
+		for _, l := range strings.Split(comment, "\n") {
+			if _, err := fmt.Fprintf(bw, "; %s\n", l); err != nil {
+				return err
+			}
+		}
+	}
+	for _, j := range jobs {
+		user := int64(-1)
+		if n, err := strconv.ParseInt(strings.TrimPrefix(j.User, "user"), 10, 64); err == nil {
+			user = n
+		}
+		// job submit wait run procs avgcpu mem reqprocs reqtime reqmem
+		// status uid gid exe queue partition preceding think
+		if _, err := fmt.Fprintf(bw, "%d %d -1 %d %d -1 -1 %d %d -1 1 %d -1 -1 -1 -1 -1 -1\n",
+			j.ID, j.Submit, j.Runtime, j.Cores, j.Cores, j.Walltime, user); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Stats summarizes a workload the way Section VII-B characterizes the
+// Curie trace.
+type Stats struct {
+	Jobs            int
+	TotalCoreSec    int64   // sum cores*runtime
+	SmallShort      float64 // fraction with <512 cores and <2 min runtime
+	Huge            float64 // fraction with cores*runtime > 80640*3600
+	MedianOverEst   float64 // median walltime/runtime (runtime > 0 only)
+	MeanOverEst     float64 // mean walltime/runtime
+	MaxCores        int
+	HorizonSec      int64 // last submit time
+	BacklogAtuZero  int   // jobs submitted at t=0 (initial queue)
+	DistinctUsers   int
+	ZeroRuntimeJobs int
+}
+
+// Summarize computes workload statistics. hugeCoreSec is the core-seconds
+// threshold classifying a job as "huge" (the paper: more than the whole
+// cluster for one hour, i.e. 80640*3600 for Curie).
+func Summarize(jobs []*job.Job, hugeCoreSec int64) Stats {
+	var s Stats
+	s.Jobs = len(jobs)
+	users := map[string]bool{}
+	var ratios []float64
+	var sumRatio float64
+	for _, j := range jobs {
+		cs := int64(j.Cores) * j.Runtime
+		s.TotalCoreSec += cs
+		if j.Cores < 512 && j.Runtime < 120 {
+			s.SmallShort++
+		}
+		if cs > hugeCoreSec {
+			s.Huge++
+		}
+		if j.Runtime > 0 {
+			r := float64(j.Walltime) / float64(j.Runtime)
+			ratios = append(ratios, r)
+			sumRatio += r
+		} else {
+			s.ZeroRuntimeJobs++
+		}
+		if j.Cores > s.MaxCores {
+			s.MaxCores = j.Cores
+		}
+		if j.Submit > s.HorizonSec {
+			s.HorizonSec = j.Submit
+		}
+		if j.Submit == 0 {
+			s.BacklogAtuZero++
+		}
+		users[j.User] = true
+	}
+	if s.Jobs > 0 {
+		s.SmallShort /= float64(s.Jobs)
+		s.Huge /= float64(s.Jobs)
+	}
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		s.MedianOverEst = ratios[len(ratios)/2]
+		s.MeanOverEst = sumRatio / float64(len(ratios))
+	}
+	s.DistinctUsers = len(users)
+	return s
+}
