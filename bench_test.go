@@ -17,6 +17,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dvfs"
+	"repro/internal/experiment"
 	"repro/internal/figures"
 	"repro/internal/model"
 	"repro/internal/power"
@@ -217,6 +218,65 @@ func BenchmarkAblationBackfillDepth(b *testing.B) {
 	s := replay.Fig6Scenario(benchRacks)
 	s.BackfillDepth = 10 // starved backfill, the paper's observed pathology
 	runScenario(b, s)
+}
+
+// --- Parallel sweep engine -------------------------------------------
+
+// sweepBenchGrid is the experiment-engine benchmark grid: 2 workloads x
+// (uncapped baseline + 2 caps x 3 policies) = 14 configurations on a
+// 2-rack machine — big enough that the worker pool has real work to
+// balance, small enough for `go test -bench Sweep` to stay quick.
+func sweepBenchGrid() experiment.Grid {
+	return experiment.Grid{
+		Name: "bench",
+		Workloads: []trace.Config{
+			{Kind: trace.SmallJob, Seed: 1002},
+			{Kind: trace.MedianJob, Seed: 1001},
+		},
+		CapFractions: []float64{0, 0.6, 0.4},
+		Policies:     []core.Policy{core.PolicyShut, core.PolicyDvfs, core.PolicyMix},
+		Base:         replay.Scenario{ScaleRacks: 2},
+	}
+}
+
+// BenchmarkSweep measures the parallel sweep engine: the serial
+// baseline against 4-worker and GOMAXPROCS pools over the same
+// 14-configuration grid. Every variant must aggregate to the identical
+// fingerprint — the engine's determinism contract — and the reported
+// speedup metric is the wall-clock ratio the worker pool achieves
+// (bounded by the machine's core count; ~1.0 on a single-CPU runner).
+func BenchmarkSweep(b *testing.B) {
+	grid := sweepBenchGrid()
+	scens := grid.Scenarios()
+	if len(scens) < 12 {
+		b.Fatalf("grid has %d configurations, want >= 12", len(scens))
+	}
+	refFP := ""
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"workers4", 4},
+		{"workersMax", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var t experiment.Table
+			for i := 0; i < b.N; i++ {
+				t = experiment.Runner{Workers: bc.workers}.Run(grid.Name, scens)
+			}
+			if errs := t.Errs(); len(errs) > 0 {
+				b.Fatal(errs[0])
+			}
+			if fp := t.Fingerprint(); refFP == "" {
+				refFP = fp
+			} else if fp != refFP {
+				b.Fatalf("aggregated metrics differ from serial reference at %d workers", t.Workers)
+			}
+			b.ReportMetric(float64(len(t.Rows)), "configs")
+			b.ReportMetric(t.Speedup(), "speedup")
+		})
+	}
 }
 
 // --- Micro-benchmarks of the hot paths -------------------------------

@@ -2,30 +2,39 @@
 //
 // Usage:
 //
-//	expfig -fig 2|3|4|5|6|7a|7b|8|claims|ablation|all [-racks 56] [-workers 0]
+//	expfig -fig 2|3|4|5|6|7a|7b|8|claims|ablation|sweep|all [-racks 56] [-workers 0]
 //
-// Figures 2-5 are static tables derived from the hardware model; 6-8 and
-// the Section VII-C claims replay full workloads (use -racks to shrink
-// the machine for quick looks).
+// Figures 2-5 are static tables derived from the hardware model; 6-8,
+// the Section VII-C claims, the ablations and the full sweep replay
+// whole workloads (use -racks to shrink the machine for quick looks).
+// Every multi-scenario artifact runs through the parallel sweep engine
+// of internal/experiment: one independent controller per scenario,
+// fanned out across -workers goroutines with deterministic results.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/figures"
 	"repro/internal/replay"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which artifact: 2|3|4|5|6|7a|7b|8|claims|ablation|all")
+		fig     = flag.String("fig", "all", "which artifact: 2|3|4|5|6|7a|7b|8|claims|ablation|sweep|all")
 		racks   = flag.Int("racks", 56, "machine size in racks for the replayed figures")
 		workers = flag.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS)")
 		width   = flag.Int("width", 96, "chart width")
 		height  = flag.Int("height", 14, "chart height")
+		csvOut  = flag.String("csv", "", "write the sweep summary table as CSV to this file")
+		jsonOut = flag.String("json", "", "write the sweep results as JSON to this file")
 	)
 	flag.Parse()
 
@@ -41,6 +50,15 @@ func main() {
 		}
 		fmt.Print(s)
 		printed = true
+	}
+	// sweep runs a scenario list through the experiment engine and
+	// fails fast on any cell error.
+	sweep := func(name string, scens []replay.Scenario) experiment.Table {
+		t := experiment.Runner{Workers: *workers}.Run(name, scens)
+		if errs := t.Errs(); len(errs) > 0 {
+			fail(errs[0])
+		}
+		return t
 	}
 
 	if want("2") {
@@ -79,25 +97,80 @@ func main() {
 		show("Figure 7b: smalljob workload, DVFS policy, 40% cap\n\n" +
 			figures.TimeSeries(r, *width, *height))
 	}
+	var lastSweep *experiment.Table
 	if want("8") {
-		rs := replay.RunAll(replay.Fig8Scenarios(scale), *workers)
+		t := sweep("fig8", replay.Fig8Scenarios(scale))
+		lastSweep = &t
+		rs := t.Results()
 		show(figures.Fig8(rs) + "\n" + figures.SummaryTable(rs))
 	}
 	if want("claims") {
-		rs := replay.RunAll(replay.Claims24hScenarios(scale), *workers)
+		t := sweep("claims", replay.Claims24hScenarios(scale))
+		lastSweep = &t
 		show("Section VII-C 24 h claims (SHUT vs DVFS vs MIX vs IDLE at 40%)\n\n" +
-			figures.SummaryTable(rs))
+			figures.SummaryTable(t.Results()))
 	}
 	if want("ablation") {
 		scens := append(replay.AblationGroupingScenarios(scale), replay.AblationMixFloorScenarios(scale)...)
 		scens = append(scens, replay.AblationDynamicDVFSScenarios(scale)...)
-		rs := replay.RunAll(scens, *workers)
+		t := sweep("ablation", scens)
+		lastSweep = &t
 		show("Ablations: grouped vs scattered shutdown; MIX floor vs full-range DVFS;\n" +
-			"static vs dynamic DVFS\n\n" + figures.SummaryTable(rs))
+			"static vs dynamic DVFS\n\n" + figures.SummaryTable(t.Results()))
+	}
+	if *fig == "sweep" {
+		// The full evaluation grid in one command: every workload
+		// interval x every cap level x every applicable policy.
+		grid := experiment.Grid{
+			Name: "full-sweep",
+			Workloads: []trace.Config{
+				{Kind: trace.BigJob, Seed: 1003},
+				{Kind: trace.MedianJob, Seed: 1001},
+				{Kind: trace.SmallJob, Seed: 1002},
+				{Kind: trace.Day24h, Seed: 1004},
+			},
+			CapFractions: []float64{0, 0.8, 0.6, 0.4},
+			Policies:     []core.Policy{core.PolicyShut, core.PolicyDvfs, core.PolicyMix},
+			Base:         replay.Scenario{ScaleRacks: scale},
+		}
+		t := sweep(grid.Name, grid.Scenarios())
+		lastSweep = &t
+		show(t.ASCII(40))
 	}
 	if !printed {
 		fail(fmt.Errorf("unknown figure %q", *fig))
 	}
+	if *csvOut != "" || *jsonOut != "" {
+		if lastSweep == nil {
+			fail(fmt.Errorf("-csv/-json export sweep results, but -fig %s ran no sweep (use 8, claims, ablation or sweep)", *fig))
+		}
+		// With -fig all, several sweeps run; the export covers the last
+		// one, so name it.
+		if *csvOut != "" {
+			if err := writeFile(*csvOut, lastSweep.WriteCSV); err != nil {
+				fail(err)
+			}
+			fmt.Printf("sweep summary CSV (%s) written to %s\n", lastSweep.Name, *csvOut)
+		}
+		if *jsonOut != "" {
+			if err := writeFile(*jsonOut, lastSweep.WriteJSON); err != nil {
+				fail(err)
+			}
+			fmt.Printf("sweep JSON (%s) written to %s\n", lastSweep.Name, *jsonOut)
+		}
+	}
+}
+
+func writeFile(path string, fn func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

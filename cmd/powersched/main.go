@@ -1,20 +1,31 @@
-// Command powersched replays one workload scenario end to end: it
+// Command powersched replays workload scenarios end to end: it
 // generates (or loads) a Curie-like workload, runs the powercap-aware
 // RJMS under the chosen policy and cap, and prints the Figure 6/7 style
 // utilization and power charts plus the run summary.
+//
+// -policy and -cap accept comma-separated lists; more than one
+// combination switches to sweep mode, where every (policy x cap) cell
+// runs in parallel through the internal/experiment engine and the
+// result is the aggregated comparison table instead of a single run's
+// charts.
 //
 // Usage:
 //
 //	powersched -kind 24h -policy MIX -cap 0.4 [-racks 56] [-seed 1004] \
 //	           [-swf trace.swf] [-kill] [-scattered] [-lead 0] [-width 100]
+//	powersched -kind 24h -policy SHUT,DVFS,MIX -cap 0.4,0.6,0.8 -workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/figures"
 	"repro/internal/replay"
 	"repro/internal/slurmconf"
@@ -24,8 +35,8 @@ import (
 func main() {
 	var (
 		kind      = flag.String("kind", "medianjob", "workload kind: medianjob|smalljob|bigjob|24h")
-		policy    = flag.String("policy", "SHUT", "powercap policy: NONE|SHUT|DVFS|MIX|IDLE")
-		capFrac   = flag.Float64("cap", 0.6, "powercap fraction of max power (>=1 disables)")
+		policy    = flag.String("policy", "SHUT", "powercap policies, comma separated: NONE|SHUT|DVFS|MIX|IDLE")
+		capList   = flag.String("cap", "0.6", "powercap fractions of max power, comma separated (>=1 disables)")
 		racks     = flag.Int("racks", 56, "machine size in racks (56 = full Curie)")
 		seed      = flag.Int64("seed", 1001, "workload seed")
 		kill      = flag.Bool("kill", false, "kill jobs when the cap activates above the draw")
@@ -35,8 +46,9 @@ func main() {
 		width     = flag.Int("width", 96, "chart width")
 		height    = flag.Int("height", 16, "chart height")
 		dynamic   = flag.Bool("dynamic", false, "re-clock running jobs at cap boundaries (Section VIII extension)")
-		jsonOut   = flag.String("json", "", "write the run summary as JSON to this file")
-		csvOut    = flag.String("csv", "", "write the time series as CSV to this file")
+		workers   = flag.Int("workers", 0, "sweep mode: parallel workers (0 = GOMAXPROCS)")
+		jsonOut   = flag.String("json", "", "write the run summary (or the sweep results) as JSON to this file")
+		csvOut    = flag.String("csv", "", "write the time series (or the sweep summary table) as CSV to this file")
 		confPath  = flag.String("conf", "", "print the controller configuration of this run as a slurmconf file and exit")
 		swfPath   = flag.String("swf", "", "replay this SWF trace instead of the synthetic workload")
 		duration  = flag.Int64("duration", 0, "replayed interval seconds (default: the workload kind's length)")
@@ -45,23 +57,22 @@ func main() {
 
 	k, err := trace.ParseKind(*kind)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fail(err)
 	}
-	p, err := core.ParsePolicy(*policy)
+	policies, err := parsePolicies(*policy)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fail(err)
+	}
+	caps, err := parseCaps(*capList)
+	if err != nil {
+		fail(err)
 	}
 	scaleRacks := 0
 	if *racks != 56 {
 		scaleRacks = *racks
 	}
-	s := replay.Scenario{
-		Name:            fmt.Sprintf("%s/%d%%/%s", k, int(*capFrac*100), p),
+	base := replay.Scenario{
 		Workload:        trace.Config{Kind: k, Seed: *seed, DurationSec: *duration},
-		Policy:          p,
-		CapFraction:     *capFrac,
 		ScaleRacks:      scaleRacks,
 		KillOnOverrun:   *kill,
 		Scattered:       *scattered,
@@ -69,54 +80,126 @@ func main() {
 		PlanningHorizon: *horizon,
 		DynamicDVFS:     *dynamic,
 	}
+	swfLabel := ""
 	if *swfPath != "" {
 		f, err := os.Open(*swfPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		jobs, err := trace.ReadSWF(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
-		s.Jobs = jobs
-		s.Name = fmt.Sprintf("%s/%d%%/%s", *swfPath, int(*capFrac*100), p)
+		base.Jobs = jobs
+		swfLabel = *swfPath
 		fmt.Printf("loaded %d jobs from %s\n", len(jobs), *swfPath)
 	}
+
 	if *confPath != "" {
-		f := slurmconf.CurieFile(p)
-		f.Config.Topology = s.Machine()
+		f := slurmconf.CurieFile(policies[0])
+		f.Config.Topology = base.Machine()
 		f.Config.KillOnOverrun = *kill
 		f.Config.ScatteredShutdown = *scattered
 		f.Config.ReservationLead = *lead
 		f.Config.CapPlanningHorizon = *horizon
 		f.Config.DynamicDVFS = *dynamic
-		if err := writeFile(*confPath, func(w *os.File) error {
+		if err := writeFile(*confPath, func(w io.Writer) error {
 			return slurmconf.Write(w, f)
 		}); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("configuration written to %s\n", *confPath)
 		return
 	}
+
+	if len(policies)*len(caps) > 1 {
+		runSweep(base, policies, caps, swfLabel, *workers, *csvOut, *jsonOut)
+		return
+	}
+	runSingle(base, policies[0], caps[0], swfLabel, *width, *height, *csvOut, *jsonOut)
+}
+
+// runSweep fans the (policy x cap) grid out across the worker pool and
+// prints the aggregated comparison. -csv/-json switch meaning here:
+// they export the sweep table, not a single run's series.
+func runSweep(base replay.Scenario, policies []core.Policy, caps []float64, swfLabel string, workers int, csvOut, jsonOut string) {
+	grid := experiment.Grid{
+		Name:         "powersched",
+		Workloads:    []trace.Config{base.Workload},
+		CapFractions: caps,
+		Policies:     policies,
+		Base:         base,
+	}
+	scens := grid.Scenarios()
+	if swfLabel != "" {
+		// The cells replay the loaded SWF jobs, not the synthetic kind
+		// — name them after the trace file like single-run mode does.
+		for i := range scens {
+			s := &scens[i]
+			if s.Capped() {
+				s.Name = fmt.Sprintf("%s/%d%%/%s", swfLabel, int(s.CapFraction*100+0.5), s.Policy)
+			} else {
+				s.Name = fmt.Sprintf("%s/100%%/None", swfLabel)
+			}
+		}
+	}
+	fmt.Printf("sweeping %d scenarios on %d racks (%d nodes)...\n",
+		len(scens), base.Machine().Racks, base.Machine().Nodes())
+	t := experiment.Runner{
+		Workers: workers,
+		OnResult: func(done, total int, r experiment.Result) {
+			status := "ok"
+			if r.Err != nil {
+				status = "FAILED: " + r.Err.Error()
+			}
+			fmt.Printf("  [%d/%d] %-28s %v (%s)\n", done, total, r.Scenario.Name, r.Elapsed.Round(1e6), status)
+		},
+	}.Run(grid.Name, scens)
+	fmt.Println()
+	fmt.Print(t.ASCII(40))
+	if csvOut != "" {
+		if err := writeFile(csvOut, t.WriteCSV); err != nil {
+			fail(err)
+		}
+		fmt.Printf("sweep summary CSV written to %s\n", csvOut)
+	}
+	if jsonOut != "" {
+		if err := writeFile(jsonOut, t.WriteJSON); err != nil {
+			fail(err)
+		}
+		fmt.Printf("sweep JSON written to %s\n", jsonOut)
+	}
+	if errs := t.Errs(); len(errs) > 0 {
+		fail(errs[0])
+	}
+}
+
+// runSingle is the classic one-scenario replay with the full chart
+// output.
+func runSingle(base replay.Scenario, p core.Policy, capFrac float64, swfLabel string, width, height int, csvOut, jsonOut string) {
+	s := base
+	s.Policy = p
+	s.CapFraction = capFrac
+	label := s.Workload.Kind.String()
+	if swfLabel != "" {
+		label = swfLabel
+	}
+	s.Name = fmt.Sprintf("%s/%d%%/%s", label, int(capFrac*100), p)
 	fmt.Printf("replaying %s on %d racks (%d nodes)...\n", s.Name, s.Machine().Racks, s.Machine().Nodes())
 	r := replay.Run(s)
 	if r.Err != nil {
-		fmt.Fprintln(os.Stderr, r.Err)
-		os.Exit(1)
+		fail(r.Err)
 	}
 	if s.Capped() {
 		start, end := s.Window()
 		fmt.Printf("powercap window: [%d, %d) at %.0f%% of %v\n",
-			start, end, *capFrac*100, r.MaxPower)
+			start, end, capFrac*100, r.MaxPower)
 		fmt.Printf("offline plan: %v, %d nodes reserved for switch-off (saving %v, needed %v)\n",
 			r.Plan.Mechanism, len(r.Plan.OffNodes), r.Plan.PlannedSaving, r.Plan.NeededSaving)
 	}
 	fmt.Println()
-	fmt.Print(figures.TimeSeries(r, *width, *height))
+	fmt.Print(figures.TimeSeries(r, width, height))
 	fmt.Println()
 	fmt.Println("summary:", r.Summary)
 	fmt.Printf("normalized: energy=%.3f work=%.3f launched=%.3f mean-wait=%.0fs\n",
@@ -125,27 +208,55 @@ func main() {
 	if r.Summary.Rescales > 0 {
 		fmt.Printf("dynamic re-clocks: %d\n", r.Summary.Rescales)
 	}
-	if *jsonOut != "" {
-		if err := writeFile(*jsonOut, func(w *os.File) error {
+	if jsonOut != "" {
+		if err := writeFile(jsonOut, func(w io.Writer) error {
 			return replay.WriteJSON(w, []replay.Result{r})
 		}); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
-		fmt.Printf("summary JSON written to %s\n", *jsonOut)
+		fmt.Printf("summary JSON written to %s\n", jsonOut)
 	}
-	if *csvOut != "" {
-		if err := writeFile(*csvOut, func(w *os.File) error {
+	if csvOut != "" {
+		if err := writeFile(csvOut, func(w io.Writer) error {
 			return replay.WriteSeriesCSV(w, r.Samples)
 		}); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
-		fmt.Printf("time series CSV written to %s\n", *csvOut)
+		fmt.Printf("time series CSV written to %s\n", csvOut)
 	}
 }
 
-func writeFile(path string, fn func(*os.File) error) error {
+func parsePolicies(s string) ([]core.Policy, error) {
+	var out []core.Policy
+	for _, part := range strings.Split(s, ",") {
+		p, err := core.ParsePolicy(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no policies given")
+	}
+	return out, nil
+}
+
+func parseCaps(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad cap fraction %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no cap fractions given")
+	}
+	return out, nil
+}
+
+func writeFile(path string, fn func(w io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -155,4 +266,9 @@ func writeFile(path string, fn func(*os.File) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

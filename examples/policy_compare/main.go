@@ -1,14 +1,15 @@
 // Policy comparison: a reduced-scale Figure 8 — the three 5-hour
-// workload intervals under every policy/cap combination, run in parallel
-// on a worker pool, summarized as the paper's normalized energy / jobs /
-// work bars.
+// workload intervals under every policy/cap combination, fanned out on
+// the internal/experiment sweep engine and summarized as the paper's
+// normalized energy / jobs / work bars plus the sweep's parallel
+// speedup accounting.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"time"
 
+	"repro/internal/experiment"
 	"repro/internal/figures"
 	"repro/internal/replay"
 )
@@ -21,16 +22,15 @@ func main() {
 	scens := replay.Fig8Scenarios(*racks)
 	fmt.Printf("running %d scenarios on a %d-node machine...\n",
 		len(scens), scens[0].Machine().Nodes())
-	start := time.Now()
-	results := replay.RunAll(scens, *workers)
-	fmt.Printf("done in %v\n\n", time.Since(start).Round(time.Millisecond))
+	t := experiment.Runner{Workers: *workers}.Run("policy-compare", scens)
+	fmt.Printf("done in %v with %d workers (serial cost %v, speedup %.2fx)\n\n",
+		t.Elapsed.Round(1e6), t.Workers, t.SerialCost().Round(1e6), t.Speedup())
 
-	for _, r := range results {
-		if r.Err != nil {
-			fmt.Printf("%s failed: %v\n", r.Scenario.Name, r.Err)
-			return
-		}
+	if errs := t.Errs(); len(errs) > 0 {
+		fmt.Printf("sweep failed: %v\n", errs[0])
+		return
 	}
+	results := t.Results()
 	fmt.Print(figures.Fig8(results))
 	fmt.Println()
 	fmt.Print(figures.SummaryTable(results))

@@ -1,1 +1,21 @@
+// Package core implements the paper's contribution: the power-consumption
+// adaptive scheduling strategy of Sections IV-VI. It is split the way the
+// paper splits it:
+//
+//   - an offline part (Algorithm 1, offline.go) that runs when a powercap
+//     reservation is created and plans grouped node switch-offs so the
+//     chassis/rack "power bonus" of Section III-B is harvested, and
+//   - an online part (Algorithm 2, online.go) that runs at job-allocation
+//     time and picks the highest CPU frequency keeping the cluster inside
+//     the power budget.
+//
+// Three production policies are provided — SHUT, DVFS and MIX — plus the
+// NONE baseline and the IDLE fallback the paper evaluates ("DVFS and
+// switch-off mechanisms deactivated: the only solution is to let nodes
+// idle"). The policy types and their ladder/degradation bindings live in
+// policy.go.
+//
+// This file intentionally carries only the package documentation: the
+// package splits one algorithm across offline.go / online.go / policy.go,
+// and no single one of those is the natural home for the overview.
 package core

@@ -1,18 +1,3 @@
-// Package core implements the paper's contribution: the power-consumption
-// adaptive scheduling strategy of Sections IV-VI. It is split the way the
-// paper splits it:
-//
-//   - an offline part (Algorithm 1) that runs when a powercap reservation
-//     is created and plans grouped node switch-offs so the chassis/rack
-//     "power bonus" of Section III-B is harvested, and
-//   - an online part (Algorithm 2) that runs at job-allocation time and
-//     picks the highest CPU frequency keeping the cluster inside the power
-//     budget.
-//
-// Three production policies are provided — SHUT, DVFS and MIX — plus the
-// NONE baseline and the IDLE fallback the paper evaluates ("DVFS and
-// switch-off mechanisms deactivated: the only solution is to let nodes
-// idle").
 package core
 
 import (

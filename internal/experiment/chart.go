@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ascii"
+)
+
+// ASCII renders the sweep as text: a header with the parallel-run
+// accounting, a summary table (one line per cell), and per-workload bar
+// charts of the Figure 8 normalized metrics. width sizes the bars.
+func (t Table) ASCII(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d configurations, %d workers, %v wall clock",
+		t.Name, len(t.Rows), t.Workers, t.Elapsed.Round(1e6))
+	if t.Workers > 1 {
+		fmt.Fprintf(&b, " (serial cost %v, speedup %.2fx)",
+			t.SerialCost().Round(1e6), t.Speedup())
+	}
+	b.WriteString("\n\n")
+
+	fmt.Fprintf(&b, "%-28s %10s %10s %10s %8s %8s %9s %7s\n",
+		"scenario", "energy", "work", "launched", "normE", "normW", "wait(s)", "killed")
+	for _, r := range t.Rows {
+		if r.Err != nil {
+			fmt.Fprintf(&b, "%-28s ERROR: %v\n", r.Scenario.Name, r.Err)
+			continue
+		}
+		s := r.Summary
+		fmt.Fprintf(&b, "%-28s %10.3g %10.3g %6d/%-4d %8.3f %8.3f %9.0f %7d\n",
+			r.Scenario.Name, float64(s.EnergyJ), s.WorkCoreSec,
+			s.JobsLaunched, s.JobsSubmitted, s.NormEnergy, s.NormWork,
+			s.MeanWaitSec, s.JobsKilled)
+	}
+
+	// Group the bars the way Figure 8 stacks its rows: one block per
+	// workload, cells in grid order within it.
+	var order []string
+	byWorkload := map[string][]Result{}
+	for _, r := range t.Rows {
+		if r.Err != nil {
+			continue
+		}
+		k := r.Scenario.Workload.Kind.String()
+		if _, ok := byWorkload[k]; !ok {
+			order = append(order, k)
+		}
+		byWorkload[k] = append(byWorkload[k], r)
+	}
+	for _, wl := range order {
+		rs := byWorkload[wl]
+		fmt.Fprintf(&b, "\n== workload %s ==\n", wl)
+		var energy, work, launched []ascii.Bar
+		for _, r := range rs {
+			label := r.Scenario.Label()
+			energy = append(energy, ascii.Bar{Label: label, Value: r.Summary.NormEnergy})
+			work = append(work, ascii.Bar{Label: label, Value: r.Summary.NormWork})
+			launched = append(launched, ascii.Bar{Label: label, Value: r.Summary.NormLaunched})
+		}
+		b.WriteString(ascii.BarChart(energy, width, 1, "Energy (normalized)"))
+		b.WriteString(ascii.BarChart(work, width, 1, "Work (fraction of cores x duration)"))
+		b.WriteString(ascii.BarChart(launched, width, 1, "Jobs launched (fraction of submitted)"))
+	}
+	return b.String()
+}

@@ -1,0 +1,231 @@
+// Package experiment is the parallel experiment-sweep engine: it takes a
+// grid of (policy x powercap schedule x workload trace x cluster
+// topology) configurations, fans the cells out across a bounded worker
+// pool, and aggregates the per-run metrics into one comparable table
+// with CSV/JSON export and ASCII summary charts.
+//
+// The concurrency contract comes from the layers below: an
+// rjms.Controller and its simengine.Engine are single-goroutine by
+// construction, so a sweep runs one independent controller per cell and
+// never shares mutable state between workers — the sweep is
+// embarrassingly parallel. Every cell is seeded and replayed
+// deterministically, and results are written back by cell index, so the
+// aggregated table is identical at any worker count (Table.Fingerprint
+// makes that checkable); only the wall-clock time changes.
+//
+// Typical use:
+//
+//	grid := experiment.Grid{
+//		Workloads:    []trace.Config{{Kind: trace.SmallJob, Seed: 1002}},
+//		CapFractions: []float64{0, 0.6, 0.4},
+//		Policies:     []core.Policy{core.PolicyShut, core.PolicyMix},
+//		Base:         replay.Scenario{ScaleRacks: 4},
+//	}
+//	table := experiment.Run(grid, runtime.GOMAXPROCS(0))
+//	fmt.Print(table.ASCII(80))
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// Grid is the declarative form of a sweep: the axes of the cross
+// product plus a base scenario carrying everything the axes do not vary
+// (machine scale, ablation switches, sampling period, an explicit SWF
+// job list, ...).
+type Grid struct {
+	// Name labels the sweep in exports; empty means "sweep".
+	Name string
+	// Workloads is the trace axis (kind + seed + optional duration).
+	Workloads []trace.Config
+	// CapFractions is the powercap axis; values outside (0, 1) stand
+	// for the uncapped baseline and collapse to one PolicyNone cell
+	// per workload.
+	CapFractions []float64
+	// Policies is the powercap-policy axis, applied at each capped
+	// fraction.
+	Policies []core.Policy
+	// Base supplies the shared scenario fields of every cell:
+	// ScaleRacks, Scattered, DynamicDVFS, KillOnOverrun, window
+	// placement, explicit Jobs, and the rest of replay.Scenario.
+	Base replay.Scenario
+}
+
+// Scenarios expands the grid into its scenario list (the deterministic
+// cell order of replay.SweepScenarios).
+func (g Grid) Scenarios() []replay.Scenario {
+	return replay.SweepScenarios(g.Base, g.Workloads, g.CapFractions, g.Policies)
+}
+
+// Size returns the number of cells the grid expands to.
+func (g Grid) Size() int { return len(g.Scenarios()) }
+
+func (g Grid) name() string {
+	if g.Name != "" {
+		return g.Name
+	}
+	return "sweep"
+}
+
+// Result is one sweep cell's outcome plus its position and wall-clock
+// cost.
+type Result struct {
+	replay.Result
+	// Index is the cell's position in the expanded grid (results keep
+	// this order regardless of scheduling).
+	Index int
+	// Elapsed is the cell's own wall-clock run time.
+	Elapsed time.Duration
+}
+
+// Table is an aggregated sweep: one row per cell in grid order, plus
+// the sweep-level accounting needed to judge parallel speedup.
+type Table struct {
+	// Name is the sweep label (Grid.Name or "sweep").
+	Name string
+	// Rows hold the per-cell results in grid order.
+	Rows []Result
+	// Workers is the pool size the sweep ran with.
+	Workers int
+	// Elapsed is the whole sweep's wall-clock time.
+	Elapsed time.Duration
+}
+
+// Results strips the sweep bookkeeping, returning the plain replay
+// results in grid order — the form the figures package consumes.
+func (t Table) Results() []replay.Result {
+	out := make([]replay.Result, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = r.Result
+	}
+	return out
+}
+
+// Errs collects the per-cell errors (nil entries omitted).
+func (t Table) Errs() []error {
+	var errs []error
+	for _, r := range t.Rows {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", r.Scenario.Name, r.Err))
+		}
+	}
+	return errs
+}
+
+// SerialCost is the summed per-cell wall-clock time — what a one-worker
+// sweep would cost.
+func (t Table) SerialCost() time.Duration {
+	var sum time.Duration
+	for _, r := range t.Rows {
+		sum += r.Elapsed
+	}
+	return sum
+}
+
+// Speedup is the summed per-cell cost over the sweep's wall-clock: 1.0
+// when serial, approaching the worker count when the cells balance.
+// When workers exceed physical cores the per-cell times include
+// runnable-but-descheduled waits, so this measures the pool's achieved
+// concurrency; for hardware-level speedup compare whole-sweep
+// wall-clock times at different worker counts (the Sweep benchmark
+// does exactly that).
+func (t Table) Speedup() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(t.SerialCost()) / float64(t.Elapsed)
+}
+
+// Runner executes sweeps on a bounded worker pool.
+type Runner struct {
+	// Workers bounds the pool; <= 0 means GOMAXPROCS. The pool never
+	// exceeds the cell count.
+	Workers int
+	// OnResult, when set, observes each finished cell (serialized
+	// across workers; done counts finished cells so far).
+	OnResult func(done, total int, r Result)
+}
+
+// Run executes the scenario list and aggregates the table. Each cell
+// builds its own controller, so cells share nothing but the immutable
+// scenario inputs; rows land at their grid index regardless of which
+// worker ran them or in what order they finished.
+func (r Runner) Run(name string, scenarios []replay.Scenario) Table {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	t := Table{Name: name, Rows: make([]Result, len(scenarios)), Workers: workers}
+	start := time.Now()
+
+	runCell := func(i int) Result {
+		t0 := time.Now()
+		res := replay.Run(scenarios[i])
+		return Result{Result: res, Index: i, Elapsed: time.Since(t0)}
+	}
+
+	if workers == 1 {
+		for i := range scenarios {
+			t.Rows[i] = runCell(i)
+			if r.OnResult != nil {
+				r.OnResult(i+1, len(scenarios), t.Rows[i])
+			}
+		}
+		t.Elapsed = time.Since(start)
+		return t
+	}
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // serializes OnResult and the done counter
+		done int
+		idx  = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				row := runCell(i)
+				t.Rows[i] = row
+				if r.OnResult != nil {
+					mu.Lock()
+					done++
+					r.OnResult(done, len(scenarios), row)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range scenarios {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	t.Elapsed = time.Since(start)
+	return t
+}
+
+// Run expands the grid and executes it with the given worker count.
+func Run(g Grid, workers int) Table {
+	return Runner{Workers: workers}.Run(g.name(), g.Scenarios())
+}
+
+// RunScenarios executes an explicit scenario list (e.g. the predefined
+// figure grids of internal/replay) with the given worker count.
+func RunScenarios(scenarios []replay.Scenario, workers int) Table {
+	return Runner{Workers: workers}.Run("sweep", scenarios)
+}

@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// testGrid is small enough for unit tests (one rack, one replayed hour)
+// but still crosses every axis: 2 workloads x (baseline + 2 caps x 2
+// policies) = 10 cells.
+func testGrid() Grid {
+	return Grid{
+		Name: "unit",
+		Workloads: []trace.Config{
+			{Kind: trace.SmallJob, Seed: 1002, DurationSec: 3600},
+			{Kind: trace.MedianJob, Seed: 1001, DurationSec: 3600},
+		},
+		CapFractions: []float64{0, 0.6, 0.4},
+		Policies:     []core.Policy{core.PolicyShut, core.PolicyMix},
+		Base:         replay.Scenario{ScaleRacks: 1},
+	}
+}
+
+func TestGridExpansion(t *testing.T) {
+	g := testGrid()
+	scens := g.Scenarios()
+	if len(scens) != 10 {
+		t.Fatalf("cells = %d, want 10", len(scens))
+	}
+	if g.Size() != len(scens) {
+		t.Fatalf("Size() = %d != %d", g.Size(), len(scens))
+	}
+	// First cell per workload is the collapsed uncapped baseline.
+	if scens[0].Name != "smalljob/100%/None" || scens[0].Policy != core.PolicyNone {
+		t.Fatalf("baseline cell = %q/%v", scens[0].Name, scens[0].Policy)
+	}
+	if scens[1].Name != "smalljob/60%/SHUT" || scens[2].Name != "smalljob/60%/MIX" {
+		t.Fatalf("cap cells = %q, %q", scens[1].Name, scens[2].Name)
+	}
+	if scens[5].Name != "medianjob/100%/None" || scens[5].Workload.Kind != trace.MedianJob {
+		t.Fatalf("second workload starts at wrong cell: %q", scens[5].Name)
+	}
+	for _, s := range scens {
+		if s.ScaleRacks != 1 {
+			t.Fatalf("base option lost in cell %q", s.Name)
+		}
+	}
+	// Multiple out-of-range fractions still collapse to one baseline.
+	dup := g
+	dup.CapFractions = []float64{0, 1.0, 2.5, 0.4}
+	for _, s := range dup.Scenarios() {
+		if !s.Capped() && s.Workload.Kind == trace.SmallJob && s.Name != "smalljob/100%/None" {
+			t.Fatalf("unexpected extra baseline %q", s.Name)
+		}
+	}
+	if n := len(dup.Scenarios()); n != 2*(1+2) {
+		t.Fatalf("dedup grid cells = %d, want 6", n)
+	}
+	// Seed replicates of one kind get disambiguated names.
+	rep := g
+	rep.Workloads = []trace.Config{
+		{Kind: trace.SmallJob, Seed: 1, DurationSec: 3600},
+		{Kind: trace.SmallJob, Seed: 2, DurationSec: 3600},
+	}
+	repScens := rep.Scenarios()
+	if repScens[0].Name != "smalljob#1/100%/None" || repScens[5].Name != "smalljob#2/100%/None" {
+		t.Fatalf("replicate names = %q, %q", repScens[0].Name, repScens[5].Name)
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers is the engine's core contract:
+// the aggregated table is identical at any worker count.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	g := testGrid()
+	ref := Run(g, 1)
+	if errs := ref.Errs(); len(errs) != 0 {
+		t.Fatalf("serial sweep errors: %v", errs)
+	}
+	refFP := ref.Fingerprint()
+	for _, workers := range []int{2, 3, 16} {
+		got := Run(g, workers)
+		if errs := got.Errs(); len(errs) != 0 {
+			t.Fatalf("%d-worker sweep errors: %v", workers, errs)
+		}
+		if fp := got.Fingerprint(); fp != refFP {
+			t.Fatalf("fingerprint differs at %d workers:\n serial  %s\n workers %s", workers, refFP, fp)
+		}
+		for i, r := range got.Rows {
+			if r.Index != i {
+				t.Fatalf("row %d landed at index %d", i, r.Index)
+			}
+		}
+	}
+}
+
+func TestTableOrderAndAccounting(t *testing.T) {
+	g := testGrid()
+	scens := g.Scenarios()
+	tab := Run(g, 4)
+	if tab.Workers != 4 {
+		t.Fatalf("workers = %d", tab.Workers)
+	}
+	if len(tab.Rows) != len(scens) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(scens))
+	}
+	for i, r := range tab.Rows {
+		if r.Scenario.Name != scens[i].Name {
+			t.Fatalf("row %d is %q, want %q", i, r.Scenario.Name, scens[i].Name)
+		}
+		if r.Elapsed <= 0 {
+			t.Fatalf("row %d has no elapsed time", i)
+		}
+	}
+	if tab.SerialCost() <= 0 || tab.Elapsed <= 0 {
+		t.Fatalf("missing sweep accounting: serial=%v wall=%v", tab.SerialCost(), tab.Elapsed)
+	}
+	if tab.Speedup() <= 0 {
+		t.Fatalf("speedup = %v", tab.Speedup())
+	}
+	out := tab.ASCII(40)
+	for _, want := range []string{"unit: 10 configurations", "smalljob/60%/SHUT", "Energy (normalized)", "== workload medianjob =="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunnerProgress(t *testing.T) {
+	g := testGrid()
+	scens := g.Scenarios()
+	var (
+		mu    sync.Mutex
+		calls int
+		last  int
+	)
+	tab := Runner{Workers: 3, OnResult: func(done, total int, r Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if total != len(scens) {
+			t.Errorf("total = %d, want %d", total, len(scens))
+		}
+		if done != calls {
+			t.Errorf("done = %d on call %d (callback not serialized)", done, calls)
+		}
+		last = done
+	}}.Run("progress", scens)
+	if calls != len(scens) || last != len(scens) {
+		t.Fatalf("OnResult calls = %d, last done = %d, want %d", calls, last, len(scens))
+	}
+	if len(tab.Rows) != len(scens) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+// TestWorkerClamp: worker counts beyond the cell count or below 1 must
+// still produce a full, ordered table.
+func TestWorkerClamp(t *testing.T) {
+	g := testGrid()
+	g.Workloads = g.Workloads[:1]
+	g.CapFractions = []float64{0.4}
+	g.Policies = []core.Policy{core.PolicyShut}
+	for _, workers := range []int{-1, 0, 1, 99} {
+		tab := Run(g, workers)
+		if len(tab.Rows) != 1 || tab.Rows[0].Err != nil {
+			t.Fatalf("workers=%d: rows=%d err=%v", workers, len(tab.Rows), tab.Rows[0].Err)
+		}
+		if tab.Workers < 1 || tab.Workers > 1 {
+			t.Fatalf("workers=%d clamped to %d, want 1", workers, tab.Workers)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/csv"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// row is the stable export form of one sweep cell: scenario identity,
+// headline metrics, and the cell's wall-clock cost. Field names are the
+// CSV header and the JSON keys.
+type row struct {
+	Index        int     `json:"index"`
+	Name         string  `json:"name"`
+	Workload     string  `json:"workload"`
+	Policy       string  `json:"policy"`
+	CapFraction  float64 `json:"cap_fraction"`
+	Racks        int     `json:"racks"`
+	Cores        int     `json:"cores"`
+	EnergyJ      float64 `json:"energy_j"`
+	WorkCoreSec  float64 `json:"work_core_sec"`
+	PeakPowerW   float64 `json:"peak_power_w"`
+	MeanPowerW   float64 `json:"mean_power_w"`
+	Submitted    int     `json:"jobs_submitted"`
+	Launched     int     `json:"jobs_launched"`
+	Completed    int     `json:"jobs_completed"`
+	Killed       int     `json:"jobs_killed"`
+	Rescales     int     `json:"rescales"`
+	MeanWaitSec  float64 `json:"mean_wait_sec"`
+	MeanBSLD     float64 `json:"mean_bsld"`
+	NormEnergy   float64 `json:"norm_energy"`
+	NormWork     float64 `json:"norm_work"`
+	NormLaunched float64 `json:"norm_launched"`
+	PlanOffNodes int     `json:"plan_off_nodes"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	Error        string  `json:"error,omitempty"`
+}
+
+func exportRow(r Result) row {
+	e := row{
+		Index:       r.Index,
+		Name:        r.Scenario.Name,
+		Workload:    r.Scenario.Workload.Kind.String(),
+		Policy:      r.Scenario.Policy.String(),
+		CapFraction: r.Scenario.CapFraction,
+		Racks:       r.Scenario.Machine().Racks,
+		Cores:       r.Cores,
+		ElapsedMS:   float64(r.Elapsed.Microseconds()) / 1000,
+	}
+	if r.Err != nil {
+		e.Error = r.Err.Error()
+		return e
+	}
+	s := r.Summary
+	e.EnergyJ = float64(s.EnergyJ)
+	e.WorkCoreSec = s.WorkCoreSec
+	e.PeakPowerW = float64(s.PeakPower)
+	e.MeanPowerW = float64(s.MeanPower)
+	e.Submitted = s.JobsSubmitted
+	e.Launched = s.JobsLaunched
+	e.Completed = s.JobsCompleted
+	e.Killed = s.JobsKilled
+	e.Rescales = s.Rescales
+	e.MeanWaitSec = s.MeanWaitSec
+	e.MeanBSLD = s.MeanBSLD
+	e.NormEnergy = s.NormEnergy
+	e.NormWork = s.NormWork
+	e.NormLaunched = s.NormLaunched
+	e.PlanOffNodes = len(r.Plan.OffNodes)
+	return e
+}
+
+// exportedTable is the JSON envelope of a sweep.
+type exportedTable struct {
+	Name         string  `json:"name"`
+	Cells        int     `json:"cells"`
+	Workers      int     `json:"workers"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	SerialCostMS float64 `json:"serial_cost_ms"`
+	Speedup      float64 `json:"speedup"`
+	Rows         []row   `json:"rows"`
+}
+
+func (t Table) export() exportedTable {
+	out := exportedTable{
+		Name:         t.Name,
+		Cells:        len(t.Rows),
+		Workers:      t.Workers,
+		ElapsedMS:    float64(t.Elapsed.Microseconds()) / 1000,
+		SerialCostMS: float64(t.SerialCost().Microseconds()) / 1000,
+		Speedup:      t.Speedup(),
+		Rows:         make([]row, len(t.Rows)),
+	}
+	for i, r := range t.Rows {
+		out.Rows[i] = exportRow(r)
+	}
+	return out
+}
+
+// WriteJSON serializes the sweep (cells in grid order, sweep timing
+// included) as indented JSON.
+func (t Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.export())
+}
+
+// csvHeader is the fixed column order of WriteCSV.
+var csvHeader = []string{
+	"index", "name", "workload", "policy", "cap_fraction", "racks", "cores",
+	"energy_j", "work_core_sec", "peak_power_w", "mean_power_w",
+	"jobs_submitted", "jobs_launched", "jobs_completed", "jobs_killed",
+	"rescales", "mean_wait_sec", "mean_bsld",
+	"norm_energy", "norm_work", "norm_launched", "plan_off_nodes",
+	"elapsed_ms", "error",
+}
+
+// WriteCSV writes the summary table — one line per cell in grid order.
+// (Per-run time series stay with replay.WriteSeriesCSV; this file is
+// the cross-scenario comparison.)
+func (t Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+	for _, r := range t.Rows {
+		e := exportRow(r)
+		rec := []string{
+			strconv.Itoa(e.Index), e.Name, e.Workload, e.Policy,
+			f(e.CapFraction), strconv.Itoa(e.Racks), strconv.Itoa(e.Cores),
+			f(e.EnergyJ), f(e.WorkCoreSec), f(e.PeakPowerW), f(e.MeanPowerW),
+			strconv.Itoa(e.Submitted), strconv.Itoa(e.Launched),
+			strconv.Itoa(e.Completed), strconv.Itoa(e.Killed),
+			strconv.Itoa(e.Rescales), f(e.MeanWaitSec), f(e.MeanBSLD),
+			f(e.NormEnergy), f(e.NormWork), f(e.NormLaunched),
+			strconv.Itoa(e.PlanOffNodes), f(e.ElapsedMS), e.Error,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fingerprint hashes the sweep's aggregated metrics — everything except
+// the timing fields, which legitimately vary run to run. Two sweeps of
+// the same grid must fingerprint identically at any worker count; the
+// sweep benchmark and the determinism tests rely on this.
+func (t Table) Fingerprint() string {
+	rows := make([]row, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = exportRow(r)
+		rows[i].ElapsedMS = 0
+	}
+	// Rows are already in grid order, but guard against callers that
+	// assembled a table by hand.
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Index < rows[j].Index })
+	b, err := json.Marshal(rows)
+	if err != nil {
+		// row marshaling cannot fail on these field types
+		panic(fmt.Sprintf("experiment: fingerprint marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

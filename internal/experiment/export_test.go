@@ -1,0 +1,175 @@
+package experiment
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// goldenTable is a hand-assembled sweep (one clean cell, one failed
+// cell) with fixed timings, so the export formats can be golden-tested
+// byte for byte.
+func goldenTable() Table {
+	sum := metrics.Summary{
+		Start: 0, End: 3600,
+		EnergyJ: 3.6e6, WorkCoreSec: 1.8e6,
+		PeakPower: 1200, MeanPower: 1000,
+		JobsSubmitted: 40, JobsLaunched: 30, JobsCompleted: 28, JobsKilled: 2,
+		Rescales: 3, MeanWaitSec: 45.5, MeanBSLD: 1.25, MaxBSLD: 4,
+		NormEnergy: 0.5, NormWork: 0.25, NormLaunched: 0.75,
+	}
+	return Table{
+		Name:    "golden",
+		Workers: 2,
+		Elapsed: 4 * time.Millisecond,
+		Rows: []Result{
+			{
+				Index:   0,
+				Elapsed: 1500 * time.Microsecond,
+				Result: replay.Result{
+					Scenario: replay.Scenario{
+						Name:     "smalljob/40%/MIX",
+						Workload: trace.Config{Kind: trace.SmallJob, Seed: 7},
+						Policy:   core.PolicyMix, CapFraction: 0.4, ScaleRacks: 2,
+					},
+					Cores:   2880,
+					Summary: sum,
+					Plan:    core.OfflinePlan{OffNodes: []cluster.NodeID{4, 5, 6}},
+				},
+			},
+			{
+				Index:   1,
+				Elapsed: 500 * time.Microsecond,
+				Result: replay.Result{
+					Scenario: replay.Scenario{
+						Name:     "bigjob/60%/SHUT",
+						Workload: trace.Config{Kind: trace.BigJob, Seed: 7},
+						Policy:   core.PolicyShut, CapFraction: 0.6, ScaleRacks: 2,
+					},
+					Err: errors.New("boom"),
+				},
+			},
+		},
+	}
+}
+
+const goldenCSV = `index,name,workload,policy,cap_fraction,racks,cores,energy_j,work_core_sec,peak_power_w,mean_power_w,jobs_submitted,jobs_launched,jobs_completed,jobs_killed,rescales,mean_wait_sec,mean_bsld,norm_energy,norm_work,norm_launched,plan_off_nodes,elapsed_ms,error
+0,smalljob/40%/MIX,smalljob,MIX,0.4,2,2880,3600000,1800000,1200,1000,40,30,28,2,3,45.5,1.25,0.5,0.25,0.75,3,1.5,
+1,bigjob/60%/SHUT,bigjob,SHUT,0.6,2,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0.5,boom
+`
+
+const goldenJSON = `{
+  "name": "golden",
+  "cells": 2,
+  "workers": 2,
+  "elapsed_ms": 4,
+  "serial_cost_ms": 2,
+  "speedup": 0.5,
+  "rows": [
+    {
+      "index": 0,
+      "name": "smalljob/40%/MIX",
+      "workload": "smalljob",
+      "policy": "MIX",
+      "cap_fraction": 0.4,
+      "racks": 2,
+      "cores": 2880,
+      "energy_j": 3600000,
+      "work_core_sec": 1800000,
+      "peak_power_w": 1200,
+      "mean_power_w": 1000,
+      "jobs_submitted": 40,
+      "jobs_launched": 30,
+      "jobs_completed": 28,
+      "jobs_killed": 2,
+      "rescales": 3,
+      "mean_wait_sec": 45.5,
+      "mean_bsld": 1.25,
+      "norm_energy": 0.5,
+      "norm_work": 0.25,
+      "norm_launched": 0.75,
+      "plan_off_nodes": 3,
+      "elapsed_ms": 1.5
+    },
+    {
+      "index": 1,
+      "name": "bigjob/60%/SHUT",
+      "workload": "bigjob",
+      "policy": "SHUT",
+      "cap_fraction": 0.6,
+      "racks": 2,
+      "cores": 0,
+      "energy_j": 0,
+      "work_core_sec": 0,
+      "peak_power_w": 0,
+      "mean_power_w": 0,
+      "jobs_submitted": 0,
+      "jobs_launched": 0,
+      "jobs_completed": 0,
+      "jobs_killed": 0,
+      "rescales": 0,
+      "mean_wait_sec": 0,
+      "mean_bsld": 0,
+      "norm_energy": 0,
+      "norm_work": 0,
+      "norm_launched": 0,
+      "plan_off_nodes": 0,
+      "elapsed_ms": 0.5,
+      "error": "boom"
+    }
+  ]
+}
+`
+
+func TestWriteCSVGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenTable().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != goldenCSV {
+		t.Fatalf("CSV mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), goldenCSV)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenTable().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != goldenJSON {
+		t.Fatalf("JSON mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), goldenJSON)
+	}
+}
+
+// TestFingerprintIgnoresTiming: the fingerprint covers the metrics, not
+// the wall-clock fields, so re-timed runs of the same sweep match.
+func TestFingerprintIgnoresTiming(t *testing.T) {
+	a := goldenTable()
+	b := goldenTable()
+	b.Elapsed = 99 * time.Second
+	b.Workers = 7
+	for i := range b.Rows {
+		b.Rows[i].Elapsed = time.Duration(i+1) * time.Second
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint changed with timing-only differences")
+	}
+	// ...but it does cover the metrics.
+	b.Rows[0].Summary.EnergyJ++
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprint blind to metric change")
+	}
+	// And it is order-insensitive on hand-built tables (sorts by Index).
+	c := goldenTable()
+	c.Rows[0], c.Rows[1] = c.Rows[1], c.Rows[0]
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Fatal("fingerprint depends on row storage order")
+	}
+}

@@ -115,6 +115,18 @@ func (r *Recorder) NoteCompletion(killed bool) {
 // AddSample appends one time-series point.
 func (r *Recorder) AddSample(s Sample) { r.samples = append(r.samples, s) }
 
+// Reserve pre-sizes the sample series for n points. Callers that know
+// the sampling schedule (horizon / interval) avoid the append-regrowth
+// copies of long replays; a smaller or non-positive n is a no-op.
+func (r *Recorder) Reserve(n int) {
+	if n <= cap(r.samples) {
+		return
+	}
+	grown := make([]Sample, len(r.samples), n)
+	copy(grown, r.samples)
+	r.samples = grown
+}
+
 // Samples returns the recorded series in order.
 func (r *Recorder) Samples() []Sample { return r.samples }
 

@@ -50,6 +50,9 @@ func (s *Sensor) Read(truth power.Watts) power.Watts {
 
 // Window is a fixed-size sliding window of readings with O(1) mean —
 // the smoothing the controller applies before acting on measurements.
+// The ring buffer is pre-sized at construction and Push never
+// allocates: in measured mode the controller feeds the window on every
+// cluster-state mutation, which makes this one of the replay hot paths.
 type Window struct {
 	buf  []power.Watts
 	next int
@@ -57,7 +60,8 @@ type Window struct {
 	sum  float64
 }
 
-// NewWindow returns a window holding up to size readings.
+// NewWindow returns a window holding up to size readings, with the ring
+// storage allocated up front.
 func NewWindow(size int) (*Window, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("powerlog: window size %d", size)
@@ -74,7 +78,9 @@ func (w *Window) Push(v power.Watts) {
 	}
 	w.buf[w.next] = v
 	w.sum += float64(v)
-	w.next = (w.next + 1) % len(w.buf)
+	if w.next++; w.next == len(w.buf) {
+		w.next = 0
+	}
 }
 
 // Mean returns the window average (0 when empty).

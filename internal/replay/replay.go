@@ -4,6 +4,12 @@
 // window in the middle of the interval — and collecting the utilization
 // and power series plus the Figure 8 totals. A worker pool runs whole
 // scenario sweeps in parallel, one independent controller per scenario.
+//
+// The predefined scenario builders (Fig6/7/8, the claims, the
+// ablations, and the generic SweepScenarios cross product) are the
+// vocabulary the sweep layer speaks: internal/experiment expands grids
+// through SweepScenarios and aggregates Run results into comparable
+// tables.
 package replay
 
 import (
@@ -187,6 +193,10 @@ func Run(s Scenario) Result {
 // RunAll executes scenarios on a worker pool (one controller per worker;
 // controllers are single-threaded, the sweep is embarrassingly parallel).
 // workers <= 0 means GOMAXPROCS. Results keep the input order.
+//
+// RunAll is the minimal pool; the internal/experiment package layers
+// grid expansion, per-cell timing, progress callbacks, aggregation and
+// CSV/JSON/ASCII export on top — prefer it for new sweep code.
 func RunAll(scenarios []Scenario, workers int) []Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -7,6 +7,57 @@ import (
 	"repro/internal/trace"
 )
 
+// SweepScenarios expands a sweep grid: the cross product of workloads x
+// cap fractions x policies, one Scenario per cell. base supplies the
+// machine scale and every ablation/option field; Name, Workload, Policy
+// and CapFraction are filled in per cell. Cap fractions outside (0, 1)
+// denote the uncapped baseline and collapse to a single PolicyNone cell
+// per workload (policy choice is irrelevant without a cap). When the
+// same workload kind appears more than once (seed or duration
+// replicates), cell names carry the seed ("smalljob#2/...") so rows
+// stay tellable apart. The cell order is deterministic — workloads
+// outermost, then caps, then policies — so a sweep's result table is
+// comparable across runs and worker counts. internal/experiment builds
+// its grids through this function.
+func SweepScenarios(base Scenario, workloads []trace.Config, fracs []float64, policies []core.Policy) []Scenario {
+	kindCount := map[trace.Kind]int{}
+	for _, wl := range workloads {
+		kindCount[wl.Kind]++
+	}
+	var out []Scenario
+	for _, wl := range workloads {
+		label := wl.Kind.String()
+		if kindCount[wl.Kind] > 1 {
+			label = fmt.Sprintf("%s#%d", wl.Kind, wl.Seed)
+		}
+		baselineDone := false
+		for _, frac := range fracs {
+			if frac <= 0 || frac >= 1 {
+				if baselineDone {
+					continue
+				}
+				baselineDone = true
+				s := base
+				s.Workload = wl
+				s.Policy = core.PolicyNone
+				s.CapFraction = 0
+				s.Name = fmt.Sprintf("%s/100%%/None", label)
+				out = append(out, s)
+				continue
+			}
+			for _, p := range policies {
+				s := base
+				s.Workload = wl
+				s.Policy = p
+				s.CapFraction = frac
+				s.Name = fmt.Sprintf("%s/%d%%/%s", label, int(frac*100+0.5), p)
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
 // policies evaluated at each cap level in Figure 8. At 80% the paper only
 // shows DVFS and SHUT; MIX joins at 60% and 40% (below its 75% combined
 // threshold).

@@ -52,6 +52,15 @@ type Controller struct {
 	// estimator is non-nil in measurement-based capping mode: active-cap
 	// checks use its guarded estimate instead of the exact bookkeeping.
 	estimator *powerlog.Estimator
+
+	// Scratch buffers reused across scheduling passes. A pass probes an
+	// allocation for up to BackfillDepth jobs at every event; without
+	// reuse each probe allocates candidate slices that die immediately
+	// (see the sweep benchmark for the aggregate cost).
+	viewBuf  []sched.RunningJob // running view, sorted by expected end
+	allocBuf []job.Alloc        // allocation probe candidates
+	nodeBuf  []cluster.NodeID   // node list of the current probe
+	orderer  sched.Orderer      // priority-ordered pending queue
 }
 
 // New builds a controller at virtual time 0.
@@ -196,6 +205,9 @@ func (c *Controller) Run(until int64) (metrics.Summary, error) {
 	c.horizon = until
 	if c.cfg.SampleInterval > 0 && !c.sampling {
 		c.sampling = true
+		// The sample count is known up front — pre-size the series so
+		// long replays don't regrow the buffer dozens of times.
+		c.rec.Reserve(int(until/c.cfg.SampleInterval) + 2)
 		if _, err := c.eng.At(0, c.sampleTick); err != nil {
 			return metrics.Summary{}, err
 		}
@@ -368,9 +380,11 @@ func (c *Controller) noteState(now int64) {
 
 // --- scheduling -----------------------------------------------------
 
+// planned is a successful allocation probe. allocs is owned by the
+// planned value (copied out of the probe scratch buffer: commit stores
+// it in the job's state, which outlives the next probe).
 type planned struct {
 	allocs []job.Alloc
-	nodes  []cluster.NodeID
 	freq   dvfs.Freq
 	wall   int64
 }
@@ -397,23 +411,30 @@ func (c *Controller) plan(j *job.Job, now int64) (pl *planned, allocFail bool) {
 	eligible := func(id cluster.NodeID) bool {
 		return !c.book.NodeBlocked(id, now, endMax, c.cfg.ReservationLead)
 	}
-	var allocs []job.Alloc
+	var (
+		allocs []job.Alloc
+		found  bool
+	)
 	if c.clus.ReservedCount() > 0 {
 		// Pack nodes earmarked for switch-off first: work there drains
 		// away before the window, saving the survivors' budget.
-		allocs = sched.AllocatePreferring(c.clus, j.Cores, eligible, c.clus.Reserved)
+		allocs, found = sched.AllocateInto(c.allocBuf, c.clus, j.Cores, eligible, c.clus.Reserved)
+		c.allocBuf = allocs[:0] // keep the grown probe buffer
 	} else if c.cfg.CompactPlacement {
 		allocs = sched.AllocateCompact(c.clus, j.Cores, eligible)
+		found = allocs != nil
 	} else {
-		allocs = sched.Allocate(c.clus, j.Cores, eligible)
+		allocs, found = sched.AllocateInto(c.allocBuf, c.clus, j.Cores, eligible, nil)
+		c.allocBuf = allocs[:0]
 	}
-	if allocs == nil {
+	if !found {
 		return nil, true
 	}
-	nodes := make([]cluster.NodeID, len(allocs))
-	for i, a := range allocs {
-		nodes[i] = a.Node
+	nodes := c.nodeBuf[:0]
+	for _, a := range allocs {
+		nodes = append(nodes, a.Node)
 	}
+	c.nodeBuf = nodes[:0] // same backing array; only alive within this call
 	capNow := c.book.CapAt(now)
 	f, ok := core.SelectFreq(c.pm, func(f dvfs.Freq) bool {
 		end := now + j.ScaledWalltime(c.pm.Deg, f)
@@ -438,7 +459,8 @@ func (c *Controller) plan(j *job.Job, now int64) (pl *planned, allocFail bool) {
 	if !ok {
 		return nil, false
 	}
-	return &planned{allocs: allocs, nodes: nodes, freq: f, wall: j.ScaledWalltime(c.pm.Deg, f)}, false
+	owned := append([]job.Alloc(nil), allocs...)
+	return &planned{allocs: owned, freq: f, wall: j.ScaledWalltime(c.pm.Deg, f)}, false
 }
 
 func (c *Controller) commit(j *job.Job, pl *planned, now int64) {
@@ -467,20 +489,28 @@ func (c *Controller) commit(j *job.Job, pl *planned, now int64) {
 	c.noteState(now)
 }
 
+// runningView rebuilds the backfill view of the running set, sorted by
+// ascending expected end — the order ShadowTimeSorted consumes. The
+// buffer is reused across passes. Sorting by (end, cores) makes the
+// view deterministic despite the map iteration: entries equal in both
+// keys are indistinguishable to every consumer (ShadowTime accumulates
+// cores until the threshold, FreeCoresAt sums), so replays stay
+// bit-identical.
 func (c *Controller) runningView() []sched.RunningJob {
-	out := make([]sched.RunningJob, 0, len(c.running))
-	ids := make([]job.ID, 0, len(c.running))
-	for id := range c.running {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		j := c.running[id]
+	out := c.viewBuf[:0]
+	for _, j := range c.running {
 		out = append(out, sched.RunningJob{
 			Cores:       j.Cores,
 			ExpectedEnd: j.StartTime + j.ScaledWalltime(c.pm.Deg, j.Freq),
 		})
 	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].ExpectedEnd != out[k].ExpectedEnd {
+			return out[i].ExpectedEnd < out[k].ExpectedEnd
+		}
+		return out[i].Cores < out[k].Cores
+	})
+	c.viewBuf = out
 	return out
 }
 
@@ -496,9 +526,9 @@ func (c *Controller) pass(now int64) {
 	}
 	order := c.pending
 	if c.cfg.Priority != sched.FCFS {
-		order = sched.Order(c.pending, c.cfg.Priority, c.weights, c.fairshare, now)
+		order = c.orderer.Order(c.pending, c.cfg.Priority, c.weights, c.fairshare, now)
 	}
-	started := map[job.ID]bool{}
+	startedCount := 0
 
 	shadowAt := int64(-1)
 	shadowNeed := 0
@@ -531,13 +561,15 @@ func (c *Controller) pass(now int64) {
 		if shadowAt < 0 {
 			if pl, _ := tryPlan(j); pl != nil {
 				c.commit(j, pl, now)
-				started[j.ID] = true
+				startedCount++
 				continue
 			}
-			// Head blocked: set up the EASY reservation.
+			// Head blocked: set up the EASY reservation. The view is
+			// already end-sorted, so no per-event re-sort happens in
+			// the shadow computation.
 			running := c.runningView()
 			free := c.freeCoresUpperBound()
-			if at, ok := sched.ShadowTime(running, free, j.Cores, now); ok {
+			if at, ok := sched.ShadowTimeSorted(running, free, j.Cores, now); ok {
 				shadowAt = at
 				shadowNeed = j.Cores
 				freeAtShadow = sched.FreeCoresAt(running, free, at)
@@ -561,13 +593,15 @@ func (c *Controller) pass(now int64) {
 			freeAtShadow -= j.Cores
 		}
 		c.commit(j, pl, now)
-		started[j.ID] = true
+		startedCount++
 	}
 
-	if len(started) > 0 {
+	if startedCount > 0 {
+		// commit flipped started jobs to StateRunning, so the pending
+		// queue filters on state — no per-pass started set needed.
 		kept := c.pending[:0]
 		for _, j := range c.pending {
-			if !started[j.ID] {
+			if j.State == job.StatePending {
 				kept = append(kept, j)
 			}
 		}

@@ -21,15 +21,32 @@ func Allocate(c *cluster.Cluster, cores int, eligible func(cluster.NodeID) bool)
 // switch-off — work placed there drains away before the window while the
 // surviving nodes' power budget is saved for jobs that outlast it.
 func AllocatePreferring(c *cluster.Cluster, cores int, eligible, prefer func(cluster.NodeID) bool) []job.Alloc {
-	if cores <= 0 {
+	allocs, found := AllocateInto(nil, c, cores, eligible, prefer)
+	if !found {
 		return nil
+	}
+	return allocs
+}
+
+// AllocateInto is AllocatePreferring appending into dst[:0]. A
+// scheduling pass probes allocations for many jobs per event and most
+// probes fail (the cluster is full or the power check refuses); reusing
+// one candidate buffer across probes removes that churn. The returned
+// slice always carries the (possibly grown) buffer so the caller can
+// keep reusing it; found reports whether it holds a complete
+// allocation. The slice aliases dst's backing array — callers that
+// retain a successful allocation (e.g. in job state) must copy it out
+// first.
+func AllocateInto(dst []job.Alloc, c *cluster.Cluster, cores int, eligible, prefer func(cluster.NodeID) bool) (allocs []job.Alloc, found bool) {
+	if cores <= 0 {
+		return dst[:0], false
 	}
 	ok := eligible
 	if ok == nil {
 		ok = func(cluster.NodeID) bool { return true }
 	}
 	need := cores
-	var allocs []job.Alloc
+	allocs = dst[:0]
 
 	take := func(st cluster.NodeState, preferred bool) {
 		c.ForEach(func(n cluster.NodeInfo) bool {
@@ -63,10 +80,7 @@ func AllocatePreferring(c *cluster.Cluster, cores int, eligible, prefer func(clu
 	if need > 0 {
 		take(cluster.StateIdle, false)
 	}
-	if need > 0 {
-		return nil
-	}
-	return allocs
+	return allocs, need <= 0
 }
 
 // FreeCores returns the total free cores on powered-on nodes accepted by

@@ -18,6 +18,10 @@ type RunningJob struct {
 // freeNow is the currently free core count. Returns ok=false when even
 // with everything released the job does not fit (it then waits for state
 // changes such as nodes powering back on).
+//
+// The input is copied and sorted; callers that already keep their
+// running view ordered by ExpectedEnd should use ShadowTimeSorted and
+// skip the per-call copy.
 func ShadowTime(running []RunningJob, freeNow, need int, now int64) (int64, bool) {
 	if need <= freeNow {
 		return now, true
@@ -25,6 +29,22 @@ func ShadowTime(running []RunningJob, freeNow, need int, now int64) (int64, bool
 	rs := make([]RunningJob, len(running))
 	copy(rs, running)
 	sort.Slice(rs, func(i, j int) bool { return rs[i].ExpectedEnd < rs[j].ExpectedEnd })
+	return shadowFromSorted(rs, freeNow, need, now)
+}
+
+// ShadowTimeSorted is ShadowTime for a running view already sorted by
+// ascending ExpectedEnd. It allocates nothing — the scheduling pass
+// calls it once per blocked head with a reused, pre-sorted view. The
+// result only depends on the (end, cores) multiset, so any tie order
+// among equal ends yields the same reservation point.
+func ShadowTimeSorted(running []RunningJob, freeNow, need int, now int64) (int64, bool) {
+	if need <= freeNow {
+		return now, true
+	}
+	return shadowFromSorted(running, freeNow, need, now)
+}
+
+func shadowFromSorted(rs []RunningJob, freeNow, need int, now int64) (int64, bool) {
 	free := freeNow
 	for _, r := range rs {
 		free += r.Cores

@@ -4,6 +4,14 @@
 // and fairshare), core-level node allocation that prefers filling
 // partially used nodes, and the shadow-time computation of EASY
 // backfilling.
+//
+// The package holds no state of its own — everything operates on the
+// caller's cluster and job slices — so it is safe for the parallel
+// sweeps of internal/experiment, where each worker drives its own
+// controller. The scratch-reusing variants (Orderer, AllocateInto,
+// ShadowTimeSorted) exist for the controller's hot scheduling pass:
+// they let one event loop reuse its buffers instead of allocating per
+// probe.
 package sched
 
 import (
@@ -119,21 +127,47 @@ func (f *Fairshare) MaxUsage(now int64) float64 {
 // The input slice is not modified; a newly ordered slice is returned.
 // Sorting is deterministic: ties break by submit time then job ID.
 func Order(pending []*job.Job, policy PriorityPolicy, w MultifactorWeights, fs *Fairshare, now int64) []*job.Job {
-	out := make([]*job.Job, len(pending))
-	copy(out, pending)
+	var o Orderer
+	return o.Order(pending, policy, w, fs, now)
+}
+
+// Orderer is Order with reusable scratch buffers: a scheduling loop
+// that orders its queue at every event holds one Orderer and allocates
+// nothing per pass (neither the ordered slice nor the priority keys).
+// The zero value is ready to use.
+type Orderer struct {
+	jobs []*job.Job
+	keys []float64
+}
+
+// Order returns pending sorted by descending priority. The returned
+// slice is the Orderer's internal buffer — valid until the next call.
+// pending itself is never modified.
+func (o *Orderer) Order(pending []*job.Job, policy PriorityPolicy, w MultifactorWeights, fs *Fairshare, now int64) []*job.Job {
+	out := append(o.jobs[:0], pending...)
+	o.jobs = out[:0]
 	if policy == FCFS {
-		sort.SliceStable(out, func(i, j int) bool {
+		fcfsLess := func(i, j int) bool {
 			if out[i].Submit != out[j].Submit {
 				return out[i].Submit < out[j].Submit
 			}
 			return out[i].ID < out[j].ID
-		})
+		}
+		// The pending queue is usually already in submission order
+		// (jobs arrive through time-ordered submit events); skip the
+		// sort entirely then.
+		if !sort.SliceIsSorted(out, fcfsLess) {
+			sort.SliceStable(out, fcfsLess)
+		}
 		return out
 	}
 	maxUse := 1.0
 	if fs != nil {
 		maxUse = fs.MaxUsage(now)
 	}
+	// Compute each job's priority once up front: the comparator runs
+	// O(n log n) times and the fairshare lookup behind prio is the
+	// expensive part of a pass over a deep queue.
 	prio := func(j *job.Job) float64 {
 		p := 0.0
 		if w.AgeSaturation > 0 {
@@ -154,15 +188,35 @@ func Order(pending []*job.Job, policy PriorityPolicy, w MultifactorWeights, fs *
 		}
 		return p
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		pi, pj := prio(out[i]), prio(out[j])
-		if pi != pj {
-			return pi > pj
-		}
-		if out[i].Submit != out[j].Submit {
-			return out[i].Submit < out[j].Submit
-		}
-		return out[i].ID < out[j].ID
-	})
+	if cap(o.keys) < len(out) {
+		o.keys = make([]float64, len(out))
+	}
+	keys := o.keys[:len(out)]
+	for i, j := range out {
+		keys[i] = prio(j)
+	}
+	sort.Stable(keyedJobs{jobs: out, keys: keys})
 	return out
+}
+
+// keyedJobs sorts a job slice by precomputed descending priority keys,
+// swapping jobs and keys in lockstep; ties break by submit time then ID.
+type keyedJobs struct {
+	jobs []*job.Job
+	keys []float64
+}
+
+func (k keyedJobs) Len() int { return len(k.jobs) }
+func (k keyedJobs) Swap(i, j int) {
+	k.jobs[i], k.jobs[j] = k.jobs[j], k.jobs[i]
+	k.keys[i], k.keys[j] = k.keys[j], k.keys[i]
+}
+func (k keyedJobs) Less(i, j int) bool {
+	if k.keys[i] != k.keys[j] {
+		return k.keys[i] > k.keys[j]
+	}
+	if k.jobs[i].Submit != k.jobs[j].Submit {
+		return k.jobs[i].Submit < k.jobs[j].Submit
+	}
+	return k.jobs[i].ID < k.jobs[j].ID
 }
