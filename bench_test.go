@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/apps"
@@ -359,6 +360,42 @@ func BenchmarkTraceGenerate(b *testing.B) {
 			b.Fatal("empty workload")
 		}
 	}
+}
+
+// BenchmarkSWFStream measures the streaming trace pipeline: scanning a
+// ~10k-job SWF trace through window + rescale transforms, the per-job
+// cost that bounds how fast million-job archive traces ingest.
+func BenchmarkSWFStream(b *testing.B) {
+	jobs, err := trace.Generate(trace.Config{Kind: trace.MedianJob, Seed: 1, Cores: 80640})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteSWF(&buf, jobs, "bench trace"); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	dur := trace.MedianJob.Duration()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := trace.ScaleCores(trace.Window(trace.NewScanner(bytes.NewReader(raw)), 0, dur), 80640, 5760)
+		n := 0
+		for {
+			j, err := src.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if j == nil {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			b.Fatal("empty stream")
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "jobs")
 }
 
 func BenchmarkModelSolve(b *testing.B) {

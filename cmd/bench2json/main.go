@@ -1,0 +1,112 @@
+// Command bench2json converts `go test -bench` text output (read from
+// stdin) into a stable JSON document (written to stdout), so CI can
+// archive benchmark results as machine-readable artifacts and track
+// their trajectory across commits.
+//
+// Usage:
+//
+//	go test -run xxx -bench 'Sweep$' -benchtime 1x -benchmem . | bench2json > BENCH_sweep.json
+//
+// Standard units (ns/op, B/op, allocs/op) and custom b.ReportMetric
+// units (configs, speedup, normWork, ...) all land in the per-benchmark
+// metrics map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the JSON envelope.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` text output into a Report.
+func Parse(r io.Reader) (Report, error) {
+	rep := Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, err := parseBenchLine(line)
+		if err != nil {
+			return rep, err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return rep, sc.Err()
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkSweep/serial-8  1  9.3e8 ns/op  1.2e6 B/op  813 allocs/op  14 configs  1.0 speedup
+func parseBenchLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, fmt.Errorf("bench2json: short benchmark line %q", line)
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bench2json: bad run count in %q: %v", line, err)
+	}
+	b := Benchmark{Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bench2json: bad metric value in %q: %v", line, err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}
+
+func main() {
+	rep, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "bench2json: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

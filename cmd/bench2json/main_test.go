@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Test CPU @ 2.00GHz
+BenchmarkSweep/serial-8         	       1	938212345 ns/op	        14.0 configs	         1.000 speedup	 1202345 B/op	    8132 allocs/op
+BenchmarkSweep/workers4-8       	       1	301298765 ns/op	        14.0 configs	         3.113 speedup	 1219876 B/op	    8190 allocs/op
+PASS
+ok  	repro	2.531s
+`
+	rep, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "repro" || rep.CPU != "Test CPU @ 2.00GHz" {
+		t.Errorf("header parsed wrong: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkSweep/serial-8" || b.Runs != 1 {
+		t.Errorf("benchmark identity wrong: %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 938212345, "configs": 14, "speedup": 1,
+		"B/op": 1202345, "allocs/op": 8132,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("%s = %v, want %v", unit, got, want)
+		}
+	}
+	if rep.Benchmarks[1].Metrics["speedup"] != 3.113 {
+		t.Errorf("second speedup = %v", rep.Benchmarks[1].Metrics["speedup"])
+	}
+}
+
+func TestParseRejectsCorruptLines(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX\n")); err == nil {
+		t.Error("short line accepted")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkX nope 12 ns/op\n")); err == nil {
+		t.Error("bad run count accepted")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkX 1 abc ns/op\n")); err == nil {
+		t.Error("bad metric accepted")
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	rep, err := Parse(strings.NewReader("PASS\nok repro 0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("benchmarks = %+v, want none", rep.Benchmarks)
+	}
+}

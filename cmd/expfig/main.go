@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	expfig -fig 2|3|4|5|6|7a|7b|8|claims|ablation|sweep|all [-racks 56] [-workers 0]
+//	expfig -fig 2|3|4|5|6|7a|7b|8|claims|ablation|sweep|scenarios|all [-racks 56] [-workers 0]
 //
 // Figures 2-5 are static tables derived from the hardware model; 6-8,
 // the Section VII-C claims, the ablations and the full sweep replay
@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which artifact: 2|3|4|5|6|7a|7b|8|claims|ablation|sweep|all")
+		fig     = flag.String("fig", "all", "which artifact: 2|3|4|5|6|7a|7b|8|claims|ablation|sweep|scenarios|all")
 		racks   = flag.Int("racks", 56, "machine size in racks for the replayed figures")
 		workers = flag.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS)")
 		width   = flag.Int("width", 96, "chart width")
@@ -117,6 +117,14 @@ func main() {
 		lastSweep = &t
 		show("Ablations: grouped vs scattered shutdown; MIX floor vs full-range DVFS;\n" +
 			"static vs dynamic DVFS\n\n" + figures.SummaryTable(t.Results()))
+	}
+	if *fig == "scenarios" {
+		// The extended workload library beyond the paper: diurnal,
+		// bursty and heavy-tailed patterns next to the four Curie
+		// intervals, swept across caps and policies.
+		t := sweep("scenarios", replay.LibraryScenarios(scale))
+		lastSweep = &t
+		show("Scenario library: paper intervals + diurnal/bursty/heavytail\n\n" + t.ASCII(40))
 	}
 	if *fig == "sweep" {
 		// The full evaluation grid in one command: every workload

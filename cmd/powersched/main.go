@@ -9,11 +9,23 @@
 // result is the aggregated comparison table instead of a single run's
 // charts.
 //
+// With -swf the workload streams from a Standard Workload Format trace
+// instead: the file is scanned lazily through the trace pipeline
+// (optionally windowed with -window START:END, arrival-rescaled with
+// -timescale, and width-rescaled from its native -swfcores machine), so
+// archive traces of any size replay in bounded memory. Streaming
+// requires the trace to be submit-sorted (the Parallel Workloads
+// Archive convention; equal-timestamp records replay in file order) —
+// an out-of-order record aborts the replay with a clear error rather
+// than reordering causality.
+//
 // Usage:
 //
 //	powersched -kind 24h -policy MIX -cap 0.4 [-racks 56] [-seed 1004] \
-//	           [-swf trace.swf] [-kill] [-scattered] [-lead 0] [-width 100]
+//	           [-kill] [-scattered] [-lead 0] [-width 100]
 //	powersched -kind 24h -policy SHUT,DVFS,MIX -cap 0.4,0.6,0.8 -workers 4
+//	powersched -swf curie.swf -window 86400:104400 -swfcores 80640 \
+//	           -duration 18000 -policy SHUT -cap 0.6
 package main
 
 import (
@@ -34,7 +46,7 @@ import (
 
 func main() {
 	var (
-		kind      = flag.String("kind", "medianjob", "workload kind: medianjob|smalljob|bigjob|24h")
+		kind      = flag.String("kind", "medianjob", "workload kind: medianjob|smalljob|bigjob|24h|diurnal|bursty|heavytail")
 		policy    = flag.String("policy", "SHUT", "powercap policies, comma separated: NONE|SHUT|DVFS|MIX|IDLE")
 		capList   = flag.String("cap", "0.6", "powercap fractions of max power, comma separated (>=1 disables)")
 		racks     = flag.Int("racks", 56, "machine size in racks (56 = full Curie)")
@@ -50,7 +62,10 @@ func main() {
 		jsonOut   = flag.String("json", "", "write the run summary (or the sweep results) as JSON to this file")
 		csvOut    = flag.String("csv", "", "write the time series (or the sweep summary table) as CSV to this file")
 		confPath  = flag.String("conf", "", "print the controller configuration of this run as a slurmconf file and exit")
-		swfPath   = flag.String("swf", "", "replay this SWF trace instead of the synthetic workload")
+		swfPath   = flag.String("swf", "", "stream this SWF trace instead of the synthetic workload (bounded memory at any trace size; must be submit-sorted, the archive convention)")
+		swfWindow = flag.String("window", "", "with -swf: replay the submit window START:END (seconds), re-based to t=0")
+		timeScale = flag.Float64("timescale", 0, "with -swf: multiply submit times (0.5 = double the arrival rate)")
+		swfCores  = flag.Int("swfcores", 0, "with -swf: the trace's native machine size; job widths are rescaled onto the replayed machine")
 		duration  = flag.Int64("duration", 0, "replayed interval seconds (default: the workload kind's length)")
 	)
 	flag.Parse()
@@ -82,18 +97,38 @@ func main() {
 	}
 	swfLabel := ""
 	if *swfPath != "" {
-		f, err := os.Open(*swfPath)
+		src := trace.SWFSource{Path: *swfPath, TimeScale: *timeScale}
+		if *swfWindow != "" {
+			start, end, err := parseWindow(*swfWindow)
+			if err != nil {
+				fail(err)
+			}
+			src.WindowStart, src.WindowEnd = start, end
+		}
+		if *swfCores != 0 {
+			// Invalid sizes surface as stream errors in the probe below
+			// rather than silently replaying unscaled.
+			src.CoresFrom, src.CoresTo = *swfCores, base.Machine().Cores()
+		}
+		// Probe the stream so a bad path, corrupt header, invalid
+		// transform or empty window fails here, not mid-sweep. The probe
+		// scans the trace up to the window start once and the replay
+		// re-scans it — the deliberate cost of failing fast on archives.
+		fs, err := src.Open()
 		if err != nil {
 			fail(err)
 		}
-		jobs, err := trace.ReadSWF(f)
-		f.Close()
+		first, err := fs.Next()
+		fs.Close()
 		if err != nil {
 			fail(err)
 		}
-		base.Jobs = jobs
+		if first == nil {
+			fail(fmt.Errorf("no jobs in %s after the -window/-timescale transforms; check the window bounds (trace seconds)", *swfPath))
+		}
+		base.SWF = &src
 		swfLabel = *swfPath
-		fmt.Printf("loaded %d jobs from %s\n", len(jobs), *swfPath)
+		fmt.Printf("streaming %s (window %q, timescale %v)\n", *swfPath, *swfWindow, *timeScale)
 	}
 
 	if *confPath != "" {
@@ -239,6 +274,21 @@ func parsePolicies(s string) ([]core.Policy, error) {
 		return nil, fmt.Errorf("no policies given")
 	}
 	return out, nil
+}
+
+func parseWindow(s string) (start, end int64, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -window %q, want START:END seconds", s)
+	}
+	start, err = strconv.ParseInt(parts[0], 10, 64)
+	if err == nil {
+		end, err = strconv.ParseInt(parts[1], 10, 64)
+	}
+	if err != nil || start < 0 || end <= start {
+		return 0, 0, fmt.Errorf("bad -window %q, want 0 <= START < END", s)
+	}
+	return start, end, nil
 }
 
 func parseCaps(s string) ([]float64, error) {

@@ -1,36 +1,69 @@
-// Command tracegen synthesizes Curie-like workload intervals in the
-// Standard Workload Format and summarizes their statistics, or
-// summarizes an existing SWF trace.
+// Command tracegen synthesizes workload intervals in the Standard
+// Workload Format, and windows, rescales and summarizes existing SWF
+// traces through the streaming trace pipeline — every trace operation
+// runs in bounded memory, so Parallel Workloads Archive traces of any
+// size are fair game.
 //
 // Usage:
 //
-//	tracegen -kind medianjob -seed 1001 [-cores 80640] [-load 2.0] \
+//	tracegen [gen] -kind medianjob -seed 1001 [-cores 80640] [-load 2.0] \
 //	         [-o trace.swf]
-//	tracegen -summarize trace.swf
+//	tracegen window -in trace.swf -start 3600 -end 21600 [-o out.swf]
+//	tracegen rescale -in trace.swf [-time 0.5] [-cores 80640:5760] \
+//	         [-max 100000] [-o out.swf]
+//	tracegen summarize trace.swf
+//
+// Kinds cover the paper's four Curie intervals (medianjob, smalljob,
+// bigjob, 24h) plus the extended scenario library (diurnal, bursty,
+// heavytail).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 
-	"repro/internal/job"
 	"repro/internal/trace"
 )
 
 func main() {
-	var (
-		kind    = flag.String("kind", "medianjob", "interval kind: medianjob|smalljob|bigjob|24h")
-		seed    = flag.Int64("seed", 1001, "generator seed")
-		cores   = flag.Int("cores", 80640, "machine core count")
-		load    = flag.Float64("load", 2.0, "submitted work / machine capacity")
-		out     = flag.String("o", "", "output file (default stdout)")
-		summary = flag.String("summarize", "", "summarize an existing SWF file instead of generating")
-	)
-	flag.Parse()
+	args := os.Args[1:]
+	cmd := "gen"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd = args[0]
+		args = args[1:]
+	}
+	switch cmd {
+	case "gen":
+		runGen(args)
+	case "window":
+		runWindow(args)
+	case "rescale":
+		runRescale(args)
+	case "summarize":
+		runSummarize(args)
+	default:
+		fail(fmt.Errorf("tracegen: unknown subcommand %q (want gen, window, rescale or summarize)", cmd))
+	}
+}
 
-	if *summary != "" {
-		summarize(*summary)
+func runGen(args []string) {
+	fs := flag.NewFlagSet("tracegen gen", flag.ExitOnError)
+	var (
+		kind    = fs.String("kind", "medianjob", "interval kind: medianjob|smalljob|bigjob|24h|diurnal|bursty|heavytail")
+		seed    = fs.Int64("seed", 1001, "generator seed")
+		cores   = fs.Int("cores", 80640, "machine core count")
+		load    = fs.Float64("load", 2.0, "submitted work / machine capacity")
+		out     = fs.String("o", "", "output file (default stdout)")
+		summary = fs.String("summarize", "", "summarize an existing SWF file instead of generating")
+	)
+	fs.Parse(args)
+
+	if *summary != "" { // legacy spelling of the summarize subcommand
+		summarizeFile(*summary)
 		return
 	}
 
@@ -42,16 +75,14 @@ func main() {
 	cfg := trace.Config{Kind: k, Seed: *seed, Cores: *cores, LoadFactor: *load}
 	jobs, err := trace.Generate(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
 		w = f
@@ -59,29 +90,116 @@ func main() {
 	comment := fmt.Sprintf("synthetic Curie-like %s interval, seed %d, %d cores, load %.2f",
 		k, *seed, *cores, *load)
 	if err := trace.WriteSWF(w, jobs, comment); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
-	printStats(os.Stderr, jobs, int64(*cores)*3600)
+	printStats(os.Stderr, trace.Summarize(jobs, int64(*cores)*3600))
 }
 
-func summarize(path string) {
+// runWindow streams -in through a submit-time window onto -o: reading,
+// filtering and writing overlap, so windowing a million-job archive
+// trace holds one record in memory.
+func runWindow(args []string) {
+	fs := flag.NewFlagSet("tracegen window", flag.ExitOnError)
+	var (
+		in    = fs.String("in", "", "input SWF trace (required)")
+		start = fs.Int64("start", 0, "window start, submit seconds")
+		end   = fs.Int64("end", 0, "window end, submit seconds (exclusive; 0 = end of trace)")
+		out   = fs.String("o", "", "output file (default stdout)")
+	)
+	fs.Parse(args)
+	if *in == "" || *start < 0 || (*end != 0 && *end <= *start) || (*start == 0 && *end == 0) {
+		fail(fmt.Errorf("tracegen window: need -in and a non-empty [-start, -end) window (-end 0 = to end of trace)"))
+	}
+	src := trace.SWFSource{Path: *in, WindowStart: *start, WindowEnd: *end}
+	endLabel := "end"
+	if *end != 0 {
+		endLabel = strconv.FormatInt(*end, 10)
+	}
+	comment := fmt.Sprintf("window [%d, %s) of %s, re-based to t=0", *start, endLabel, *in)
+	pipe(src, *out, comment)
+}
+
+// runRescale streams -in through arrival-rate and/or cluster-size
+// rescaling onto -o.
+func runRescale(args []string) {
+	fs := flag.NewFlagSet("tracegen rescale", flag.ExitOnError)
+	var (
+		in      = fs.String("in", "", "input SWF trace (required)")
+		timeSc  = fs.Float64("time", 0, "multiply submit times by this factor (0.5 = double the arrival rate)")
+		coresSc = fs.String("cores", "", "rescale job widths FROM:TO cores, e.g. 80640:5760")
+		maxJobs = fs.Int("max", 0, "keep at most this many jobs (0 = all)")
+		out     = fs.String("o", "", "output file (default stdout)")
+	)
+	fs.Parse(args)
+	if *in == "" {
+		fail(fmt.Errorf("tracegen rescale: need -in"))
+	}
+	if *maxJobs < 0 {
+		fail(fmt.Errorf("tracegen rescale: negative -max %d", *maxJobs))
+	}
+	src := trace.SWFSource{Path: *in, TimeScale: *timeSc, MaxJobs: *maxJobs}
+	if *coresSc != "" {
+		from, to, err := parseCores(*coresSc)
+		if err != nil {
+			fail(err)
+		}
+		src.CoresFrom, src.CoresTo = from, to
+	}
+	// Mirror the transform chain's no-op conditions, so the command never
+	// writes an unmodified copy labeled as rescaled.
+	if (*timeSc == 0 || *timeSc == 1) && src.CoresFrom == src.CoresTo && *maxJobs == 0 {
+		fail(fmt.Errorf("tracegen rescale: nothing to do (pass -time != 1, -cores FROM:TO with FROM != TO, and/or -max)"))
+	}
+	comment := fmt.Sprintf("rescaled from %s (time x%v, cores %s, max %d)", *in, *timeSc, *coresSc, *maxJobs)
+	pipe(src, *out, comment)
+}
+
+func runSummarize(args []string) {
+	if len(args) != 1 || strings.HasPrefix(args[0], "-") {
+		fail(fmt.Errorf("usage: tracegen summarize trace.swf"))
+	}
+	summarizeFile(args[0])
+}
+
+// pipe streams src into an SWF writer at path (stdout when empty).
+func pipe(src trace.SWFSource, path, comment string) {
+	fs, err := src.Open()
+	if err != nil {
+		fail(err)
+	}
+	defer fs.Close()
+	var w io.Writer = os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	n, err := trace.Copy(trace.NewWriter(w, comment), fs)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "%d jobs written\n", n)
+}
+
+// summarizeFile characterizes a trace through the streaming summarizer,
+// so traces of any size summarize in bounded memory.
+func summarizeFile(path string) {
 	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	defer f.Close()
-	jobs, err := trace.ReadSWF(f)
+	s, err := trace.SummarizeStream(trace.NewScanner(f), 80640*3600)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
-	printStats(os.Stdout, jobs, 80640*3600)
+	printStats(os.Stdout, s)
 }
 
-func printStats(w *os.File, jobs []*job.Job, hugeCoreSec int64) {
-	s := trace.Summarize(jobs, hugeCoreSec)
+func printStats(w *os.File, s trace.Stats) {
 	fmt.Fprintf(w, "jobs: %d (distinct users %d, backlog at t=0: %d)\n",
 		s.Jobs, s.DistinctUsers, s.BacklogAtuZero)
 	fmt.Fprintf(w, "total work: %d core-seconds, widest job %d cores\n", s.TotalCoreSec, s.MaxCores)
@@ -90,4 +208,24 @@ func printStats(w *os.File, jobs []*job.Job, hugeCoreSec int64) {
 	fmt.Fprintf(w, "walltime overestimation: median %.0fx, mean %.0fx\n",
 		s.MedianOverEst, s.MeanOverEst)
 	fmt.Fprintf(w, "submission horizon: %d s\n", s.HorizonSec)
+}
+
+func parseCores(s string) (from, to int, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("tracegen: -cores wants FROM:TO, got %q", s)
+	}
+	from, err = strconv.Atoi(parts[0])
+	if err == nil {
+		to, err = strconv.Atoi(parts[1])
+	}
+	if err != nil || from <= 0 || to <= 0 {
+		return 0, 0, fmt.Errorf("tracegen: bad -cores %q", s)
+	}
+	return from, to, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

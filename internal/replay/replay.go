@@ -54,6 +54,16 @@ type Scenario struct {
 	// length when the default kind duration does not apply.
 	Jobs []*job.Job
 
+	// SWF streams the workload from an SWF trace file through the
+	// scanner and its window/rescale transforms instead of
+	// materializing it: submissions are ingested lazily as the virtual
+	// clock reaches them, so million-job archive traces replay in
+	// bounded memory. Ignored when Jobs is set; each scenario cell
+	// opens its own stream, so SWF scenarios sweep in parallel like any
+	// other. As with Jobs, Workload.Kind only labels the run and
+	// DurationSec bounds the replayed interval.
+	SWF *trace.SWFSource
+
 	// Ablations and options, forwarded to the controller.
 	Scattered       bool
 	KillOnOverrun   bool
@@ -134,7 +144,18 @@ func Run(s Scenario) Result {
 	topo := s.Machine()
 
 	jobs := s.Jobs
-	if jobs == nil {
+	var stream *trace.FileStream
+	switch {
+	case jobs != nil:
+	case s.SWF != nil:
+		var err error
+		stream, err = s.SWF.Open()
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		defer stream.Close()
+	default:
 		wl := s.Workload
 		wl.Cores = topo.Cores()
 		var err error
@@ -166,7 +187,15 @@ func Run(s Scenario) Result {
 	res.MaxPower = ctl.Cluster().MaxPower()
 	res.Cores = ctl.Cluster().Cores()
 
-	if err := ctl.LoadWorkload(jobs); err != nil {
+	if stream != nil {
+		// Lazy ingestion: the controller pulls submissions from the
+		// stream as the virtual clock advances, so only pending and
+		// running jobs are ever materialized.
+		err = ctl.LoadWorkloadStream(stream)
+	} else {
+		err = ctl.LoadWorkload(jobs)
+	}
+	if err != nil {
 		res.Err = err
 		return res
 	}

@@ -58,6 +58,34 @@ func SweepScenarios(base Scenario, workloads []trace.Config, fracs []float64, po
 	return out
 }
 
+// LibraryScenarios sweeps the extended workload library — the paper's
+// four intervals plus the diurnal, bursty and heavy-tailed patterns —
+// across the uncapped baseline and the {60%, 40%} x {SHUT, DVFS, MIX}
+// grid, the scenario-diversity counterpart of the Figure 8 sweep.
+func LibraryScenarios(scaleRacks int) []Scenario {
+	return SweepScenarios(
+		Scenario{ScaleRacks: scaleRacks},
+		trace.LibraryWorkloads(),
+		[]float64{0, 0.6, 0.4},
+		[]core.Policy{core.PolicyShut, core.PolicyDvfs, core.PolicyMix},
+	)
+}
+
+// FromSWF builds a scenario replaying an SWF trace file through the
+// streaming pipeline: src configures the file plus its window/rescale
+// transform chain, durationSec bounds the replayed interval (0 means the
+// kind default of 5 h). The trace streams into the controller lazily, so
+// trace length does not bound memory.
+func FromSWF(name string, src trace.SWFSource, policy core.Policy, capFraction float64, durationSec int64) Scenario {
+	return Scenario{
+		Name:        name,
+		Workload:    trace.Config{DurationSec: durationSec},
+		Policy:      policy,
+		CapFraction: capFraction,
+		SWF:         &src,
+	}
+}
+
 // policies evaluated at each cap level in Figure 8. At 80% the paper only
 // shows DVFS and SHUT; MIX joins at 60% and 40% (below its 75% combined
 // threshold).

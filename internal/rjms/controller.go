@@ -44,6 +44,11 @@ type Controller struct {
 	sampling   bool
 	passQueued bool
 
+	// loadErr records a streaming-workload failure (parse error,
+	// invalid or out-of-order job) raised inside an event handler; Run
+	// surfaces it.
+	loadErr error
+
 	// Cached projection inputs for optimalFutureFreq.
 	survivorFresh    bool
 	survivorCount    int
@@ -149,6 +154,80 @@ func (c *Controller) LoadWorkload(jobs []*job.Job) error {
 	return nil
 }
 
+// JobSource is the pull contract of streaming workload ingestion: Next
+// returns the next job in nondecreasing submit order, or (nil, nil) at
+// end of stream. trace.Stream (e.g. a Scanner over an SWF archive trace,
+// wrapped in window/rescale transforms) satisfies it.
+type JobSource interface {
+	Next() (*job.Job, error)
+}
+
+// LoadWorkloadStream schedules submissions lazily from src: only the
+// next future submission event exists at any moment, and each fired
+// submission pulls the records sharing its timestamp plus the one after.
+// Memory stays bounded by the jobs pending or running in the simulated
+// machine, not by the trace length — the streaming counterpart of
+// LoadWorkload, with identical event ordering (all equal-time
+// submissions enter the queue before the scheduling pass they trigger).
+// The source must yield jobs in nondecreasing submit order and hands
+// over ownership of each job. Errors found mid-replay stop ingestion and
+// surface from Run.
+func (c *Controller) LoadWorkloadStream(src JobSource) error {
+	j, err := c.pullStream(src)
+	if err != nil || j == nil {
+		return err
+	}
+	return c.scheduleStream(src, j)
+}
+
+// pullStream fetches and validates the next streamed job.
+func (c *Controller) pullStream(src JobSource) (*job.Job, error) {
+	j, err := src.Next()
+	if err != nil || j == nil {
+		return nil, err
+	}
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	if j.Cores > c.clus.Cores() {
+		return nil, fmt.Errorf("rjms: job %d wants %d cores, machine has %d", j.ID, j.Cores, c.clus.Cores())
+	}
+	return j, nil
+}
+
+// scheduleStream schedules j's submission; the event submits every
+// following job with the same timestamp too, then schedules the next
+// strictly-later one.
+func (c *Controller) scheduleStream(src JobSource, j *job.Job) error {
+	_, err := c.eng.At(j.Submit, func(now int64) {
+		c.submit(j, now)
+		for c.loadErr == nil {
+			next, err := c.pullStream(src)
+			if err != nil {
+				c.loadErr = err
+				return
+			}
+			if next == nil {
+				return
+			}
+			if next.Submit < now {
+				c.loadErr = fmt.Errorf("rjms: stream out of order: job %d submits at %d, clock at %d",
+					next.ID, next.Submit, now)
+				return
+			}
+			if next.Submit == now {
+				c.submit(next, now)
+				continue
+			}
+			if err := c.scheduleStream(src, next); err != nil {
+				c.loadErr = err
+			}
+			return
+		}
+	})
+	return err
+}
+
 // ReservePowerCap registers a powercap reservation over [start, end)
 // (reservation.Horizon for open-ended) with the given budget, runs the
 // offline planning of Algorithm 1, and schedules the window's switch-off
@@ -214,6 +293,9 @@ func (c *Controller) Run(until int64) (metrics.Summary, error) {
 	}
 	if err := c.eng.Run(until); err != nil {
 		return metrics.Summary{}, err
+	}
+	if c.loadErr != nil {
+		return metrics.Summary{}, c.loadErr
 	}
 	return c.rec.Finalize(0, until, c.clus.MaxPower(), c.clus.Cores()), nil
 }

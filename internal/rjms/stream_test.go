@@ -1,0 +1,139 @@
+package rjms
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// sliceSource yields pre-built jobs, handing over ownership like a real
+// trace stream does.
+type sliceSource struct {
+	jobs []*job.Job
+	i    int
+}
+
+func (s *sliceSource) Next() (*job.Job, error) {
+	if s.i >= len(s.jobs) {
+		return nil, nil
+	}
+	j := s.jobs[s.i]
+	s.i++
+	return j, nil
+}
+
+// TestLoadWorkloadStreamMatchesPreload replays the same workload through
+// the preloaded and the streaming ingestion paths under an active
+// powercap and requires identical summaries and time series — the
+// streaming path must not change a single scheduling decision.
+func TestLoadWorkloadStreamMatchesPreload(t *testing.T) {
+	wl, err := trace.Generate(trace.Config{Kind: trace.MedianJob, Seed: 77, Cores: 48, DurationSec: 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(load func(*Controller) error) (interface{}, []interface{}) {
+		t.Helper()
+		c := mustNew(t, tinyConfig(core.PolicyShut))
+		if err := load(c); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.ReservePowerCap(1200, 2400, power.CapFraction(0.6, c.Cluster().MaxPower())); err != nil {
+			t.Fatal(err)
+		}
+		sum, err := c.Run(3600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var samples []interface{}
+		for _, s := range c.Samples() {
+			samples = append(samples, s)
+		}
+		return sum, samples
+	}
+	sumA, samplesA := run(func(c *Controller) error { return c.LoadWorkload(wl) })
+	streamed := make([]*job.Job, len(wl))
+	for i, j := range wl {
+		streamed[i] = j.Clone()
+	}
+	sumB, samplesB := run(func(c *Controller) error {
+		return c.LoadWorkloadStream(&sliceSource{jobs: streamed})
+	})
+	if !reflect.DeepEqual(sumA, sumB) {
+		t.Fatalf("summaries differ:\n preload %+v\n stream  %+v", sumA, sumB)
+	}
+	if !reflect.DeepEqual(samplesA, samplesB) {
+		t.Fatal("time series differ between preload and stream ingestion")
+	}
+}
+
+func TestLoadWorkloadStreamRejectsUpfront(t *testing.T) {
+	c := mustNew(t, tinyConfig(core.PolicyNone))
+	// First job invalid: error before the replay starts.
+	err := c.LoadWorkloadStream(&sliceSource{jobs: []*job.Job{
+		{ID: 1, Cores: 0, Submit: 0, Runtime: 10, Walltime: 10},
+	}})
+	if err == nil {
+		t.Fatal("invalid first job accepted")
+	}
+	c = mustNew(t, tinyConfig(core.PolicyNone))
+	err = c.LoadWorkloadStream(&sliceSource{jobs: []*job.Job{
+		{ID: 1, Cores: 49, Submit: 0, Runtime: 10, Walltime: 10},
+	}})
+	if err == nil {
+		t.Fatal("too-wide first job accepted")
+	}
+}
+
+func TestLoadWorkloadStreamMidStreamErrors(t *testing.T) {
+	// Out-of-order submission discovered mid-replay surfaces from Run.
+	c := mustNew(t, tinyConfig(core.PolicyNone))
+	err := c.LoadWorkloadStream(&sliceSource{jobs: []*job.Job{
+		{ID: 1, Cores: 4, Submit: 100, Runtime: 10, Walltime: 10},
+		{ID: 2, Cores: 4, Submit: 50, Runtime: 10, Walltime: 10},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(1000); err == nil {
+		t.Fatal("out-of-order stream not reported")
+	}
+	// A job wider than the machine mid-stream likewise.
+	c = mustNew(t, tinyConfig(core.PolicyNone))
+	err = c.LoadWorkloadStream(&sliceSource{jobs: []*job.Job{
+		{ID: 1, Cores: 4, Submit: 0, Runtime: 10, Walltime: 10},
+		{ID: 2, Cores: 49, Submit: 10, Runtime: 10, Walltime: 10},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(1000); err == nil {
+		t.Fatal("too-wide streamed job not reported")
+	}
+}
+
+// errSource fails after a few records, as a truncated or corrupt trace
+// file would.
+type errSource struct{ n int }
+
+func (s *errSource) Next() (*job.Job, error) {
+	if s.n == 0 {
+		return nil, fmt.Errorf("corrupt record")
+	}
+	s.n--
+	return &job.Job{ID: job.ID(10 - s.n), Cores: 1, Submit: int64(10 - s.n), Runtime: 5, Walltime: 5}, nil
+}
+
+func TestLoadWorkloadStreamSourceError(t *testing.T) {
+	c := mustNew(t, tinyConfig(core.PolicyNone))
+	if err := c.LoadWorkloadStream(&errSource{n: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(1000); err == nil {
+		t.Fatal("source error not reported")
+	}
+}

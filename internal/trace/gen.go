@@ -24,6 +24,23 @@ const (
 	BigJob
 	// Day24h is the 24-hour representative interval.
 	Day24h
+
+	// The kinds below extend the paper's four intervals into a scenario
+	// library; they share the Curie job mix machinery but exercise
+	// arrival patterns and size distributions the paper does not.
+
+	// Diurnal is a 24-hour interval whose arrivals follow a day/night
+	// sinusoid: submission pressure peaks mid-day at about twelve times
+	// the overnight trough, the shape production HPC ingest sees.
+	Diurnal
+	// Bursty is a 5-hour interval dominated by submission storms:
+	// most jobs land in a handful of tight bursts (campaign submissions,
+	// array jobs) over a thin uniform background.
+	Bursty
+	// HeavyTail is a 5-hour interval whose job widths are Pareto
+	// distributed: many single-node jobs, a long tail of very wide ones,
+	// with no small/medium/huge class structure.
+	HeavyTail
 )
 
 // String implements fmt.Stringer.
@@ -37,6 +54,12 @@ func (k Kind) String() string {
 		return "bigjob"
 	case Day24h:
 		return "24h"
+	case Diurnal:
+		return "diurnal"
+	case Bursty:
+		return "bursty"
+	case HeavyTail:
+		return "heavytail"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -53,14 +76,20 @@ func ParseKind(s string) (Kind, error) {
 		return BigJob, nil
 	case "24h", "day":
 		return Day24h, nil
+	case "diurnal":
+		return Diurnal, nil
+	case "bursty", "burst":
+		return Bursty, nil
+	case "heavytail", "heavy":
+		return HeavyTail, nil
 	}
 	return 0, fmt.Errorf("trace: unknown workload kind %q", s)
 }
 
-// Duration returns the interval length in seconds (5 h, or 24 h for
-// Day24h).
+// Duration returns the interval length in seconds (5 h, or 24 h for the
+// day-scale kinds).
 func (k Kind) Duration() int64 {
-	if k == Day24h {
+	if k == Day24h || k == Diurnal {
 		return 24 * 3600
 	}
 	return 5 * 3600
@@ -138,26 +167,54 @@ func Generate(cfg Config) ([]*job.Job, error) {
 	targetWork := c.LoadFactor * float64(c.Cores) * float64(c.DurationSec)
 	hugeThreshold := float64(c.Cores) * 3600
 
+	// The library kinds hook in here; the four paper kinds keep the
+	// exact sampler and RNG call sequence below, so their workloads (and
+	// every downstream sweep fingerprint) are bit-identical across
+	// library growth.
+	sample := func() *job.Job { return sampleJob(rng, c, m, hugeThreshold) }
+	if c.Kind == HeavyTail {
+		sample = func() *job.Job { return sampleHeavyTail(rng, c) }
+	}
+
 	var jobs []*job.Job
 	var work float64
 	id := job.ID(1)
-	const maxJobs = 200000 // hard safety bound
+	// Hard safety bound against runaway sampling. Sized so every library
+	// kind reaches its work target at full Curie scale (heavytail needs
+	// the most jobs: its width distribution is dominated by single-core
+	// jobs); Generate errors below if a config exhausts it short of the
+	// target rather than silently delivering an underloaded interval.
+	const maxJobs = 600000
 	for work < targetWork && len(jobs) < maxJobs {
-		j := sampleJob(rng, c, m, hugeThreshold)
+		j := sample()
 		j.ID = id
 		id++
 		work += float64(j.Cores) * float64(j.Runtime)
 		jobs = append(jobs, j)
 	}
+	if work < targetWork {
+		return nil, fmt.Errorf("trace: %s config needs more than %d jobs to reach load %.2f (got %.2f)",
+			c.Kind, maxJobs, c.LoadFactor, c.LoadFactor*work/targetWork)
+	}
 
-	// Arrival process: a backlog at t=0 plus uniform arrivals over the
-	// first 90% of the interval so the queue never drains.
-	for _, j := range jobs {
+	// Arrival process: by default a backlog at t=0 plus uniform arrivals
+	// over the first 90% of the interval so the queue never drains; the
+	// diurnal and bursty kinds substitute their own processes.
+	arrive := func(j *job.Job) {
 		if rng.Float64() < c.BacklogFraction {
 			j.Submit = 0
 		} else {
 			j.Submit = int64(rng.Float64() * 0.9 * float64(c.DurationSec))
 		}
+	}
+	switch c.Kind {
+	case Diurnal:
+		arrive = diurnalArrivals(rng, c)
+	case Bursty:
+		arrive = burstyArrivals(rng, c)
+	}
+	for _, j := range jobs {
+		arrive(j)
 	}
 	sort.SliceStable(jobs, func(i, k int) bool {
 		if jobs[i].Submit != jobs[k].Submit {
@@ -264,6 +321,95 @@ func sampleJob(rng *rand.Rand, c Config, m mix, hugeThreshold float64) *job.Job 
 	return j
 }
 
+// sampleHeavyTail draws a HeavyTail job: width from a bounded Pareto
+// (alpha ~1.2, so single-core jobs dominate but the widest jobs span a
+// large machine fraction), runtime log-uniform from seconds to hours, and
+// the usual over-requested walltime menu.
+func sampleHeavyTail(rng *rand.Rand, c Config) *job.Job {
+	j := &job.Job{User: "user" + strconv.Itoa(rng.Intn(c.Users))}
+	const alpha = 1.2
+	u := rng.Float64()
+	// Clip the unbounded tail exactly where the machine cap sits, so the
+	// widest draws reach a machine-wide job on any cluster size.
+	if uMax := 1 - math.Pow(float64(c.Cores), -alpha); u > uMax {
+		u = uMax
+	}
+	j.Cores = int(math.Pow(1-u, -1/alpha))
+	if j.Cores > c.Cores {
+		j.Cores = c.Cores
+	}
+	if j.Cores < 1 {
+		j.Cores = 1
+	}
+	// Runtimes are heavy-tailed too: minutes to a quarter day,
+	// log-uniform, so the width and duration tails compound.
+	j.Runtime = int64(logUniform(rng, 30, 6*3600))
+	if j.Runtime < 1 {
+		j.Runtime = 1
+	}
+	j.Walltime = pickWalltime(rng, j.Runtime)
+	if j.Walltime < j.Runtime {
+		j.Walltime = j.Runtime
+	}
+	return j
+}
+
+// diurnalArrivals assigns submit times from a day/night sinusoid: the
+// submission intensity is 1 + A*sin(...) with its peak at mid-day and
+// its trough at midnight, sampled by rejection so the same seed always
+// yields the same trace. A third of the configured backlog still queues
+// at t=0 as the interval's initial state.
+func diurnalArrivals(rng *rand.Rand, c Config) func(*job.Job) {
+	const amplitude = 0.85
+	day := float64(86400)
+	span := 0.95 * float64(c.DurationSec)
+	return func(j *job.Job) {
+		if rng.Float64() < c.BacklogFraction/3 {
+			j.Submit = 0
+			return
+		}
+		for {
+			t := rng.Float64() * span
+			// Peak at t = day/2 (mid-day), trough at t = 0 (midnight).
+			intensity := 1 + amplitude*math.Sin(2*math.Pi*t/day-math.Pi/2)
+			if rng.Float64()*(1+amplitude) < intensity {
+				j.Submit = int64(t)
+				return
+			}
+		}
+	}
+}
+
+// burstyArrivals assigns most submit times to a handful of tight
+// submission storms (campaign or array submissions) over a thin uniform
+// background.
+func burstyArrivals(rng *rand.Rand, c Config) func(*job.Job) {
+	nBursts := 4 + rng.Intn(4)
+	centers := make([]float64, nBursts)
+	span := 0.9 * float64(c.DurationSec)
+	for i := range centers {
+		centers[i] = rng.Float64() * span
+	}
+	const burstSpread = 180.0 // seconds of jitter around a storm center
+	return func(j *job.Job) {
+		switch u := rng.Float64(); {
+		case u < c.BacklogFraction/3:
+			j.Submit = 0
+		case u < 0.8:
+			t := centers[rng.Intn(nBursts)] + rng.NormFloat64()*burstSpread
+			if t < 0 {
+				t = 0
+			}
+			if t > span {
+				t = span
+			}
+			j.Submit = int64(t)
+		default:
+			j.Submit = int64(rng.Float64() * span)
+		}
+	}
+}
+
 // Workloads returns the four paper intervals with deterministic seeds.
 func Workloads() []Config {
 	return []Config{
@@ -272,4 +418,15 @@ func Workloads() []Config {
 		{Kind: BigJob, Seed: 1003},
 		{Kind: Day24h, Seed: 1004},
 	}
+}
+
+// LibraryWorkloads returns the full scenario library: the paper's four
+// intervals plus the extended arrival/size patterns, all with fixed
+// seeds.
+func LibraryWorkloads() []Config {
+	return append(Workloads(),
+		Config{Kind: Diurnal, Seed: 1005},
+		Config{Kind: Bursty, Seed: 1006},
+		Config{Kind: HeavyTail, Seed: 1007},
+	)
 }

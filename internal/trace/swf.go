@@ -5,15 +5,19 @@
 // overloaded submission queue, a large majority of small short jobs, a tiny
 // fraction of huge jobs, and walltime requests that overestimate runtimes
 // by four orders of magnitude.
+//
+// The package has two layers. The streaming layer — Scanner, Writer, and
+// the Stream transforms (Window, ScaleTime, ScaleCores, Filter, Limit) —
+// reads, reshapes and writes arbitrarily large archive traces in bounded
+// memory; SWFSource bundles a file plus a transform chain into a workload
+// source replay scenarios can run directly. The slice layer (ReadSWF,
+// WriteSWF, Generate, Summarize) is the materialized convenience API built
+// on top of it.
 package trace
 
 import (
-	"bufio"
-	"fmt"
 	"io"
 	"sort"
-	"strconv"
-	"strings"
 
 	"repro/internal/job"
 )
@@ -44,118 +48,39 @@ const (
 // ReadSWF parses an SWF stream into jobs. Header/comment lines start with
 // ';'. Jobs with unknown (-1) runtimes or processor counts are skipped, as
 // the paper's replay does. The requested time falls back to the runtime
-// when absent. Submit times are kept as-is (seconds).
+// when absent. Submit times are kept as-is (seconds). The result is
+// sorted by (submit, id); for traces too large to materialize use a
+// Scanner instead.
 func ReadSWF(r io.Reader) ([]*job.Job, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	var out []*job.Job
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, ";") {
-			continue
-		}
-		fields := strings.Fields(text)
-		if len(fields) < swfThinkTime+1 && len(fields) < 5 {
-			return nil, fmt.Errorf("trace: line %d: %d fields, want at least 5", line, len(fields))
-		}
-		get := func(i int) (int64, error) {
-			if i >= len(fields) {
-				return -1, nil
-			}
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return 0, fmt.Errorf("trace: line %d field %d: %v", line, i+1, err)
-			}
-			return int64(v), nil
-		}
-		id, err := get(swfJobID)
-		if err != nil {
-			return nil, err
-		}
-		submit, err := get(swfSubmit)
-		if err != nil {
-			return nil, err
-		}
-		run, err := get(swfRunTime)
-		if err != nil {
-			return nil, err
-		}
-		procs, err := get(swfAllocProcs)
-		if err != nil {
-			return nil, err
-		}
-		reqProcs, err := get(swfReqProcs)
-		if err != nil {
-			return nil, err
-		}
-		reqTime, err := get(swfReqTime)
-		if err != nil {
-			return nil, err
-		}
-		user, err := get(swfUserID)
-		if err != nil {
-			return nil, err
-		}
-
-		if procs <= 0 {
-			procs = reqProcs
-		}
-		if run < 0 || procs <= 0 {
-			continue // incomplete record, mirroring the replay filter
-		}
-		if reqTime < run {
-			reqTime = run
-		}
-		if submit < 0 {
-			submit = 0
-		}
-		out = append(out, &job.Job{
-			ID:       job.ID(id),
-			User:     "user" + strconv.FormatInt(user, 10),
-			Cores:    int(procs),
-			Submit:   submit,
-			Runtime:  run,
-			Walltime: reqTime,
-		})
+	out, err := Collect(NewScanner(r))
+	if err != nil {
+		return nil, err
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: %v", err)
-	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Submit != out[j].Submit {
-			return out[i].Submit < out[j].Submit
-		}
-		return out[i].ID < out[j].ID
-	})
+	SortBySubmit(out)
 	return out, nil
+}
+
+// SortBySubmit orders jobs by (submit time, job ID) — the canonical
+// replay order the generator and ReadSWF guarantee.
+func SortBySubmit(jobs []*job.Job) {
+	sort.SliceStable(jobs, func(i, j int) bool {
+		if jobs[i].Submit != jobs[j].Submit {
+			return jobs[i].Submit < jobs[j].Submit
+		}
+		return jobs[i].ID < jobs[j].ID
+	})
 }
 
 // WriteSWF serializes jobs as SWF with a minimal header. Unknown fields
 // are written as -1 per the SWF convention.
 func WriteSWF(w io.Writer, jobs []*job.Job, comment string) error {
-	bw := bufio.NewWriter(w)
-	if comment != "" {
-		for _, l := range strings.Split(comment, "\n") {
-			if _, err := fmt.Fprintf(bw, "; %s\n", l); err != nil {
-				return err
-			}
-		}
-	}
+	sw := NewWriter(w, comment)
 	for _, j := range jobs {
-		user := int64(-1)
-		if n, err := strconv.ParseInt(strings.TrimPrefix(j.User, "user"), 10, 64); err == nil {
-			user = n
-		}
-		// job submit wait run procs avgcpu mem reqprocs reqtime reqmem
-		// status uid gid exe queue partition preceding think
-		if _, err := fmt.Fprintf(bw, "%d %d -1 %d %d -1 -1 %d %d -1 1 %d -1 -1 -1 -1 -1 -1\n",
-			j.ID, j.Submit, j.Runtime, j.Cores, j.Cores, j.Walltime, user); err != nil {
+		if err := sw.Write(j); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return sw.Flush()
 }
 
 // Stats summarizes a workload the way Section VII-B characterizes the
@@ -174,51 +99,96 @@ type Stats struct {
 	ZeroRuntimeJobs int
 }
 
-// Summarize computes workload statistics. hugeCoreSec is the core-seconds
-// threshold classifying a job as "huge" (the paper: more than the whole
-// cluster for one hour, i.e. 80640*3600 for Curie).
-func Summarize(jobs []*job.Job, hugeCoreSec int64) Stats {
-	var s Stats
-	s.Jobs = len(jobs)
-	users := map[string]bool{}
-	var ratios []float64
-	var sumRatio float64
-	for _, j := range jobs {
-		cs := int64(j.Cores) * j.Runtime
-		s.TotalCoreSec += cs
-		if j.Cores < 512 && j.Runtime < 120 {
-			s.SmallShort++
-		}
-		if cs > hugeCoreSec {
-			s.Huge++
-		}
-		if j.Runtime > 0 {
-			r := float64(j.Walltime) / float64(j.Runtime)
-			ratios = append(ratios, r)
-			sumRatio += r
-		} else {
-			s.ZeroRuntimeJobs++
-		}
-		if j.Cores > s.MaxCores {
-			s.MaxCores = j.Cores
-		}
-		if j.Submit > s.HorizonSec {
-			s.HorizonSec = j.Submit
-		}
-		if j.Submit == 0 {
-			s.BacklogAtuZero++
-		}
-		users[j.User] = true
+// Summarizer accumulates workload statistics one job at a time, so the
+// streaming path can characterize a trace while scanning it. It retains
+// one float64 per finite-runtime job (for the exact median
+// overestimation) and the distinct-user set — not the jobs themselves.
+type Summarizer struct {
+	hugeCoreSec int64
+	s           Stats
+	users       map[string]bool
+	ratios      []float64
+	sumRatio    float64
+	smallShort  int
+	huge        int
+}
+
+// NewSummarizer returns a Summarizer with the given "huge job"
+// core-seconds threshold (the paper: more than the whole cluster for one
+// hour, i.e. 80640*3600 for Curie).
+func NewSummarizer(hugeCoreSec int64) *Summarizer {
+	return &Summarizer{hugeCoreSec: hugeCoreSec, users: map[string]bool{}}
+}
+
+// Add accumulates one job.
+func (a *Summarizer) Add(j *job.Job) {
+	a.s.Jobs++
+	cs := int64(j.Cores) * j.Runtime
+	a.s.TotalCoreSec += cs
+	if j.Cores < 512 && j.Runtime < 120 {
+		a.smallShort++
 	}
+	if cs > a.hugeCoreSec {
+		a.huge++
+	}
+	if j.Runtime > 0 {
+		r := float64(j.Walltime) / float64(j.Runtime)
+		a.ratios = append(a.ratios, r)
+		a.sumRatio += r
+	} else {
+		a.s.ZeroRuntimeJobs++
+	}
+	if j.Cores > a.s.MaxCores {
+		a.s.MaxCores = j.Cores
+	}
+	if j.Submit > a.s.HorizonSec {
+		a.s.HorizonSec = j.Submit
+	}
+	if j.Submit == 0 {
+		a.s.BacklogAtuZero++
+	}
+	a.users[j.User] = true
+}
+
+// Stats finalizes and returns the accumulated statistics. The Summarizer
+// stays usable; further Adds refine the same summary.
+func (a *Summarizer) Stats() Stats {
+	s := a.s
 	if s.Jobs > 0 {
-		s.SmallShort /= float64(s.Jobs)
-		s.Huge /= float64(s.Jobs)
+		s.SmallShort = float64(a.smallShort) / float64(s.Jobs)
+		s.Huge = float64(a.huge) / float64(s.Jobs)
 	}
-	if len(ratios) > 0 {
+	if len(a.ratios) > 0 {
+		ratios := append([]float64(nil), a.ratios...)
 		sort.Float64s(ratios)
 		s.MedianOverEst = ratios[len(ratios)/2]
-		s.MeanOverEst = sumRatio / float64(len(ratios))
+		s.MeanOverEst = a.sumRatio / float64(len(ratios))
 	}
-	s.DistinctUsers = len(users)
+	s.DistinctUsers = len(a.users)
 	return s
+}
+
+// Summarize computes workload statistics over a materialized job list.
+func Summarize(jobs []*job.Job, hugeCoreSec int64) Stats {
+	a := NewSummarizer(hugeCoreSec)
+	for _, j := range jobs {
+		a.Add(j)
+	}
+	return a.Stats()
+}
+
+// SummarizeStream drains a stream into a summary without materializing
+// the jobs.
+func SummarizeStream(src Stream, hugeCoreSec int64) (Stats, error) {
+	a := NewSummarizer(hugeCoreSec)
+	for {
+		j, err := src.Next()
+		if err != nil {
+			return Stats{}, err
+		}
+		if j == nil {
+			return a.Stats(), nil
+		}
+		a.Add(j)
+	}
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"sort"
 	"strings"
 	"testing"
 
@@ -277,6 +278,144 @@ func TestSummarizeZeroRuntime(t *testing.T) {
 	s := Summarize(jobs, 1000)
 	if s.ZeroRuntimeJobs != 1 {
 		t.Errorf("ZeroRuntimeJobs = %d", s.ZeroRuntimeJobs)
+	}
+}
+
+func TestLibraryKindsParseAndDuration(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kind
+	}{
+		{"diurnal", Diurnal}, {"bursty", Bursty}, {"burst", Bursty},
+		{"heavytail", HeavyTail}, {"heavy", HeavyTail},
+	} {
+		got, err := ParseKind(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseKind(%q) = %v,%v", tc.in, got, err)
+		}
+	}
+	if Diurnal.String() != "diurnal" || Bursty.String() != "bursty" || HeavyTail.String() != "heavytail" {
+		t.Error("library Kind strings wrong")
+	}
+	if Diurnal.Duration() != 24*3600 {
+		t.Error("diurnal interval must span a full day")
+	}
+	if Bursty.Duration() != 5*3600 || HeavyTail.Duration() != 5*3600 {
+		t.Error("bursty/heavytail intervals must be 5 h")
+	}
+}
+
+// submitHistogram buckets submit times into nBuckets over [0, dur).
+func submitHistogram(jobs []*job.Job, dur int64, nBuckets int) []int {
+	h := make([]int, nBuckets)
+	for _, j := range jobs {
+		i := int(j.Submit * int64(nBuckets) / dur)
+		if i >= nBuckets {
+			i = nBuckets - 1
+		}
+		h[i]++
+	}
+	return h
+}
+
+func TestGenerateDiurnalShape(t *testing.T) {
+	cfg := Config{Kind: Diurnal, Seed: 1005, Cores: 1440}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || !sameJob(a[0], b[0]) || !sameJob(a[len(a)-1], b[len(b)-1]) {
+		t.Fatal("diurnal generation not deterministic")
+	}
+	// Day/night contrast: mid-day (10h-14h) must out-submit the
+	// midnight trough (22h-24h plus 0h-2h, excluding the t=0 backlog).
+	var arrived []*job.Job
+	for _, j := range a {
+		if j.Submit > 0 {
+			arrived = append(arrived, j)
+		}
+	}
+	h := submitHistogram(arrived, Diurnal.Duration(), 12)
+	day := h[5] + h[6]
+	night := h[0] + h[11]
+	if day < 3*night {
+		t.Errorf("diurnal contrast too weak: day %d vs night %d", day, night)
+	}
+	for i, j := range a {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("job %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestGenerateBurstyShape(t *testing.T) {
+	jobs, err := Generate(Config{Kind: Bursty, Seed: 1006, Cores: 1440})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Storms: with >=70% of jobs inside bursts of ~6 min around at most
+	// 7 centers, the busiest tenth of 1-minute buckets must hold well
+	// over half the non-backlog jobs.
+	dur := Bursty.Duration()
+	h := submitHistogram(jobs, dur, int(dur/60))
+	total := 0
+	for _, n := range h[1:] { // bucket 0 holds the t=0 backlog
+		total += n
+	}
+	sort.Ints(h[1:])
+	top := 0
+	for _, n := range h[len(h)-len(h)/10:] {
+		top += n
+	}
+	if top < total/2 {
+		t.Errorf("bursty arrivals too uniform: top decile holds %d of %d", top, total)
+	}
+}
+
+func TestGenerateHeavyTailShape(t *testing.T) {
+	jobs, err := Generate(Config{Kind: HeavyTail, Seed: 1007, Cores: 80640})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones, wide := 0, 0
+	for i, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("job %d invalid: %v", i, err)
+		}
+		if j.Cores == 1 {
+			ones++
+		}
+		if j.Cores >= 1000 {
+			wide++
+		}
+	}
+	// Pareto widths: single-core jobs dominate, yet a real tail of
+	// >=1000-core jobs exists.
+	if ones < len(jobs)/2 {
+		t.Errorf("heavytail: only %d/%d single-core jobs", ones, len(jobs))
+	}
+	if wide == 0 {
+		t.Error("heavytail: no wide-tail jobs at all")
+	}
+}
+
+func TestLibraryWorkloads(t *testing.T) {
+	lib := LibraryWorkloads()
+	if len(lib) != 7 {
+		t.Fatalf("LibraryWorkloads returned %d configs", len(lib))
+	}
+	seen := map[Kind]bool{}
+	for _, w := range lib {
+		seen[w.Kind] = true
+	}
+	for _, k := range []Kind{MedianJob, SmallJob, BigJob, Day24h, Diurnal, Bursty, HeavyTail} {
+		if !seen[k] {
+			t.Errorf("kind %v missing from LibraryWorkloads()", k)
+		}
 	}
 }
 
