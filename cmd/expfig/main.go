@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	expfig -fig 2|3|4|5|6|7a|7b|8|claims|ablation|sweep|scenarios|all [-racks 56] [-workers 0]
+//	expfig -fig 2|3|4|5|6|7a|7b|8|claims|ablation|sweep|scenarios|federation|all [-racks 56] [-workers 0]
 //
 // Figures 2-5 are static tables derived from the hardware model; 6-8,
 // the Section VII-C claims, the ablations and the full sweep replay
@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which artifact: 2|3|4|5|6|7a|7b|8|claims|ablation|sweep|scenarios|all")
+		fig     = flag.String("fig", "all", "which artifact: 2|3|4|5|6|7a|7b|8|claims|ablation|sweep|scenarios|federation|all")
 		racks   = flag.Int("racks", 56, "machine size in racks for the replayed figures")
 		workers = flag.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS)")
 		width   = flag.Int("width", 96, "chart width")
@@ -98,6 +98,7 @@ func main() {
 			figures.TimeSeries(r, *width, *height))
 	}
 	var lastSweep *experiment.Table
+	var lastFed *experiment.FederationTable
 	if want("8") {
 		t := sweep("fig8", replay.Fig8Scenarios(scale))
 		lastSweep = &t
@@ -126,6 +127,24 @@ func main() {
 		lastSweep = &t
 		show("Scenario library: paper intervals + diurnal/bursty/heavytail\n\n" + t.ASCII(40))
 	}
+	if *fig == "federation" {
+		// The federated multi-cluster comparison: fleet sizes x site
+		// budgets x division policies, every cell a lockstep federation
+		// of library-workload members under one shared budget.
+		grid := experiment.FederationGrid{
+			Name:         "federation",
+			MemberCounts: []int{2, 3},
+			CapFractions: []float64{0.5, 0.6},
+			Divisions:    []replay.Division{replay.DivideProRata, replay.DivideDemand},
+			ScaleRacks:   scale,
+		}
+		t := experiment.FederationRunner{Workers: *workers}.Run(grid.Name, grid.Scenarios())
+		if errs := t.Errs(); len(errs) > 0 {
+			fail(errs[0])
+		}
+		lastFed = &t
+		show("Federated multi-cluster sweep: fleet size x site budget x division policy\n\n" + t.ASCII(*width))
+	}
 	if *fig == "sweep" {
 		// The full evaluation grid in one command: every workload
 		// interval x every cap level x every applicable policy.
@@ -149,22 +168,28 @@ func main() {
 		fail(fmt.Errorf("unknown figure %q", *fig))
 	}
 	if *csvOut != "" || *jsonOut != "" {
-		if lastSweep == nil {
-			fail(fmt.Errorf("-csv/-json export sweep results, but -fig %s ran no sweep (use 8, claims, ablation or sweep)", *fig))
-		}
 		// With -fig all, several sweeps run; the export covers the last
 		// one, so name it.
+		name, csvFn, jsonFn := "", (func(io.Writer) error)(nil), (func(io.Writer) error)(nil)
+		switch {
+		case lastFed != nil:
+			name, csvFn, jsonFn = lastFed.Name, lastFed.WriteCSV, lastFed.WriteJSON
+		case lastSweep != nil:
+			name, csvFn, jsonFn = lastSweep.Name, lastSweep.WriteCSV, lastSweep.WriteJSON
+		default:
+			fail(fmt.Errorf("-csv/-json export sweep results, but -fig %s ran no sweep (use 8, claims, ablation, sweep or federation)", *fig))
+		}
 		if *csvOut != "" {
-			if err := writeFile(*csvOut, lastSweep.WriteCSV); err != nil {
+			if err := writeFile(*csvOut, csvFn); err != nil {
 				fail(err)
 			}
-			fmt.Printf("sweep summary CSV (%s) written to %s\n", lastSweep.Name, *csvOut)
+			fmt.Printf("sweep summary CSV (%s) written to %s\n", name, *csvOut)
 		}
 		if *jsonOut != "" {
-			if err := writeFile(*jsonOut, lastSweep.WriteJSON); err != nil {
+			if err := writeFile(*jsonOut, jsonFn); err != nil {
 				fail(err)
 			}
-			fmt.Printf("sweep JSON (%s) written to %s\n", lastSweep.Name, *jsonOut)
+			fmt.Printf("sweep JSON (%s) written to %s\n", name, *jsonOut)
 		}
 	}
 }

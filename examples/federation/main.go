@@ -1,0 +1,85 @@
+// Federation walkthrough: a three-cluster site under one shared power
+// budget, replayed twice — once with the static pro-rata division and
+// once with demand-driven reallocation — to show where the watts go
+// and what the reallocation buys. Member 0 replays the bursty library
+// interval (backlogged during every burst); members 1-2 are lightly
+// loaded and spend most of the run donating their headroom.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/federation"
+	"repro/internal/replay"
+)
+
+func main() {
+	racks := flag.Int("racks", 2, "racks per member cluster (56 = full Curie)")
+	members := flag.Int("members", 3, "member clusters in the federation")
+	capFrac := flag.Float64("cap", 0.5, "site budget as a fraction of the summed member max draw")
+	flag.Parse()
+
+	fmt.Printf("federating %d members (%d racks each) under a %.0f%% site budget\n\n",
+		*members, *racks, *capFrac*100)
+
+	var results [2]federation.Result
+	for i, div := range []replay.Division{replay.DivideProRata, replay.DivideDemand} {
+		fs := replay.FederationLibraryScenario(*members, *racks, *capFrac, div)
+		r := federation.Run(fs)
+		if r.Err != nil {
+			fmt.Printf("%s failed: %v\n", fs.Name, r.Err)
+			return
+		}
+		results[i] = r
+
+		fmt.Printf("== %s division: aggregate BSLD %.2f, mean wait %.0fs, peak site draw %v of %v\n",
+			div, r.MeanBSLD, r.MeanWaitSec, r.PeakGlobalW, r.GlobalBudgetW)
+		for _, m := range r.Members {
+			s := m.Summary
+			fmt.Printf("   %-24s bsld %6.2f  wait %5.0fs  launched %4d/%-4d  final cap %v\n",
+				m.Name, s.MeanBSLD, s.MeanWaitSec, s.JobsLaunched, s.JobsSubmitted, m.FinalCapW)
+		}
+		fmt.Println()
+	}
+
+	pro, dem := results[0], results[1]
+	fmt.Println("how the demand division moved the budget (member-0 cap at epoch boundaries):")
+	step := (len(dem.Epochs) + 7) / 8
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(dem.Epochs); i += step {
+		ep := dem.Epochs[i]
+		bar := int(float64(ep.CapW[0]) / float64(dem.GlobalBudgetW) * 60)
+		fmt.Printf("  t=%6d %-8s %v\n", ep.T, bars(bar), ep.CapW[0])
+	}
+	fmt.Println()
+	if pro.JobsLaunched < pro.JobsSubmitted || dem.JobsLaunched < dem.JobsSubmitted {
+		// A starved run's mean BSLD skips the jobs it never launched,
+		// so the stretch averages are not comparable; compare what each
+		// division actually got done instead.
+		fmt.Printf("launched %d/%d (pro-rata) vs %d/%d (demand) — a run that leaves jobs\n",
+			pro.JobsLaunched, pro.JobsSubmitted, dem.JobsLaunched, dem.JobsSubmitted)
+		fmt.Println("unlaunched censors its stretch average; grow -racks or the horizon for a")
+		fmt.Println("fair BSLD comparison (the default scale drains fully under both).")
+		return
+	}
+	if pro.MeanBSLD > 0 {
+		fmt.Printf("aggregate stretch: %.2f (pro-rata) -> %.2f (demand), %.0f%% better —\n",
+			pro.MeanBSLD, dem.MeanBSLD, (1-dem.MeanBSLD/pro.MeanBSLD)*100)
+		fmt.Println("idle members' headroom turns into earlier launches on the bursty member,")
+		fmt.Println("while the summed draw never exceeds the site budget.")
+	}
+}
+
+func bars(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

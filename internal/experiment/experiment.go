@@ -153,68 +153,75 @@ type Runner struct {
 	OnResult func(done, total int, r Result)
 }
 
-// Run executes the scenario list and aggregates the table. Each cell
-// builds its own controller, so cells share nothing but the immutable
-// scenario inputs; rows land at their grid index regardless of which
-// worker ran them or in what order they finished.
-func (r Runner) Run(name string, scenarios []replay.Scenario) Table {
-	workers := r.Workers
+// poolSize clamps a requested worker count against the cell count
+// (<= 0 requests GOMAXPROCS).
+func poolSize(workers, cells int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(scenarios) {
-		workers = len(scenarios)
+	if workers > cells {
+		workers = cells
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	t := Table{Name: name, Rows: make([]Result, len(scenarios)), Workers: workers}
-	start := time.Now()
+	return workers
+}
 
-	runCell := func(i int) Result {
-		t0 := time.Now()
-		res := replay.Run(scenarios[i])
-		return Result{Result: res, Index: i, Elapsed: time.Since(t0)}
-	}
-
-	if workers == 1 {
-		for i := range scenarios {
-			t.Rows[i] = runCell(i)
-			if r.OnResult != nil {
-				r.OnResult(i+1, len(scenarios), t.Rows[i])
-			}
+// runIndexed fans fn(0..n-1) out across a bounded worker pool — the
+// shared pool of the scenario and federation sweeps. fn must write its
+// result to its own index; runIndexed provides no other
+// synchronization. workers must already be clamped by poolSize.
+func runIndexed(n, workers int, fn func(i int)) {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
-		t.Elapsed = time.Since(start)
-		return t
+		return
 	}
-
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex // serializes OnResult and the done counter
-		done int
-		idx  = make(chan int)
-	)
+	var wg sync.WaitGroup
+	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				row := runCell(i)
-				t.Rows[i] = row
-				if r.OnResult != nil {
-					mu.Lock()
-					done++
-					r.OnResult(done, len(scenarios), row)
-					mu.Unlock()
-				}
+				fn(i)
 			}
 		}()
 	}
-	for i := range scenarios {
+	for i := 0; i < n; i++ {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
+}
+
+// Run executes the scenario list and aggregates the table. Each cell
+// builds its own controller, so cells share nothing but the immutable
+// scenario inputs; rows land at their grid index regardless of which
+// worker ran them or in what order they finished.
+func (r Runner) Run(name string, scenarios []replay.Scenario) Table {
+	workers := poolSize(r.Workers, len(scenarios))
+	t := Table{Name: name, Rows: make([]Result, len(scenarios)), Workers: workers}
+	start := time.Now()
+
+	var (
+		mu   sync.Mutex // serializes OnResult and the done counter
+		done int
+	)
+	runIndexed(len(scenarios), workers, func(i int) {
+		t0 := time.Now()
+		res := replay.Run(scenarios[i])
+		row := Result{Result: res, Index: i, Elapsed: time.Since(t0)}
+		t.Rows[i] = row
+		if r.OnResult != nil {
+			mu.Lock()
+			done++
+			r.OnResult(done, len(scenarios), row)
+			mu.Unlock()
+		}
+	})
 	t.Elapsed = time.Since(start)
 	return t
 }

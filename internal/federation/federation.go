@@ -1,0 +1,403 @@
+// Package federation runs fleets of independent powercap-aware RJMS
+// controllers under one shared site power budget — the multi-cluster
+// extension of the paper's single-cluster controller. A Broker owns N
+// member clusters (one rjms.Controller per member, each on its own
+// simengine.Engine, preserving the single-goroutine contract), drives
+// them in lockstep epochs over virtual time, and redistributes the
+// global budget across members at every epoch boundary through
+// per-member open-ended powercap reservations.
+//
+// Everything is deterministic: members are built, advanced, inspected
+// and re-budgeted in member-index order by one goroutine, so a
+// federation cell replays bit-identically — the property the
+// experiment-sweep fingerprints rely on. Parallelism lives one layer
+// up, in the sweep engine, which runs many independent federations at
+// once.
+//
+// Two division policies are provided (replay.Division): static
+// pro-rata by member maximum draw, and demand-driven reallocation that
+// moves the launch headroom of idle members to backlogged ones at
+// every epoch, never cutting a member below its current draw. As long
+// as the fleet's summed draw fits the budget the shares sum to at most
+// the global budget; when even the irreducible draws exceed it, every
+// share pins at its member's draw (the single-cluster over-budget
+// regime, shared with DVFS members under very low caps).
+package federation
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/replay"
+	"repro/internal/reservation"
+	"repro/internal/rjms"
+)
+
+// MemberResult is the per-cluster outcome of a federation run.
+type MemberResult struct {
+	Name     string
+	Summary  metrics.Summary
+	Samples  []metrics.Sample
+	MaxPower power.Watts
+	Cores    int
+	// FinalCapW is the member's budget at the end of the run (equals
+	// the pro-rata share under DivideProRata).
+	FinalCapW power.Watts
+}
+
+// EpochShares records the division chosen at one epoch boundary.
+type EpochShares struct {
+	T int64
+	// CapW is each member's budget after the redistribution, in member
+	// order.
+	CapW []power.Watts
+	// PendingCores is each member's queued demand at the boundary — the
+	// signal the demand-driven division acted on.
+	PendingCores []int
+}
+
+// GlobalSample is one point of the site-level time series: the summed
+// member draws against the global budget. Member sample series align
+// exactly (same interval, same horizon), so the sum is well-defined.
+type GlobalSample struct {
+	T     int64
+	Power power.Watts
+	Cap   power.Watts // the global budget (constant over the run)
+}
+
+// Result is the outcome of one federation run.
+type Result struct {
+	Scenario      replay.FederationScenario
+	GlobalBudgetW power.Watts
+	Members       []MemberResult
+	Epochs        []EpochShares
+	Global        []GlobalSample
+
+	// Aggregates across members.
+	EnergyJ       power.Joules
+	WorkCoreSec   float64
+	JobsSubmitted int
+	JobsLaunched  int
+	JobsCompleted int
+	JobsKilled    int
+	// MeanBSLD is the completed-job-weighted mean bounded slowdown
+	// across members — the aggregate stretch the division policies are
+	// compared on.
+	MeanBSLD    float64
+	MaxBSLD     float64
+	MeanWaitSec float64 // launched-job-weighted
+	// PeakGlobalW is the peak of the summed member draws.
+	PeakGlobalW power.Watts
+
+	Err error
+}
+
+// Observer is the test hook of RunWith: it sees every member's
+// controller after its workload is loaded and its reservation placed,
+// before any virtual time passes — where the invariant checker
+// attaches.
+type Observer func(i int, name string, ctl *rjms.Controller)
+
+// member is the broker's bookkeeping for one cluster.
+type member struct {
+	name     string
+	ctl      *rjms.Controller
+	cleanup  func()
+	capID    int
+	maxPower power.Watts
+	capW     power.Watts
+}
+
+// Run executes one federation scenario to completion.
+func Run(fs replay.FederationScenario) Result { return RunWith(fs, nil) }
+
+// RunWith executes one federation scenario, invoking observe on each
+// member as it is assembled.
+func RunWith(fs replay.FederationScenario, observe Observer) Result {
+	res := Result{Scenario: fs}
+	if err := fs.Validate(); err != nil {
+		res.Err = err
+		return res
+	}
+
+	// Assemble the fleet: controllers with loaded workloads, then the
+	// global budget from the summed member maxima.
+	members := make([]*member, 0, len(fs.Members))
+	defer func() {
+		for _, m := range members {
+			m.cleanup()
+		}
+	}()
+	var sumMax power.Watts
+	for i, ms := range fs.Members {
+		ctl, cleanup, err := replay.Build(ms)
+		if err != nil {
+			res.Err = fmt.Errorf("federation: member %d (%s): %w", i, ms.Name, err)
+			return res
+		}
+		name := ms.Name
+		if name == "" {
+			name = fmt.Sprintf("member%d", i)
+		}
+		m := &member{name: name, ctl: ctl, cleanup: cleanup, maxPower: ctl.Cluster().MaxPower()}
+		members = append(members, m)
+		sumMax += m.maxPower
+	}
+	global := power.Watts(fs.GlobalCapFraction * float64(sumMax))
+	res.GlobalBudgetW = global
+
+	// Initial division: both policies start pro-rata — with no demand
+	// observed yet there is nothing to reallocate. Each member gets one
+	// open-ended powercap reservation; its offline plan (switch-offs
+	// under SHUT/MIX member policies) runs against this initial share.
+	duration := fs.Duration()
+	for i, m := range members {
+		m.capW = proRataShare(global, m.maxPower, sumMax)
+		id, _, err := m.ctl.ReservePowerCapID(0, reservation.Horizon, power.CapWatts(m.capW))
+		if err != nil {
+			res.Err = fmt.Errorf("federation: member %d (%s): %w", i, m.name, err)
+			return res
+		}
+		m.capID = id
+		if observe != nil {
+			observe(i, m.name, m.ctl)
+		}
+		if err := m.ctl.Start(duration); err != nil {
+			res.Err = fmt.Errorf("federation: member %d (%s): %w", i, m.name, err)
+			return res
+		}
+	}
+
+	// Lockstep epochs: advance every member to the boundary (member
+	// order), then redistribute. All of this happens on one goroutine,
+	// so every member engine keeps its single-goroutine contract and
+	// the whole run is a deterministic function of the scenario.
+	epoch := fs.Epoch()
+	for t := epoch; t < duration; t += epoch {
+		for i, m := range members {
+			if err := m.ctl.Advance(t); err != nil {
+				res.Err = fmt.Errorf("federation: member %d (%s) at t=%d: %w", i, m.name, t, err)
+				return res
+			}
+		}
+		shares := divide(fs.Division, global, members)
+		rec := EpochShares{T: t, CapW: make([]power.Watts, len(members)), PendingCores: make([]int, len(members))}
+		for i, m := range members {
+			rec.PendingCores[i] = m.ctl.PendingCores()
+			rec.CapW[i] = shares[i]
+			if shares[i] != m.capW {
+				m.capW = shares[i]
+				if err := m.ctl.AdjustPowerCap(m.capID, power.CapWatts(shares[i])); err != nil {
+					res.Err = fmt.Errorf("federation: member %d (%s) at t=%d: %w", i, m.name, t, err)
+					return res
+				}
+			}
+		}
+		res.Epochs = append(res.Epochs, rec)
+	}
+	for i, m := range members {
+		if err := m.ctl.Advance(duration); err != nil {
+			res.Err = fmt.Errorf("federation: member %d (%s): %w", i, m.name, err)
+			return res
+		}
+	}
+
+	// Close out and aggregate.
+	res.Members = make([]MemberResult, len(members))
+	for i, m := range members {
+		sum := m.ctl.Finish()
+		res.Members[i] = MemberResult{
+			Name:      m.name,
+			Summary:   sum,
+			Samples:   m.ctl.Samples(),
+			MaxPower:  m.maxPower,
+			Cores:     m.ctl.Cluster().Cores(),
+			FinalCapW: m.capW,
+		}
+	}
+	aggregate(&res)
+	return res
+}
+
+// proRataShare is the static division: global scaled by the member's
+// fraction of the summed maximum draw.
+func proRataShare(global, maxPower, sumMax power.Watts) power.Watts {
+	return power.Watts(float64(global) * float64(maxPower) / float64(sumMax))
+}
+
+// DemandReserveFraction is the fraction of its pro-rata share an idle
+// member keeps under the demand-driven division: enough headroom to
+// start launching the moment work arrives mid-epoch (the next boundary
+// then reclassifies it as backlogged and refills it), small enough
+// that most of an idle fleet's budget still moves to the backlogged
+// members.
+const DemandReserveFraction = 0.5
+
+// divide computes every member's budget for the next epoch. It returns
+// shares in member order; their sum never exceeds the global budget
+// (up to float rounding).
+func divide(div replay.Division, global power.Watts, members []*member) []power.Watts {
+	shares := make([]power.Watts, len(members))
+	var sumMax power.Watts
+	for _, m := range members {
+		sumMax += m.maxPower
+	}
+	if div == replay.DivideProRata {
+		for i, m := range members {
+			shares[i] = proRataShare(global, m.maxPower, sumMax)
+		}
+		return shares
+	}
+
+	// Demand-driven: floor every member at its current draw (a cap
+	// below the draw would be unenforceable — the controller only
+	// gates launches, it does not evict) or at a reserve fraction of
+	// its pro-rata share, whichever is higher — the reserve keeps an
+	// idle member able to launch work that arrives mid-epoch instead
+	// of stalling a full epoch at zero headroom. The remaining slack
+	// water-fills over the backlogged members, weighted by machine
+	// size and capped at each machine's maximum draw. Any slack left
+	// once every backlogged member is saturated (or when nobody
+	// queues) spreads pro-rata over the whole fleet, so the shares
+	// always sum to the global budget.
+	draw := make([]power.Watts, len(members))
+	reserve := make([]power.Watts, len(members))
+	maxima := make([]power.Watts, len(members))
+	backlogged := make([]bool, len(members))
+	var floorSum power.Watts
+	anyBacklog := false
+	for i, m := range members {
+		draw[i] = m.ctl.Cluster().Power()
+		reserve[i] = power.Watts(DemandReserveFraction * float64(proRataShare(global, m.maxPower, sumMax)))
+		if reserve[i] < draw[i] {
+			reserve[i] = draw[i]
+		}
+		maxima[i] = m.maxPower
+		shares[i] = draw[i]
+		floorSum += draw[i]
+		if m.ctl.PendingCores() > 0 {
+			backlogged[i] = true
+			anyBacklog = true
+		}
+	}
+	slack := global - floorSum
+	if slack <= 0 {
+		// The fleet already draws the whole budget (or draws exceed it
+		// — possible when members cannot shut nodes down); everyone is
+		// pinned at their draw.
+		return shares
+	}
+	// Stage 1: lift everyone toward the reserve floor, so idle members
+	// keep launch headroom for work arriving mid-epoch.
+	slack = waterfill(shares, slack, reserve, func(i int) bool { return true }, members)
+	// Stage 2: the backlogged members split the real surplus.
+	if anyBacklog && slack > 0 {
+		slack = waterfill(shares, slack, maxima, func(i int) bool { return backlogged[i] }, members)
+	}
+	// Stage 3: residue spreads by machine size over everyone, capped at
+	// the machine maximum; anything still left (whole fleet saturated)
+	// is surplus the site simply does not spend.
+	if slack > 0 {
+		slack = waterfill(shares, slack, maxima, func(i int) bool { return true }, members)
+	}
+	return shares
+}
+
+// waterfill distributes amount over the eligible members proportionally
+// to their maximum draw, capping each at its ceiling and re-spreading
+// the overflow until nothing moves. It mutates shares and returns the
+// undistributed remainder. Iteration is in member order throughout, so
+// the float arithmetic is reproducible.
+func waterfill(shares []power.Watts, amount power.Watts, ceiling []power.Watts, eligible func(int) bool, members []*member) power.Watts {
+	active := make([]bool, len(members))
+	for i := range members {
+		active[i] = eligible(i) && shares[i] < ceiling[i]
+	}
+	for amount > 1e-9 {
+		var weight power.Watts
+		for i, m := range members {
+			if active[i] {
+				weight += m.maxPower
+			}
+		}
+		if weight == 0 {
+			break
+		}
+		moved := false
+		remaining := amount
+		for i, m := range members {
+			if !active[i] {
+				continue
+			}
+			give := power.Watts(float64(remaining) * float64(m.maxPower) / float64(weight))
+			if room := ceiling[i] - shares[i]; give >= room {
+				give = room
+				active[i] = false
+			}
+			if give > 0 {
+				shares[i] += give
+				amount -= give
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return amount
+}
+
+// aggregate folds the member results into the site totals.
+func aggregate(res *Result) {
+	var bsldW float64 // completed-weighted BSLD accumulator
+	var waitW float64 // launched-weighted wait accumulator
+	for _, m := range res.Members {
+		s := m.Summary
+		res.EnergyJ += s.EnergyJ
+		res.WorkCoreSec += s.WorkCoreSec
+		res.JobsSubmitted += s.JobsSubmitted
+		res.JobsLaunched += s.JobsLaunched
+		res.JobsCompleted += s.JobsCompleted
+		res.JobsKilled += s.JobsKilled
+		bsldW += s.MeanBSLD * float64(s.JobsCompleted)
+		waitW += s.MeanWaitSec * float64(s.JobsLaunched)
+		if s.MaxBSLD > res.MaxBSLD {
+			res.MaxBSLD = s.MaxBSLD
+		}
+	}
+	if res.JobsCompleted > 0 {
+		res.MeanBSLD = bsldW / float64(res.JobsCompleted)
+	}
+	if res.JobsLaunched > 0 {
+		res.MeanWaitSec = waitW / float64(res.JobsLaunched)
+	}
+
+	// The site-level draw series: member sample series align (same
+	// interval, same horizon), so sum pointwise. Guard against ragged
+	// series anyway — a member with sampling disabled contributes none.
+	n := 0
+	for _, m := range res.Members {
+		if len(m.Samples) > n {
+			n = len(m.Samples)
+		}
+	}
+	for k := 0; k < n; k++ {
+		var g GlobalSample
+		g.Cap = res.GlobalBudgetW
+		ok := false
+		for _, m := range res.Members {
+			if k < len(m.Samples) {
+				g.T = m.Samples[k].T
+				g.Power += m.Samples[k].Power
+				ok = true
+			}
+		}
+		if ok {
+			res.Global = append(res.Global, g)
+			if g.Power > res.PeakGlobalW {
+				res.PeakGlobalW = g.Power
+			}
+		}
+	}
+}

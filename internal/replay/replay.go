@@ -138,31 +138,32 @@ type Result struct {
 	Err      error
 }
 
-// Run executes one scenario to completion.
-func Run(s Scenario) Result {
-	res := Result{Scenario: s}
+// Build constructs the controller of one scenario with its workload
+// loaded (materialized or streaming) but nothing reserved or run — the
+// shared front half of Run and of federation members, which reserve
+// and drive their controllers themselves. The returned cleanup releases
+// a streaming source (it is non-nil even when there is nothing to
+// close) and must be called once the run is over.
+func Build(s Scenario) (ctl *rjms.Controller, cleanup func(), err error) {
 	topo := s.Machine()
+	cleanup = func() {}
 
 	jobs := s.Jobs
 	var stream *trace.FileStream
 	switch {
 	case jobs != nil:
 	case s.SWF != nil:
-		var err error
 		stream, err = s.SWF.Open()
 		if err != nil {
-			res.Err = err
-			return res
+			return nil, cleanup, err
 		}
-		defer stream.Close()
+		cleanup = func() { stream.Close() }
 	default:
 		wl := s.Workload
 		wl.Cores = topo.Cores()
-		var err error
 		jobs, err = trace.Generate(wl)
 		if err != nil {
-			res.Err = err
-			return res
+			return nil, cleanup, err
 		}
 	}
 
@@ -179,14 +180,11 @@ func Run(s Scenario) Result {
 		MeasuredPowerNoise: s.MeasuredNoise,
 		CompactPlacement:   s.Compact,
 	}
-	ctl, err := rjms.New(cfg)
+	ctl, err = rjms.New(cfg)
 	if err != nil {
-		res.Err = err
-		return res
+		cleanup()
+		return nil, func() {}, err
 	}
-	res.MaxPower = ctl.Cluster().MaxPower()
-	res.Cores = ctl.Cluster().Cores()
-
 	if stream != nil {
 		// Lazy ingestion: the controller pulls submissions from the
 		// stream as the virtual clock advances, so only pending and
@@ -196,9 +194,32 @@ func Run(s Scenario) Result {
 		err = ctl.LoadWorkload(jobs)
 	}
 	if err != nil {
+		cleanup()
+		return nil, func() {}, err
+	}
+	return ctl, cleanup, nil
+}
+
+// Run executes one scenario to completion.
+func Run(s Scenario) Result { return RunWith(s, nil) }
+
+// RunWith executes one scenario like Run, invoking observe (when
+// non-nil) on the built controller before the replay starts — the
+// attach point of the invariant checker and other test probes.
+func RunWith(s Scenario, observe func(*rjms.Controller)) Result {
+	res := Result{Scenario: s}
+	ctl, cleanup, err := Build(s)
+	if err != nil {
 		res.Err = err
 		return res
 	}
+	defer cleanup()
+	res.MaxPower = ctl.Cluster().MaxPower()
+	res.Cores = ctl.Cluster().Cores()
+	if observe != nil {
+		observe(ctl)
+	}
+
 	if s.Capped() {
 		start, end := s.Window()
 		budget := power.CapFraction(s.CapFraction, ctl.Cluster().MaxPower())

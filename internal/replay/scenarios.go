@@ -86,6 +86,180 @@ func FromSWF(name string, src trace.SWFSource, policy core.Policy, capFraction f
 	}
 }
 
+// Division selects how the federation broker splits the global site
+// budget across member clusters at redistribution boundaries.
+type Division int
+
+const (
+	// DivideProRata splits the global budget statically, in proportion
+	// to each member's maximum draw — the budget a member would get if
+	// it were the whole site scaled down.
+	DivideProRata Division = iota
+	// DivideDemand starts from the pro-rata split and, at every epoch
+	// boundary, moves the launch headroom of idle members (no queued
+	// jobs) to backlogged ones, never cutting a member below its
+	// current draw. While the fleet's summed draw fits the budget the
+	// member caps sum to at most the global budget (exactly, unless
+	// every machine saturates); when even the irreducible draws exceed
+	// it, shares pin at the draws.
+	DivideDemand
+)
+
+// String implements fmt.Stringer ("prorata" / "demand").
+func (d Division) String() string {
+	switch d {
+	case DivideProRata:
+		return "prorata"
+	case DivideDemand:
+		return "demand"
+	default:
+		return fmt.Sprintf("Division(%d)", int(d))
+	}
+}
+
+// ParseDivision parses a division-policy name.
+func ParseDivision(s string) (Division, error) {
+	switch s {
+	case "prorata", "static":
+		return DivideProRata, nil
+	case "demand", "dynamic":
+		return DivideDemand, nil
+	}
+	return 0, fmt.Errorf("replay: unknown division policy %q (want prorata|demand)", s)
+}
+
+// FederationScenario is one cell of a federated multi-cluster
+// experiment: N member clusters, each with its own workload, policy and
+// machine scale, run in lockstep under a shared site power budget that
+// a broker redistributes at epoch boundaries. internal/federation
+// executes it; this package only defines the vocabulary, mirroring the
+// Scenario/sweep split of the single-cluster path.
+type FederationScenario struct {
+	Name string
+	// Members are the per-cluster scenarios. Their CapFraction and
+	// window fields must be zero: the broker owns every member's
+	// powercap (one open-ended reservation per member, re-budgeted at
+	// each epoch). Workloads may be synthetic kinds or SWF streams.
+	Members []Scenario
+	// GlobalCapFraction is the site budget as a fraction of the summed
+	// member maximum draws; must be in (0, 1).
+	GlobalCapFraction float64
+	// Division picks the redistribution policy.
+	Division Division
+	// EpochSec is the redistribution period; 0 means 900 s.
+	EpochSec int64
+	// DurationSec bounds the replayed interval; 0 means the longest
+	// member workload duration.
+	DurationSec int64
+}
+
+// DefaultFederationEpoch is the redistribution period used when
+// EpochSec is zero: 15 minutes, the cadence of site-level power
+// coordination (short against the one-hour reservation windows of the
+// paper, long against the scheduler's per-event reactions).
+const DefaultFederationEpoch = int64(900)
+
+// Epoch returns the redistribution period.
+func (f FederationScenario) Epoch() int64 {
+	if f.EpochSec > 0 {
+		return f.EpochSec
+	}
+	return DefaultFederationEpoch
+}
+
+// Duration returns the replayed interval length: DurationSec, or the
+// longest member duration.
+func (f FederationScenario) Duration() int64 {
+	if f.DurationSec > 0 {
+		return f.DurationSec
+	}
+	var max int64
+	for _, m := range f.Members {
+		if d := m.Duration(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Validate reports structural problems a broker run would trip over.
+func (f FederationScenario) Validate() error {
+	if len(f.Members) == 0 {
+		return fmt.Errorf("replay: federation %q has no members", f.Name)
+	}
+	if f.GlobalCapFraction <= 0 || f.GlobalCapFraction >= 1 {
+		return fmt.Errorf("replay: federation %q global cap fraction %v outside (0, 1)",
+			f.Name, f.GlobalCapFraction)
+	}
+	for i, m := range f.Members {
+		if m.CapFraction != 0 || m.CapStart != 0 || m.CapDuration != 0 || m.OpenEnded {
+			return fmt.Errorf("replay: federation %q member %d sets its own powercap; the broker owns member caps", f.Name, i)
+		}
+	}
+	if f.EpochSec < 0 {
+		return fmt.Errorf("replay: federation %q negative epoch %d", f.Name, f.EpochSec)
+	}
+	return nil
+}
+
+// FederationMembers builds n member scenarios drawn from the workload
+// scenario library: member 0 replays the bursty interval at eighty
+// percent of its machine's capacity (heavily backlogged during each
+// burst, drainable over the run), and the others cycle through lightly
+// loaded median, small, heavy-tailed and big intervals — the
+// asymmetric fleet (one busy cluster among quiet ones) that separates
+// the division policies. Members run the DVFS policy so every node
+// stays powered and a raised budget translates directly into launch
+// headroom; seeds are fixed per slot so federations of the same size
+// replay identically.
+func FederationMembers(n, scaleRacks int) []Scenario {
+	light := []trace.Kind{trace.MedianJob, trace.SmallJob, trace.HeavyTail, trace.BigJob}
+	out := make([]Scenario, 0, n)
+	for i := 0; i < n; i++ {
+		wl := trace.Config{Kind: trace.Bursty, Seed: 2001, LoadFactor: 0.8}
+		if i > 0 {
+			wl = trace.Config{
+				Kind: light[(i-1)%len(light)],
+				Seed: 2001 + int64(i),
+				// A quarter of the machine's capacity over the
+				// interval: mostly idle, the donor side of the
+				// demand-driven division.
+				LoadFactor: 0.25,
+			}
+		}
+		out = append(out, Scenario{
+			Name:       fmt.Sprintf("member%d/%s", i, wl.Kind),
+			Workload:   wl,
+			Policy:     core.PolicyDvfs,
+			ScaleRacks: scaleRacks,
+		})
+	}
+	return out
+}
+
+// FederationLibraryScenario assembles the standard federated cell: n
+// FederationMembers under a shared budget with the given division. The
+// horizon is twice the member interval: submissions stop halfway and
+// the backlog drains, so the bounded-slowdown comparison between
+// division policies covers (nearly) every submitted job instead of
+// censoring the stragglers a starved member never launched.
+func FederationLibraryScenario(n, scaleRacks int, capFrac float64, div Division) FederationScenario {
+	members := FederationMembers(n, scaleRacks)
+	var horizon int64
+	for _, m := range members {
+		if d := m.Duration(); d*2 > horizon {
+			horizon = d * 2
+		}
+	}
+	return FederationScenario{
+		Name:              fmt.Sprintf("fed%d/%d%%/%s", n, int(capFrac*100+0.5), div),
+		Members:           members,
+		GlobalCapFraction: capFrac,
+		Division:          div,
+		DurationSec:       horizon,
+	}
+}
+
 // policies evaluated at each cap level in Figure 8. At 80% the paper only
 // shows DVFS and SHUT; MIX joins at 60% and 40% (below its 75% combined
 // threshold).

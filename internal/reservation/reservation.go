@@ -88,6 +88,24 @@ func (b *Book) AddSwitchOff(start, end int64, nodes []cluster.NodeID) (int, erro
 	return id, nil
 }
 
+// UpdateCap re-budgets an existing powercap reservation in place: the
+// window keeps its span and ID, only the Watts value changes. This is
+// how a federation broker moves budget between member clusters at
+// redistribution boundaries without tearing reservations down. The new
+// cap must be set; unknown IDs (including switch-off IDs) are an error.
+func (b *Book) UpdateCap(id int, cap power.Cap) error {
+	if !cap.IsSet() {
+		return fmt.Errorf("reservation: update of powercap %d without a cap value", id)
+	}
+	for i := range b.caps {
+		if b.caps[i].ID == id {
+			b.caps[i].Cap = cap
+			return nil
+		}
+	}
+	return fmt.Errorf("reservation: no powercap reservation %d", id)
+}
+
 // Remove deletes a reservation of either kind by ID; unknown IDs are
 // no-ops.
 func (b *Book) Remove(id int) {

@@ -205,3 +205,32 @@ func TestBoundaries(t *testing.T) {
 		t.Errorf("Boundaries(200) = %v, want [250 300]", got)
 	}
 }
+
+func TestUpdateCap(t *testing.T) {
+	b := NewBook()
+	id := mustCap(t, b, 0, Horizon, 500)
+	if err := b.UpdateCap(id, power.CapWatts(300)); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.CapAt(10).Watts(); got != 300 {
+		t.Errorf("CapAt after update = %v, want 300", got)
+	}
+	// The window keeps its span: still open-ended.
+	if got := b.CapAt(1 << 40).Watts(); got != 300 {
+		t.Errorf("CapAt far future = %v, want 300", got)
+	}
+	if err := b.UpdateCap(id, power.NoCap); err == nil {
+		t.Error("UpdateCap with unset cap: want error")
+	}
+	if err := b.UpdateCap(424242, power.CapWatts(100)); err == nil {
+		t.Error("UpdateCap of unknown ID: want error")
+	}
+	// Switch-off IDs are not powercaps.
+	offID, err := b.AddSwitchOff(0, 100, []cluster.NodeID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.UpdateCap(offID, power.CapWatts(100)); err == nil {
+		t.Error("UpdateCap of a switch-off ID: want error")
+	}
+}

@@ -58,6 +58,10 @@ type Controller struct {
 	// checks use its guarded estimate instead of the exact bookkeeping.
 	estimator *powerlog.Estimator
 
+	// observer, when set, runs after every recorded metrics sample (the
+	// invariant checker's hook; see SetObserver).
+	observer func(now int64)
+
 	// Scratch buffers reused across scheduling passes. A pass probes an
 	// allocation for up to BackfillDepth jobs at every event; without
 	// reuse each probe allocates candidate slices that die immediately
@@ -233,8 +237,18 @@ func (c *Controller) scheduleStream(src JobSource, j *job.Job) error {
 // offline planning of Algorithm 1, and schedules the window's switch-off
 // and wake-up actions. It returns the offline plan for inspection.
 func (c *Controller) ReservePowerCap(start, end int64, budget power.Cap) (core.OfflinePlan, error) {
-	if _, err := c.book.AddPowerCap(start, end, budget); err != nil {
-		return core.OfflinePlan{}, err
+	_, plan, err := c.ReservePowerCapID(start, end, budget)
+	return plan, err
+}
+
+// ReservePowerCapID is ReservePowerCap returning also the reservation's
+// ID, the handle AdjustPowerCap needs to re-budget the window later —
+// the federation broker reserves one open-ended cap per member cluster
+// and moves watts between them at redistribution boundaries.
+func (c *Controller) ReservePowerCapID(start, end int64, budget power.Cap) (int, core.OfflinePlan, error) {
+	resID, err := c.book.AddPowerCap(start, end, budget)
+	if err != nil {
+		return 0, core.OfflinePlan{}, err
 	}
 	eligible := func(id cluster.NodeID) bool { return !c.clus.Reserved(id) }
 	plan := core.PlanOffline(c.clus, c.pm, budget, !c.cfg.ScatteredShutdown, eligible)
@@ -244,42 +258,57 @@ func (c *Controller) ReservePowerCap(start, end int64, budget power.Cap) (core.O
 	}
 	if len(plan.OffNodes) > 0 {
 		if _, err := c.book.AddSwitchOff(start, end, plan.OffNodes); err != nil {
-			return plan, err
+			return resID, plan, err
 		}
 		for _, id := range plan.OffNodes {
 			if err := c.clus.SetReserved(id, true); err != nil {
-				return plan, err
+				return resID, plan, err
 			}
 		}
 		c.survivorFresh = false
 		offNodes := append([]cluster.NodeID(nil), plan.OffNodes...)
 		if _, err := c.eng.At(start, func(now int64) { c.windowOpen(offNodes, now) }); err != nil {
-			return plan, err
+			return resID, plan, err
 		}
 		if end != reservation.Horizon {
 			if _, err := c.eng.At(end, func(now int64) { c.windowClose(offNodes, now) }); err != nil {
-				return plan, err
+				return resID, plan, err
 			}
 		}
 	}
 	// Wake the scheduler at the cap boundaries even without shutdowns:
 	// budgets change what may launch.
 	if _, err := c.eng.At(start, func(now int64) { c.capBoundary(now) }); err != nil {
-		return plan, err
+		return resID, plan, err
 	}
 	if end != reservation.Horizon {
 		if _, err := c.eng.At(end, func(now int64) { c.capEnded(now) }); err != nil {
-			return plan, err
+			return resID, plan, err
 		}
 	}
-	return plan, nil
+	return resID, plan, nil
 }
 
 // Run drives the simulation until the given horizon and returns the
 // run's summary. Pending events beyond the horizon stay unfired.
+// Equivalent to Start + one Advance to the horizon + Finish; callers
+// that interleave external control between epochs (the federation
+// broker) use those pieces directly.
 func (c *Controller) Run(until int64) (metrics.Summary, error) {
+	if err := c.Start(until); err != nil {
+		return metrics.Summary{}, err
+	}
+	if err := c.Advance(until); err != nil {
+		return metrics.Summary{}, err
+	}
+	return c.Finish(), nil
+}
+
+// Start fixes the run's horizon and arms the metrics sampling chain.
+// It fires no events; follow with Advance calls up to the horizon.
+func (c *Controller) Start(until int64) error {
 	if until <= 0 {
-		return metrics.Summary{}, fmt.Errorf("rjms: non-positive horizon %d", until)
+		return fmt.Errorf("rjms: non-positive horizon %d", until)
 	}
 	c.horizon = until
 	if c.cfg.SampleInterval > 0 && !c.sampling {
@@ -288,20 +317,91 @@ func (c *Controller) Run(until int64) (metrics.Summary, error) {
 		// long replays don't regrow the buffer dozens of times.
 		c.rec.Reserve(int(until/c.cfg.SampleInterval) + 2)
 		if _, err := c.eng.At(0, c.sampleTick); err != nil {
-			return metrics.Summary{}, err
+			return err
 		}
 	}
+	return nil
+}
+
+// Advance drives the simulation to virtual time until (at most the
+// Start horizon), firing every event at or before it. Repeated calls
+// with nondecreasing times run the same event sequence as one Run to
+// the horizon — the lockstep primitive of the federation broker, which
+// inspects and re-budgets the controller between Advance calls.
+func (c *Controller) Advance(until int64) error {
+	if until > c.horizon {
+		return fmt.Errorf("rjms: advance to %d beyond horizon %d", until, c.horizon)
+	}
+	if until < c.eng.Now() {
+		return fmt.Errorf("rjms: advance to %d behind clock %d", until, c.eng.Now())
+	}
 	if err := c.eng.Run(until); err != nil {
-		return metrics.Summary{}, err
+		return err
 	}
-	if c.loadErr != nil {
-		return metrics.Summary{}, c.loadErr
+	return c.loadErr
+}
+
+// Finish closes the run at the Start horizon and returns its summary.
+func (c *Controller) Finish() metrics.Summary {
+	return c.rec.Finalize(0, c.horizon, c.clus.MaxPower(), c.clus.Cores())
+}
+
+// AdjustPowerCap re-budgets an existing powercap reservation in place.
+// It is the federation hook: called between Advance calls (never from
+// inside an event handler), it changes the cap value at the current
+// virtual time and immediately runs the cap-boundary reactions — the
+// dynamic-DVFS throttle, the kill-to-fit extreme action when enabled,
+// and a scheduling pass — exactly as if a window with the new budget
+// had just opened. The offline switch-off plan of the original
+// reservation is kept: redistribution moves launch headroom, it does
+// not re-plan shutdowns mid-window.
+func (c *Controller) AdjustPowerCap(id int, budget power.Cap) error {
+	if err := c.book.UpdateCap(id, budget); err != nil {
+		return err
 	}
-	return c.rec.Finalize(0, until, c.clus.MaxPower(), c.clus.Cores()), nil
+	c.capBoundary(c.eng.Now())
+	return nil
 }
 
 // Samples returns the recorded time series.
 func (c *Controller) Samples() []metrics.Sample { return c.rec.Samples() }
+
+// ActiveCap returns the tightest powercap budget active at the current
+// virtual time (power.NoCap when none).
+func (c *Controller) ActiveCap() power.Cap { return c.book.CapAt(c.eng.Now()) }
+
+// PendingCores sums the core requests of the queued jobs — the demand
+// signal the federation broker's demand-driven division reads.
+func (c *Controller) PendingCores() int {
+	n := 0
+	for _, j := range c.pending {
+		n += j.Cores
+	}
+	return n
+}
+
+// SnapshotJobs returns the jobs the controller currently tracks:
+// first the pending queue in its (deterministic) queue order, then the
+// running set sorted by ID. The order is reproducible across replays
+// but is not globally ID-sorted — sorting the whole backlog at every
+// probe would dominate sampled-checker runs. The pointers alias live
+// scheduling state: callers must treat them as read-only (the
+// invariant checker's contract).
+func (c *Controller) SnapshotJobs() []*job.Job {
+	out := make([]*job.Job, 0, len(c.pending)+len(c.running))
+	out = append(out, c.pending...)
+	run := make([]*job.Job, 0, len(c.running))
+	for _, j := range c.running {
+		run = append(run, j)
+	}
+	sort.Slice(run, func(i, k int) bool { return run[i].ID < run[k].ID })
+	return append(out, run...)
+}
+
+// SetObserver registers fn to run after every metrics sample is
+// recorded — the attach point of the test-only invariant checker. A nil
+// fn clears it.
+func (c *Controller) SetObserver(fn func(now int64)) { c.observer = fn }
 
 // --- event handlers -------------------------------------------------
 
@@ -444,6 +544,9 @@ func (c *Controller) addSample(now int64) {
 		Cap:         capW,
 		Bonus:       c.clus.BonusWatts(),
 	})
+	if c.observer != nil {
+		c.observer(now)
+	}
 }
 
 // noteState pushes the power and busy-core integrals after any mutation

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -85,6 +86,13 @@ func parseSWFLine(text string, line int) (*job.Job, error) {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
 			return 0, fmt.Errorf("trace: line %d field %d: %v", line, i+1, err)
+		}
+		// Reject NaN, infinities and values outside int64: the
+		// float-to-int conversion of such values is implementation
+		// specific in Go (found by the parser fuzzer), and a trace
+		// carrying them is corrupt, not merely incomplete.
+		if math.IsNaN(v) || v >= math.MaxInt64 || v <= math.MinInt64 {
+			return 0, fmt.Errorf("trace: line %d field %d: value %v out of range", line, i+1, fields[i])
 		}
 		return int64(v), nil
 	}
