@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/federation"
 	"repro/internal/figures"
 	"repro/internal/replay"
 	"repro/internal/slurmconf"
@@ -67,8 +68,17 @@ func main() {
 		timeScale = flag.Float64("timescale", 0, "with -swf: multiply submit times (0.5 = double the arrival rate)")
 		swfCores  = flag.Int("swfcores", 0, "with -swf: the trace's native machine size; job widths are rescaled onto the replayed machine")
 		duration  = flag.Int64("duration", 0, "replayed interval seconds (default: the workload kind's length)")
+		federate  = flag.Bool("federate", false, "federated mode: run member clusters from the scenario library under a shared site budget")
+		members   = flag.String("members", "3", "with -federate: member-cluster counts, comma separated")
+		division  = flag.String("division", "demand", "with -federate: budget division policies, comma separated: prorata|demand")
+		epoch     = flag.Int64("epoch", 0, "with -federate: redistribution period seconds (0 = 900)")
 	)
 	flag.Parse()
+
+	if *federate {
+		runFederate(*members, *capList, *division, *racks, *epoch, *workers, *width, *csvOut, *jsonOut)
+		return
+	}
 
 	k, err := trace.ParseKind(*kind)
 	if err != nil {
@@ -259,6 +269,145 @@ func runSingle(base replay.Scenario, p core.Policy, capFrac float64, swfLabel st
 		}
 		fmt.Printf("time series CSV written to %s\n", csvOut)
 	}
+}
+
+// runFederate is the -federate entry point: a single (members x cap x
+// division) combination replays one federation with the full
+// per-member breakdown; any multi-valued axis switches to sweep mode
+// over the federated grid.
+func runFederate(memberList, capList, divisionList string, racks int, epoch int64, workers, width int, csvOut, jsonOut string) {
+	memberCounts, err := parseInts(memberList)
+	if err != nil {
+		fail(err)
+	}
+	caps, err := parseCaps(capList)
+	if err != nil {
+		fail(err)
+	}
+	var divisions []replay.Division
+	for _, part := range strings.Split(divisionList, ",") {
+		d, err := replay.ParseDivision(strings.TrimSpace(part))
+		if err != nil {
+			fail(err)
+		}
+		divisions = append(divisions, d)
+	}
+	for _, frac := range caps {
+		if frac <= 0 || frac >= 1 {
+			fail(fmt.Errorf("federated mode needs cap fractions in (0, 1), got %v", frac))
+		}
+	}
+	if epoch < 0 {
+		fail(fmt.Errorf("negative -epoch %d", epoch))
+	}
+	scale := 0
+	if racks != 56 {
+		scale = racks
+	}
+	grid := experiment.FederationGrid{
+		Name:         "powersched-federation",
+		MemberCounts: memberCounts,
+		CapFractions: caps,
+		Divisions:    divisions,
+		ScaleRacks:   scale,
+		EpochSec:     epoch,
+	}
+
+	if grid.Size() == 1 {
+		fs := grid.Scenarios()[0]
+		fmt.Printf("federating %d member clusters (%d racks each) under a %d%% site budget, %s division, %ds epochs...\n",
+			len(fs.Members), fs.Members[0].Machine().Racks, int(fs.GlobalCapFraction*100+0.5), fs.Division, fs.Epoch())
+		r := federation.Run(fs)
+		if r.Err != nil {
+			fail(r.Err)
+		}
+		fmt.Printf("site budget %v, peak site draw %v, energy %v\n", r.GlobalBudgetW, r.PeakGlobalW, r.EnergyJ)
+		fmt.Printf("aggregate: launched %d/%d completed %d killed %d mean BSLD %.2f mean wait %.0fs\n\n",
+			r.JobsLaunched, r.JobsSubmitted, r.JobsCompleted, r.JobsKilled, r.MeanBSLD, r.MeanWaitSec)
+		fmt.Printf("%-24s %10s %10s %8s %9s %12s\n", "member", "maxpower", "finalcap", "bsld", "wait(s)", "launched")
+		for _, m := range r.Members {
+			s := m.Summary
+			fmt.Printf("%-24s %10.3g %10.3g %8.2f %9.0f %6d/%-5d\n",
+				m.Name, float64(m.MaxPower), float64(m.FinalCapW), s.MeanBSLD, s.MeanWaitSec, s.JobsLaunched, s.JobsSubmitted)
+		}
+		if len(r.Epochs) > 0 {
+			fmt.Printf("\nshare timeline (%d epochs):\n", len(r.Epochs))
+			step := (len(r.Epochs) + 9) / 10 // at most ~10 lines
+			for i := 0; i < len(r.Epochs); i += step {
+				ep := r.Epochs[i]
+				fmt.Printf("  t=%6d  caps:", ep.T)
+				for _, c := range ep.CapW {
+					fmt.Printf(" %8.3g", float64(c))
+				}
+				fmt.Printf("  pending:")
+				for _, p := range ep.PendingCores {
+					fmt.Printf(" %6d", p)
+				}
+				fmt.Println()
+			}
+		}
+		// -csv/-json export the run as a one-cell federation table, the
+		// same formats sweep mode writes.
+		single := experiment.FederationTable{Name: grid.Name, Workers: 1,
+			Rows: []experiment.FederationResult{{Result: r}}}
+		if csvOut != "" {
+			if err := writeFile(csvOut, single.WriteCSV); err != nil {
+				fail(err)
+			}
+			fmt.Printf("federation CSV written to %s\n", csvOut)
+		}
+		if jsonOut != "" {
+			if err := writeFile(jsonOut, single.WriteJSON); err != nil {
+				fail(err)
+			}
+			fmt.Printf("federation JSON written to %s\n", jsonOut)
+		}
+		return
+	}
+
+	fmt.Printf("sweeping %d federations...\n", grid.Size())
+	t := experiment.FederationRunner{
+		Workers: workers,
+		OnResult: func(done, total int, r experiment.FederationResult) {
+			status := "ok"
+			if r.Err != nil {
+				status = "FAILED: " + r.Err.Error()
+			}
+			fmt.Printf("  [%d/%d] %-22s %v (%s)\n", done, total, r.Scenario.Name, r.Elapsed.Round(1e6), status)
+		},
+	}.Run(grid.Name, grid.Scenarios())
+	fmt.Println()
+	fmt.Print(t.ASCII(width))
+	if csvOut != "" {
+		if err := writeFile(csvOut, t.WriteCSV); err != nil {
+			fail(err)
+		}
+		fmt.Printf("federation sweep CSV written to %s\n", csvOut)
+	}
+	if jsonOut != "" {
+		if err := writeFile(jsonOut, t.WriteJSON); err != nil {
+			fail(err)
+		}
+		fmt.Printf("federation sweep JSON written to %s\n", jsonOut)
+	}
+	if errs := t.Errs(); len(errs) > 0 {
+		fail(errs[0])
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad member count %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no member counts given")
+	}
+	return out, nil
 }
 
 func parsePolicies(s string) ([]core.Policy, error) {
