@@ -15,6 +15,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -93,7 +94,60 @@ func parseBenchLine(line string) (Benchmark, error) {
 	return b, nil
 }
 
+// Compare checks rep against a baseline report: any benchmark present
+// in both whose ns/op grew by more than tolerance (0.20 = +20%) is a
+// regression. Benchmarks missing on either side are skipped (renames
+// and new benchmarks are not regressions); single-pass CI timings are
+// noisy, so the tolerance is deliberately generous and only ns/op is
+// gated.
+func Compare(baseline, rep Report, tolerance float64) []string {
+	base := map[string]float64{}
+	for _, b := range baseline.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok && ns > 0 {
+			base[stripProcs(b.Name)] = ns
+		}
+	}
+	var regressions []string
+	for _, b := range rep.Benchmarks {
+		old, ok := base[stripProcs(b.Name)]
+		if !ok {
+			continue
+		}
+		ns, ok := b.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		if ns > old*(1+tolerance) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: ns/op %.3g -> %.3g (%+.1f%%, gate +%.0f%%)",
+					b.Name, old, ns, (ns/old-1)*100, tolerance*100))
+		}
+	}
+	return regressions
+}
+
+// stripProcs drops the "-<GOMAXPROCS>" suffix go test appends to
+// benchmark names, so baselines compare across machines with different
+// core counts (and baselines recorded at GOMAXPROCS=1, which carry no
+// suffix at all).
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
 func main() {
+	baselinePath := flag.String("baseline", "", "compare against this baseline JSON report; exit 1 on a ns/op regression beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op growth vs the baseline")
+	flag.Parse()
+
 	rep, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -108,5 +162,27 @@ func main() {
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var baseline Report
+		err = json.NewDecoder(f).Decode(&baseline)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench2json: bad baseline %s: %v\n", *baselinePath, err)
+			os.Exit(1)
+		}
+		if regs := Compare(baseline, rep, *tolerance); len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "bench2json: %d benchmark regression(s) vs %s:\n", len(regs), *baselinePath)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench2json: no ns/op regression beyond +%.0f%% vs %s\n", *tolerance*100, *baselinePath)
 	}
 }

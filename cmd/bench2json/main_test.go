@@ -63,3 +63,56 @@ func TestParseEmptyInput(t *testing.T) {
 		t.Errorf("benchmarks = %+v, want none", rep.Benchmarks)
 	}
 }
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	baseline := Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSweep/serial", Metrics: map[string]float64{"ns/op": 1000}},
+		{Name: "BenchmarkSweep/max", Metrics: map[string]float64{"ns/op": 500}},
+		{Name: "BenchmarkGone", Metrics: map[string]float64{"ns/op": 100}},
+	}}
+	current := Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSweep/serial", Metrics: map[string]float64{"ns/op": 1150}}, // +15%: ok
+		{Name: "BenchmarkSweep/max", Metrics: map[string]float64{"ns/op": 650}},     // +30%: regression
+		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 9999}},          // not in baseline: skipped
+	}}
+	regs := Compare(baseline, current, 0.20)
+	if len(regs) != 1 {
+		t.Fatalf("Compare found %d regressions, want 1: %v", len(regs), regs)
+	}
+	if !strings.Contains(regs[0], "BenchmarkSweep/max") {
+		t.Errorf("regression names the wrong benchmark: %s", regs[0])
+	}
+}
+
+func TestCompareAtExactGateBoundary(t *testing.T) {
+	baseline := Report{Benchmarks: []Benchmark{
+		{Name: "B", Metrics: map[string]float64{"ns/op": 1000}},
+	}}
+	current := Report{Benchmarks: []Benchmark{
+		{Name: "B", Metrics: map[string]float64{"ns/op": 1200}},
+	}}
+	// Exactly +20% is within the gate (strictly-greater fails).
+	if regs := Compare(baseline, current, 0.20); len(regs) != 0 {
+		t.Errorf("exact-boundary growth flagged: %v", regs)
+	}
+}
+
+func TestCompareStripsProcsSuffix(t *testing.T) {
+	baseline := Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSweep/serial", Metrics: map[string]float64{"ns/op": 1000}},
+	}}
+	current := Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSweep/serial-8", Metrics: map[string]float64{"ns/op": 5000}},
+	}}
+	if regs := Compare(baseline, current, 0.20); len(regs) != 1 {
+		t.Errorf("suffixed name did not match its baseline: %v", regs)
+	}
+	// A trailing -N that is part of the name (not a procs suffix) still
+	// strips only digits; non-digit suffixes are kept verbatim.
+	if got := stripProcs("BenchmarkX/max"); got != "BenchmarkX/max" {
+		t.Errorf("stripProcs mangled %q", got)
+	}
+	if got := stripProcs("BenchmarkX-16"); got != "BenchmarkX" {
+		t.Errorf("stripProcs(-16) = %q", got)
+	}
+}

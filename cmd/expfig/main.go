@@ -2,211 +2,172 @@
 //
 // Usage:
 //
-//	expfig -fig 2|3|4|5|6|7a|7b|8|claims|ablation|sweep|scenarios|federation|all [-racks 56] [-workers 0]
+//	expfig -fig 2|3|4|5|6|7a|7b|8|claims|ablation|sweep|scenarios|federation|all \
+//	       [-racks 56] [-workers 0]
+//	expfig -fig 8 -dumpspec fig8.json    # write the figure's sim.RunSpec
+//	expfig -spec run.json                # run any spec, render like a figure
 //
-// Figures 2-5 are static tables derived from the hardware model; 6-8,
-// the Section VII-C claims, the ablations and the full sweep replay
-// whole workloads (use -racks to shrink the machine for quick looks).
-// Every multi-scenario artifact runs through the parallel sweep engine
-// of internal/experiment: one independent controller per scenario,
-// fanned out across -workers goroutines with deterministic results.
+// Figures 2-5 are static tables derived from the hardware model; the
+// rest replay whole workloads (use -racks to shrink the machine for
+// quick looks). The figure catalogue is the sim.Figures registry — the
+// command itself is a thin iteration over it, and every replayed
+// artifact is described by a declarative sim.RunSpec run through the
+// parallel sweep engine (one independent controller per scenario,
+// fanned out across -workers goroutines with deterministic results).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/experiment"
-	"repro/internal/figures"
-	"repro/internal/replay"
-	"repro/internal/trace"
+	"repro/internal/sim"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("expfig", flag.ExitOnError)
 	var (
-		fig     = flag.String("fig", "all", "which artifact: 2|3|4|5|6|7a|7b|8|claims|ablation|sweep|scenarios|federation|all")
-		racks   = flag.Int("racks", 56, "machine size in racks for the replayed figures")
-		workers = flag.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS)")
-		width   = flag.Int("width", 96, "chart width")
-		height  = flag.Int("height", 14, "chart height")
-		csvOut  = flag.String("csv", "", "write the sweep summary table as CSV to this file")
-		jsonOut = flag.String("json", "", "write the sweep results as JSON to this file")
+		fig      = fs.String("fig", "all", "which artifact: "+sim.Figures.Join("|")+"|all")
+		racks    = fs.Int("racks", 56, "machine size in racks for the replayed figures")
+		workers  = fs.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS)")
+		width    = fs.Int("width", 96, "chart width")
+		height   = fs.Int("height", 14, "chart height")
+		csvOut   = fs.String("csv", "", "write the sweep summary table as CSV to this file")
+		jsonOut  = fs.String("json", "", "write the sweep results as JSON to this file")
+		specPath = fs.String("spec", "", "run this sim.RunSpec JSON file instead of a named figure")
+		dumpSpec = fs.String("dumpspec", "", "write the selected -fig's sim.RunSpec as JSON and exit")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
 	scale := 0
 	if *racks != 56 {
 		scale = *racks
 	}
-	want := func(name string) bool { return *fig == "all" || *fig == name }
-	printed := false
-	show := func(s string) {
-		if printed {
-			fmt.Println(strings.Repeat("-", 80))
-		}
-		fmt.Print(s)
-		printed = true
-	}
-	// sweep runs a scenario list through the experiment engine and
-	// fails fast on any cell error.
-	sweep := func(name string, scens []replay.Scenario) experiment.Table {
-		t := experiment.Runner{Workers: *workers}.Run(name, scens)
-		if errs := t.Errs(); len(errs) > 0 {
-			fail(errs[0])
-		}
-		return t
+	opt := sim.FigureOptions{Racks: scale, Workers: *workers, Width: *width, Height: *height}
+
+	if *dumpSpec != "" {
+		return dumpFigureSpec(*fig, opt, *dumpSpec, out)
 	}
 
-	if want("2") {
-		show(figures.Fig2())
-	}
-	if want("3") {
-		show(figures.Fig3())
-	}
-	if want("4") {
-		show(figures.Fig4())
-	}
-	if want("5") {
-		show(figures.Fig5())
-	}
-	if want("6") {
-		r := replay.Run(replay.Fig6Scenario(scale))
-		if r.Err != nil {
-			fail(r.Err)
+	// -spec: any declarative run, rendered through the ASCII sink and
+	// exported like a figure sweep.
+	if *specPath != "" {
+		spec, err := sim.LoadSpec(*specPath)
+		if err != nil {
+			return err
 		}
-		show("Figure 6: 24 h workload, MIX policy, 1 h reservation at 40%\n\n" +
-			figures.TimeSeries(r, *width, *height))
-	}
-	if want("7a") {
-		r := replay.Run(replay.Fig7aScenario(scale))
-		if r.Err != nil {
-			fail(r.Err)
+		if *workers != 0 {
+			spec.Workers = *workers
 		}
-		show("Figure 7a: bigjob workload, SHUT policy, 60% cap\n\n" +
-			figures.TimeSeries(r, *width, *height))
-	}
-	if want("7b") {
-		r := replay.Run(replay.Fig7bScenario(scale))
-		if r.Err != nil {
-			fail(r.Err)
+		rep, err := sim.Run(context.Background(), spec)
+		if err != nil {
+			return err
 		}
-		show("Figure 7b: smalljob workload, DVFS policy, 40% cap\n\n" +
-			figures.TimeSeries(r, *width, *height))
-	}
-	var lastSweep *experiment.Table
-	var lastFed *experiment.FederationTable
-	if want("8") {
-		t := sweep("fig8", replay.Fig8Scenarios(scale))
-		lastSweep = &t
-		rs := t.Results()
-		show(figures.Fig8(rs) + "\n" + figures.SummaryTable(rs))
-	}
-	if want("claims") {
-		t := sweep("claims", replay.Claims24hScenarios(scale))
-		lastSweep = &t
-		show("Section VII-C 24 h claims (SHUT vs DVFS vs MIX vs IDLE at 40%)\n\n" +
-			figures.SummaryTable(t.Results()))
-	}
-	if want("ablation") {
-		scens := append(replay.AblationGroupingScenarios(scale), replay.AblationMixFloorScenarios(scale)...)
-		scens = append(scens, replay.AblationDynamicDVFSScenarios(scale)...)
-		t := sweep("ablation", scens)
-		lastSweep = &t
-		show("Ablations: grouped vs scattered shutdown; MIX floor vs full-range DVFS;\n" +
-			"static vs dynamic DVFS\n\n" + figures.SummaryTable(t.Results()))
-	}
-	if *fig == "scenarios" {
-		// The extended workload library beyond the paper: diurnal,
-		// bursty and heavy-tailed patterns next to the four Curie
-		// intervals, swept across caps and policies.
-		t := sweep("scenarios", replay.LibraryScenarios(scale))
-		lastSweep = &t
-		show("Scenario library: paper intervals + diurnal/bursty/heavytail\n\n" + t.ASCII(40))
-	}
-	if *fig == "federation" {
-		// The federated multi-cluster comparison: fleet sizes x site
-		// budgets x division policies, every cell a lockstep federation
-		// of library-workload members under one shared budget.
-		grid := experiment.FederationGrid{
-			Name:         "federation",
-			MemberCounts: []int{2, 3},
-			CapFractions: []float64{0.5, 0.6},
-			Divisions:    []replay.Division{replay.DivideProRata, replay.DivideDemand},
-			ScaleRacks:   scale,
+		if err := sim.Export(out, "ascii", rep, sim.SinkOptions{Width: *width, Height: *height}); err != nil {
+			return err
 		}
-		t := experiment.FederationRunner{Workers: *workers}.Run(grid.Name, grid.Scenarios())
-		if errs := t.Errs(); len(errs) > 0 {
-			fail(errs[0])
+		if err := exportReport(&rep, *csvOut, *jsonOut, rep.Spec.Name, out); err != nil {
+			return err
 		}
-		lastFed = &t
-		show("Federated multi-cluster sweep: fleet size x site budget x division policy\n\n" + t.ASCII(*width))
-	}
-	if *fig == "sweep" {
-		// The full evaluation grid in one command: every workload
-		// interval x every cap level x every applicable policy.
-		grid := experiment.Grid{
-			Name: "full-sweep",
-			Workloads: []trace.Config{
-				{Kind: trace.BigJob, Seed: 1003},
-				{Kind: trace.MedianJob, Seed: 1001},
-				{Kind: trace.SmallJob, Seed: 1002},
-				{Kind: trace.Day24h, Seed: 1004},
-			},
-			CapFractions: []float64{0, 0.8, 0.6, 0.4},
-			Policies:     []core.Policy{core.PolicyShut, core.PolicyDvfs, core.PolicyMix},
-			Base:         replay.Scenario{ScaleRacks: scale},
+		if errs := rep.Errs(); len(errs) > 0 {
+			return errs[0]
 		}
-		t := sweep(grid.Name, grid.Scenarios())
-		lastSweep = &t
-		show(t.ASCII(40))
+		return nil
 	}
-	if !printed {
-		fail(fmt.Errorf("unknown figure %q", *fig))
+
+	names := []string{*fig}
+	if *fig == "all" {
+		names = sim.FigureNamesInAll()
 	}
+	printed := false
+	var lastSweep *sim.Report
+	for _, name := range names {
+		text, rep, err := sim.RunFigure(context.Background(), name, opt)
+		if err != nil {
+			return err
+		}
+		if printed {
+			fmt.Fprintln(out, strings.Repeat("-", 80))
+		}
+		fmt.Fprint(out, text)
+		printed = true
+		if rep != nil && (rep.Table != nil || rep.FederationTable != nil) {
+			lastSweep = rep
+		}
+	}
+
 	if *csvOut != "" || *jsonOut != "" {
 		// With -fig all, several sweeps run; the export covers the last
 		// one, so name it.
-		name, csvFn, jsonFn := "", (func(io.Writer) error)(nil), (func(io.Writer) error)(nil)
-		switch {
-		case lastFed != nil:
-			name, csvFn, jsonFn = lastFed.Name, lastFed.WriteCSV, lastFed.WriteJSON
-		case lastSweep != nil:
-			name, csvFn, jsonFn = lastSweep.Name, lastSweep.WriteCSV, lastSweep.WriteJSON
-		default:
-			fail(fmt.Errorf("-csv/-json export sweep results, but -fig %s ran no sweep (use 8, claims, ablation, sweep or federation)", *fig))
+		if lastSweep == nil {
+			return fmt.Errorf("-csv/-json export sweep results, but -fig %s ran no sweep (use 8, claims, ablation, sweep, scenarios or federation)", *fig)
 		}
-		if *csvOut != "" {
-			if err := writeFile(*csvOut, csvFn); err != nil {
-				fail(err)
-			}
-			fmt.Printf("sweep summary CSV (%s) written to %s\n", name, *csvOut)
-		}
-		if *jsonOut != "" {
-			if err := writeFile(*jsonOut, jsonFn); err != nil {
-				fail(err)
-			}
-			fmt.Printf("sweep JSON (%s) written to %s\n", name, *jsonOut)
+		name := lastSweep.Spec.Name
+		if err := exportReport(lastSweep, *csvOut, *jsonOut, name, out); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
-func writeFile(path string, fn func(w io.Writer) error) error {
-	f, err := os.Create(path)
+// exportReport writes the report's CSV/JSON forms through the sink
+// pipeline when the paths are set. Labels follow the payload: a
+// single-mode report's CSV is the per-sample time series, not a sweep
+// table.
+func exportReport(rep *sim.Report, csvOut, jsonOut, name string, out io.Writer) error {
+	csvLabel, jsonLabel := "sweep summary CSV", "sweep JSON"
+	if rep.Single != nil {
+		csvLabel, jsonLabel = "time series CSV", "summary JSON"
+	}
+	if csvOut != "" {
+		if err := sim.WriteReportFile(csvOut, "csv", *rep, sim.SinkOptions{}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s (%s) written to %s\n", csvLabel, name, csvOut)
+	}
+	if jsonOut != "" {
+		if err := sim.WriteReportFile(jsonOut, "json", *rep, sim.SinkOptions{}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s (%s) written to %s\n", jsonLabel, name, jsonOut)
+	}
+	return nil
+}
+
+// dumpFigureSpec writes the RunSpec a replayed figure would execute —
+// the bridge from the built-in catalogue to the spec-file scenario
+// library.
+func dumpFigureSpec(fig string, opt sim.FigureOptions, path string, out io.Writer) error {
+	f, err := sim.Figures.Lookup(fig)
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if f.Static != nil {
+		return fmt.Errorf("figure %s is a static table; only replayed figures have specs", fig)
+	}
+	spec, err := f.Spec(opt)
 	if err != nil {
 		return err
 	}
-	if err := fn(f); err != nil {
-		f.Close()
+	spec.Workers = opt.Workers
+	if err := spec.Validate(); err != nil {
 		return err
 	}
-	return f.Close()
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	spec = spec.Normalize()
+	if err := sim.WriteSpecFile(path, spec); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "figure %s spec written to %s\n", fig, path)
+	return nil
 }

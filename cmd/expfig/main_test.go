@@ -11,6 +11,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/figures"
 	"repro/internal/replay"
+	"repro/internal/sim"
 )
 
 // Golden-file regression tests for expfig's artifacts: the static
@@ -146,15 +147,17 @@ func TestGoldenFlagDefaults(t *testing.T) {
 	var buf bytes.Buffer
 	fs := flag.NewFlagSet("expfig", flag.ContinueOnError)
 	fs.SetOutput(&buf)
-	// Mirror main's flag set (main registers on the global FlagSet at
-	// run time; the golden captures the documented surface).
-	fs.String("fig", "all", "which artifact: 2|3|4|5|6|7a|7b|8|claims|ablation|sweep|scenarios|federation|all")
+	// Mirror main's flag set; the -fig description is registry-derived,
+	// so a newly registered figure updates the golden too.
+	fs.String("fig", "all", "which artifact: "+sim.Figures.Join("|")+"|all")
 	fs.Int("racks", 56, "machine size in racks for the replayed figures")
 	fs.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS)")
 	fs.Int("width", 96, "chart width")
 	fs.Int("height", 14, "chart height")
 	fs.String("csv", "", "write the sweep summary table as CSV to this file")
 	fs.String("json", "", "write the sweep results as JSON to this file")
+	fs.String("spec", "", "run this sim.RunSpec JSON file instead of a named figure")
+	fs.String("dumpspec", "", "write the selected -fig's sim.RunSpec as JSON and exit")
 	fs.PrintDefaults()
 	fmt.Fprintln(&buf)
 	checkGolden(t, "flags", buf.Bytes())

@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -23,27 +24,38 @@ import (
 )
 
 func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(code)
+	}
+}
+
+// run is the testable entry point; the returned code is the exit
+// status when err is non-nil (2 for bad parameters, 1 for an
+// infeasible solve — the historical distinction).
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("powercalc", flag.ExitOnError)
 	var (
-		n      = flag.Int("n", 5040, "cluster node count")
-		pmax   = flag.Float64("pmax", 358, "per-node draw busy at nominal frequency (W)")
-		pmin   = flag.Float64("pmin", 193, "per-node draw busy at minimum frequency (W)")
-		poff   = flag.Float64("poff", 14, "per-node draw switched off (W)")
-		deg    = flag.Float64("deg", 1.63, "walltime degradation at minimum frequency")
-		lambda = flag.Float64("lambda", 0.6, "powercap as a fraction of N*Pmax")
-		capW   = flag.Float64("cap", 0, "powercap in watts (overrides -lambda when > 0)")
-		sweep  = flag.Bool("sweep", false, "tabulate the whole lambda range")
+		n      = fs.Int("n", 5040, "cluster node count")
+		pmax   = fs.Float64("pmax", 358, "per-node draw busy at nominal frequency (W)")
+		pmin   = fs.Float64("pmin", 193, "per-node draw busy at minimum frequency (W)")
+		poff   = fs.Float64("poff", 14, "per-node draw switched off (W)")
+		deg    = fs.Float64("deg", 1.63, "walltime degradation at minimum frequency")
+		lambda = fs.Float64("lambda", 0.6, "powercap as a fraction of N*Pmax")
+		capW   = fs.Float64("cap", 0, "powercap in watts (overrides -lambda when > 0)")
+		sweep  = fs.Bool("sweep", false, "tabulate the whole lambda range")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
 	p := model.Params{N: *n, PMax: *pmax, PMin: *pmin, POff: *poff, DegMin: *deg}
 	if err := p.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2, err
 	}
 
 	if *sweep {
-		runSweep(p)
-		return
+		runSweep(p, out)
+		return 0, nil
 	}
 	watts := *capW
 	if watts <= 0 {
@@ -51,23 +63,23 @@ func main() {
 	}
 	pl, err := model.Solve(p, watts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1, err
 	}
-	fmt.Printf("cluster: N=%d Pmax=%.0fW Pmin=%.0fW Poff=%.0fW degmin=%.2f\n",
+	fmt.Fprintf(out, "cluster: N=%d Pmax=%.0fW Pmin=%.0fW Poff=%.0fW degmin=%.2f\n",
 		p.N, p.PMax, p.PMin, p.POff, p.DegMin)
-	fmt.Printf("powercap: %.0f W (lambda=%.3f, lambda_min=Pmin/Pmax=%.3f)\n",
+	fmt.Fprintf(out, "powercap: %.0f W (lambda=%.3f, lambda_min=Pmin/Pmax=%.3f)\n",
 		watts, watts/p.MaxPower(), p.LambdaMin())
-	fmt.Printf("case: %v\n", pl.Case)
-	fmt.Printf("rho (published, Fig.5): %+.4f -> paper picks %v\n", pl.Rho, pl.PaperChoice)
-	fmt.Printf("direct work comparison  -> %v (Woff=%.1f Wdvfs=%s)\n",
+	fmt.Fprintf(out, "case: %v\n", pl.Case)
+	fmt.Fprintf(out, "rho (published, Fig.5): %+.4f -> paper picks %v\n", pl.Rho, pl.PaperChoice)
+	fmt.Fprintf(out, "direct work comparison  -> %v (Woff=%.1f Wdvfs=%s)\n",
 		pl.DerivedChoice, pl.WorkOff, fmtWork(pl.WorkDvfs))
-	fmt.Printf("optimal (continuous): Noff=%.2f Ndvfs=%.2f W=%.2f node-units\n",
+	fmt.Fprintf(out, "optimal (continuous): Noff=%.2f Ndvfs=%.2f W=%.2f node-units\n",
 		pl.NOff, pl.NDvfs, pl.Work)
-	fmt.Printf("integral plan: Noff=%d Ndvfs=%d -> draw %.0f W, work %.2f\n",
+	fmt.Fprintf(out, "integral plan: Noff=%d Ndvfs=%d -> draw %.0f W, work %.2f\n",
 		pl.IntNOff, pl.IntNDvfs,
 		model.PowerOfCounts(p, pl.IntNOff, pl.IntNDvfs),
 		model.WorkOfCounts(p, pl.IntNOff, pl.IntNDvfs))
+	return 0, nil
 }
 
 func fmtWork(w float64) string {
@@ -77,17 +89,17 @@ func fmtWork(w float64) string {
 	return fmt.Sprintf("%.1f", w)
 }
 
-func runSweep(p model.Params) {
-	fmt.Printf("%8s %14s %10s %10s %10s %8s %s\n",
+func runSweep(p model.Params, out io.Writer) {
+	fmt.Fprintf(out, "%8s %14s %10s %10s %10s %8s %s\n",
 		"lambda", "cap(W)", "Noff", "Ndvfs", "W", "W/N", "case")
 	for l := 10; l <= 100; l += 5 {
 		lambda := float64(l) / 100
 		pl, err := model.SolveFraction(p, lambda)
 		if err != nil {
-			fmt.Printf("%8.2f %14.0f %s\n", lambda, lambda*p.MaxPower(), err)
+			fmt.Fprintf(out, "%8.2f %14.0f %s\n", lambda, lambda*p.MaxPower(), err)
 			continue
 		}
-		fmt.Printf("%8.2f %14.0f %10.1f %10.1f %10.1f %8.3f %v\n",
+		fmt.Fprintf(out, "%8.2f %14.0f %10.1f %10.1f %10.1f %8.3f %v\n",
 			lambda, lambda*p.MaxPower(), pl.NOff, pl.NDvfs, pl.Work,
 			pl.Work/float64(p.N), pl.Case)
 	}

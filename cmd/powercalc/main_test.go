@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden-file tests for the analytic-model CLI: the Section III solver
+// is pure arithmetic, so its renderings are bit-stable and any drift —
+// a changed criterion, a float formatting change — fails tier-1.
+//
+// Regenerate after an intentional change with:
+//
+//	go test ./cmd/powercalc -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from its golden file (run with -update if intentional)\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestGoldenDefaultPoint(t *testing.T) {
+	var out bytes.Buffer
+	if code, err := run(nil, &out); err != nil {
+		t.Fatalf("run: %v (code %d)", err, code)
+	}
+	checkGolden(t, "default_point", out.Bytes())
+}
+
+func TestGoldenLowCap(t *testing.T) {
+	var out bytes.Buffer
+	if code, err := run([]string{"-lambda", "0.3"}, &out); err != nil {
+		t.Fatalf("run: %v (code %d)", err, code)
+	}
+	checkGolden(t, "lambda_030", out.Bytes())
+}
+
+func TestGoldenSweep(t *testing.T) {
+	var out bytes.Buffer
+	if code, err := run([]string{"-sweep"}, &out); err != nil {
+		t.Fatalf("run: %v (code %d)", err, code)
+	}
+	checkGolden(t, "sweep", out.Bytes())
+}
+
+func TestBadParamsExitCode(t *testing.T) {
+	code, err := run([]string{"-n", "-1"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("negative node count accepted")
+	}
+	if code != 2 {
+		t.Errorf("bad-parameter exit code = %d, want 2", code)
+	}
+}
+
+func TestInfeasibleCapExitCode(t *testing.T) {
+	// A cap below N*Poff cannot be met even with everything off.
+	code, err := run([]string{"-cap", "1"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("infeasible cap accepted")
+	}
+	if code != 1 {
+		t.Errorf("infeasible-cap exit code = %d, want 1", code)
+	}
+}

@@ -3,6 +3,17 @@
 // RJMS under the chosen policy and cap, and prints the Figure 6/7 style
 // utilization and power charts plus the run summary.
 //
+// The command is a thin adapter over the internal/sim facade: flags
+// translate into a declarative sim.RunSpec, sim.Run executes it, and
+// the -json/-csv exports flow through the shared sink pipeline. The
+// same spec can be loaded from (or dumped to) a JSON file:
+//
+//	powersched -dumpspec run.json -kind 24h -policy MIX -cap 0.4
+//	powersched -spec run.json
+//
+// runs the identical configuration — flag-driven and spec-driven
+// invocations of the same RunSpec produce bit-identical results.
+//
 // -policy and -cap accept comma-separated lists; more than one
 // combination switches to sweep mode, where every (policy x cap) cell
 // runs in parallel through the internal/experiment engine and the
@@ -26,373 +37,390 @@
 //	powersched -kind 24h -policy SHUT,DVFS,MIX -cap 0.4,0.6,0.8 -workers 4
 //	powersched -swf curie.swf -window 86400:104400 -swfcores 80640 \
 //	           -duration 18000 -policy SHUT -cap 0.6
+//	powersched -federate -members 2,3 -division prorata,demand -cap 0.5
+//	powersched -spec run.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/experiment"
-	"repro/internal/federation"
 	"repro/internal/figures"
 	"repro/internal/replay"
+	"repro/internal/sim"
 	"repro/internal/slurmconf"
-	"repro/internal/trace"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: parse flags into a sim.RunSpec (or
+// load one), execute through the facade, present the report.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("powersched", flag.ExitOnError)
 	var (
-		kind      = flag.String("kind", "medianjob", "workload kind: medianjob|smalljob|bigjob|24h|diurnal|bursty|heavytail")
-		policy    = flag.String("policy", "SHUT", "powercap policies, comma separated: NONE|SHUT|DVFS|MIX|IDLE")
-		capList   = flag.String("cap", "0.6", "powercap fractions of max power, comma separated (>=1 disables)")
-		racks     = flag.Int("racks", 56, "machine size in racks (56 = full Curie)")
-		seed      = flag.Int64("seed", 1001, "workload seed")
-		kill      = flag.Bool("kill", false, "kill jobs when the cap activates above the draw")
-		scattered = flag.Bool("scattered", false, "disable bonus-aware grouped shutdown")
-		lead      = flag.Int64("lead", 0, "seconds before the window reserved nodes stop taking jobs")
-		horizon   = flag.Int64("horizon", 0, "cap planning horizon seconds (0 = default 3600)")
-		width     = flag.Int("width", 96, "chart width")
-		height    = flag.Int("height", 16, "chart height")
-		dynamic   = flag.Bool("dynamic", false, "re-clock running jobs at cap boundaries (Section VIII extension)")
-		workers   = flag.Int("workers", 0, "sweep mode: parallel workers (0 = GOMAXPROCS)")
-		jsonOut   = flag.String("json", "", "write the run summary (or the sweep results) as JSON to this file")
-		csvOut    = flag.String("csv", "", "write the time series (or the sweep summary table) as CSV to this file")
-		confPath  = flag.String("conf", "", "print the controller configuration of this run as a slurmconf file and exit")
-		swfPath   = flag.String("swf", "", "stream this SWF trace instead of the synthetic workload (bounded memory at any trace size; must be submit-sorted, the archive convention)")
-		swfWindow = flag.String("window", "", "with -swf: replay the submit window START:END (seconds), re-based to t=0")
-		timeScale = flag.Float64("timescale", 0, "with -swf: multiply submit times (0.5 = double the arrival rate)")
-		swfCores  = flag.Int("swfcores", 0, "with -swf: the trace's native machine size; job widths are rescaled onto the replayed machine")
-		duration  = flag.Int64("duration", 0, "replayed interval seconds (default: the workload kind's length)")
-		federate  = flag.Bool("federate", false, "federated mode: run member clusters from the scenario library under a shared site budget")
-		members   = flag.String("members", "3", "with -federate: member-cluster counts, comma separated")
-		division  = flag.String("division", "demand", "with -federate: budget division policies, comma separated: prorata|demand")
-		epoch     = flag.Int64("epoch", 0, "with -federate: redistribution period seconds (0 = 900)")
+		kind      = fs.String("kind", "medianjob", "workload kind: "+sim.Workloads.Join("|"))
+		policy    = fs.String("policy", "SHUT", "powercap policies, comma separated: "+sim.Policies.Join("|"))
+		capList   = fs.String("cap", "0.6", "powercap fractions of max power, comma separated (>=1 disables)")
+		racks     = fs.Int("racks", 56, "machine size in racks (56 = full Curie)")
+		seed      = fs.Int64("seed", 1001, "workload seed")
+		kill      = fs.Bool("kill", false, "kill jobs when the cap activates above the draw")
+		scattered = fs.Bool("scattered", false, "disable bonus-aware grouped shutdown")
+		lead      = fs.Int64("lead", 0, "seconds before the window reserved nodes stop taking jobs")
+		horizon   = fs.Int64("horizon", 0, "cap planning horizon seconds (0 = default 3600)")
+		width     = fs.Int("width", 96, "chart width")
+		height    = fs.Int("height", 16, "chart height")
+		dynamic   = fs.Bool("dynamic", false, "re-clock running jobs at cap boundaries (Section VIII extension)")
+		workers   = fs.Int("workers", 0, "sweep mode: parallel workers (0 = GOMAXPROCS)")
+		jsonOut   = fs.String("json", "", "write the run summary (or the sweep results) as JSON to this file")
+		csvOut    = fs.String("csv", "", "write the time series (or the sweep summary table) as CSV to this file")
+		confPath  = fs.String("conf", "", "print the controller configuration of this run as a slurmconf file and exit")
+		swfPath   = fs.String("swf", "", "stream this SWF trace instead of the synthetic workload (bounded memory at any trace size; must be submit-sorted, the archive convention)")
+		swfWindow = fs.String("window", "", "with -swf: replay the submit window START:END (seconds), re-based to t=0")
+		timeScale = fs.Float64("timescale", 0, "with -swf: multiply submit times (0.5 = double the arrival rate)")
+		swfCores  = fs.Int("swfcores", 0, "with -swf: the trace's native machine size; job widths are rescaled onto the replayed machine")
+		duration  = fs.Int64("duration", 0, "replayed interval seconds (default: the workload kind's length)")
+		federate  = fs.Bool("federate", false, "federated mode: run member clusters from the scenario library under a shared site budget")
+		members   = fs.String("members", "3", "with -federate: member-cluster counts, comma separated")
+		division  = fs.String("division", "demand", "with -federate: budget division policies, comma separated: "+sim.Divisions.Join("|"))
+		epoch     = fs.Int64("epoch", 0, "with -federate: redistribution period seconds (0 = 900)")
+		specPath  = fs.String("spec", "", "load the run description from this sim.RunSpec JSON file instead of the scenario flags")
+		dumpSpec  = fs.String("dumpspec", "", "write the run description as a sim.RunSpec JSON file and exit (start of a scenario library)")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
-	if *federate {
-		runFederate(*members, *capList, *division, *racks, *epoch, *workers, *width, *csvOut, *jsonOut)
-		return
+	var spec sim.RunSpec
+	if *specPath != "" {
+		loaded, err := sim.LoadSpec(*specPath)
+		if err != nil {
+			return err
+		}
+		spec = loaded
+		if *workers != 0 {
+			spec.Workers = *workers
+		}
+	} else {
+		built, err := specFromFlags(*kind, *policy, *capList, *racks, *seed, *kill,
+			*scattered, *lead, *horizon, *dynamic, *workers, *swfPath, *swfWindow,
+			*timeScale, *swfCores, *duration, *federate, *members, *division, *epoch)
+		if err != nil {
+			return err
+		}
+		spec = built
 	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	spec = spec.Normalize()
 
-	k, err := trace.ParseKind(*kind)
-	if err != nil {
-		fail(err)
-	}
-	policies, err := parsePolicies(*policy)
-	if err != nil {
-		fail(err)
-	}
-	caps, err := parseCaps(*capList)
-	if err != nil {
-		fail(err)
-	}
-	scaleRacks := 0
-	if *racks != 56 {
-		scaleRacks = *racks
-	}
-	base := replay.Scenario{
-		Workload:        trace.Config{Kind: k, Seed: *seed, DurationSec: *duration},
-		ScaleRacks:      scaleRacks,
-		KillOnOverrun:   *kill,
-		Scattered:       *scattered,
-		ReservationLead: *lead,
-		PlanningHorizon: *horizon,
-		DynamicDVFS:     *dynamic,
-	}
-	swfLabel := ""
-	if *swfPath != "" {
-		src := trace.SWFSource{Path: *swfPath, TimeScale: *timeScale}
-		if *swfWindow != "" {
-			start, end, err := parseWindow(*swfWindow)
-			if err != nil {
-				fail(err)
-			}
-			src.WindowStart, src.WindowEnd = start, end
+	if *dumpSpec != "" {
+		if err := sim.WriteSpecFile(*dumpSpec, spec); err != nil {
+			return err
 		}
-		if *swfCores != 0 {
-			// Invalid sizes surface as stream errors in the probe below
-			// rather than silently replaying unscaled.
-			src.CoresFrom, src.CoresTo = *swfCores, base.Machine().Cores()
-		}
-		// Probe the stream so a bad path, corrupt header, invalid
-		// transform or empty window fails here, not mid-sweep. The probe
-		// scans the trace up to the window start once and the replay
-		// re-scans it — the deliberate cost of failing fast on archives.
-		fs, err := src.Open()
-		if err != nil {
-			fail(err)
-		}
-		first, err := fs.Next()
-		fs.Close()
-		if err != nil {
-			fail(err)
-		}
-		if first == nil {
-			fail(fmt.Errorf("no jobs in %s after the -window/-timescale transforms; check the window bounds (trace seconds)", *swfPath))
-		}
-		base.SWF = &src
-		swfLabel = *swfPath
-		fmt.Printf("streaming %s (window %q, timescale %v)\n", *swfPath, *swfWindow, *timeScale)
+		fmt.Fprintf(out, "run spec written to %s\n", *dumpSpec)
+		return nil
 	}
 
 	if *confPath != "" {
-		f := slurmconf.CurieFile(policies[0])
-		f.Config.Topology = base.Machine()
-		f.Config.KillOnOverrun = *kill
-		f.Config.ScatteredShutdown = *scattered
-		f.Config.ReservationLead = *lead
-		f.Config.CapPlanningHorizon = *horizon
-		f.Config.DynamicDVFS = *dynamic
-		if err := writeFile(*confPath, func(w io.Writer) error {
-			return slurmconf.Write(w, f)
-		}); err != nil {
-			fail(err)
-		}
-		fmt.Printf("configuration written to %s\n", *confPath)
-		return
+		return writeConf(*confPath, spec, out)
 	}
 
-	if len(policies)*len(caps) > 1 {
-		runSweep(base, policies, caps, swfLabel, *workers, *csvOut, *jsonOut)
-		return
+	switch spec.Mode {
+	case sim.ModeFederation:
+		return runFederate(spec, *width, *csvOut, *jsonOut, out)
+	case sim.ModeSweep:
+		return runSweep(spec, *csvOut, *jsonOut, out)
+	default:
+		return runSingle(spec, *width, *height, *csvOut, *jsonOut, out)
 	}
-	runSingle(base, policies[0], caps[0], swfLabel, *width, *height, *csvOut, *jsonOut)
+}
+
+// specFromFlags translates the scenario flag surface into the
+// equivalent declarative RunSpec — the whole flag grammar in one place.
+func specFromFlags(kind, policy, capList string, racks int, seed int64,
+	kill, scattered bool, lead, horizon int64, dynamic bool, workers int,
+	swfPath, swfWindow string, timeScale float64, swfCores int, duration int64,
+	federate bool, members, division string, epoch int64) (sim.RunSpec, error) {
+
+	caps, err := parseCaps(capList)
+	if err != nil {
+		return sim.RunSpec{}, err
+	}
+	scaleRacks := 0
+	if racks != 56 {
+		scaleRacks = racks
+	}
+	spec := sim.RunSpec{
+		Racks:        scaleRacks,
+		CapFractions: caps,
+		Workers:      workers,
+	}
+
+	if federate {
+		counts, err := parseInts(members)
+		if err != nil {
+			return sim.RunSpec{}, err
+		}
+		spec.Federation = &sim.FederationSpec{
+			MemberCounts: counts,
+			Divisions:    splitList(division),
+			EpochSec:     epoch,
+		}
+		return spec, nil
+	}
+
+	spec.Workload = sim.WorkloadSpec{Kind: kind, Seed: seed, DurationSec: duration}
+	spec.Policies = splitList(policy)
+	spec.Options = sim.OptionSpec{
+		KillOnOverrun:      kill,
+		Scattered:          scattered,
+		ReservationLeadSec: lead,
+		PlanningHorizonSec: horizon,
+		DynamicDVFS:        dynamic,
+	}
+	if swfPath != "" {
+		swf := &sim.SWFSpec{Path: swfPath, TimeScale: timeScale, Cores: swfCores}
+		if swfWindow != "" {
+			start, end, err := parseWindow(swfWindow)
+			if err != nil {
+				return sim.RunSpec{}, err
+			}
+			swf.WindowStartSec, swf.WindowEndSec = start, end
+		}
+		spec.Workload.SWF = swf
+	}
+	return spec, nil
+}
+
+// writeConf prints the controller configuration of the run as a
+// slurmconf file.
+func writeConf(path string, spec sim.RunSpec, out io.Writer) error {
+	if spec.Mode == sim.ModeFederation {
+		return fmt.Errorf("-conf describes a single controller; federated specs have one per member")
+	}
+	if len(spec.Policies) == 0 {
+		return fmt.Errorf("-conf needs a policy axis; cell-list specs carry per-cell policies")
+	}
+	p, err := sim.Policies.Lookup(spec.Policies[0])
+	if err != nil {
+		return err
+	}
+	f := slurmconf.CurieFile(p)
+	f.Config.Topology = replay.Scenario{ScaleRacks: spec.Racks}.Machine()
+	f.Config.KillOnOverrun = spec.Options.KillOnOverrun
+	f.Config.ScatteredShutdown = spec.Options.Scattered
+	f.Config.ReservationLead = spec.Options.ReservationLeadSec
+	f.Config.CapPlanningHorizon = spec.Options.PlanningHorizonSec
+	f.Config.DynamicDVFS = spec.Options.DynamicDVFS
+	if err := writeFile(path, func(w io.Writer) error {
+		return slurmconf.Write(w, f)
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "configuration written to %s\n", path)
+	return nil
+}
+
+// export writes the report through the named sink when path is set.
+func export(path, format, what string, rep sim.Report, out io.Writer) error {
+	if path == "" {
+		return nil
+	}
+	if err := sim.WriteReportFile(path, format, rep, sim.SinkOptions{}); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s written to %s\n", what, path)
+	return nil
 }
 
 // runSweep fans the (policy x cap) grid out across the worker pool and
 // prints the aggregated comparison. -csv/-json switch meaning here:
 // they export the sweep table, not a single run's series.
-func runSweep(base replay.Scenario, policies []core.Policy, caps []float64, swfLabel string, workers int, csvOut, jsonOut string) {
-	grid := experiment.Grid{
-		Name:         "powersched",
-		Workloads:    []trace.Config{base.Workload},
-		CapFractions: caps,
-		Policies:     policies,
-		Base:         base,
+func runSweep(spec sim.RunSpec, csvOut, jsonOut string, out io.Writer) error {
+	machine := replay.Scenario{ScaleRacks: spec.Racks}.Machine()
+	if spec.Workload.SWF != nil {
+		fmt.Fprintf(out, "streaming %s (window %q, timescale %v)\n",
+			spec.Workload.SWF.Path, windowLabel(*spec.Workload.SWF), spec.Workload.SWF.TimeScale)
 	}
-	scens := grid.Scenarios()
-	if swfLabel != "" {
-		// The cells replay the loaded SWF jobs, not the synthetic kind
-		// — name them after the trace file like single-run mode does.
-		for i := range scens {
-			s := &scens[i]
-			if s.Capped() {
-				s.Name = fmt.Sprintf("%s/%d%%/%s", swfLabel, int(s.CapFraction*100+0.5), s.Policy)
-			} else {
-				s.Name = fmt.Sprintf("%s/100%%/None", swfLabel)
-			}
+	scens, err := spec.Scenarios()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "sweeping %d scenarios on %d racks (%d nodes)...\n",
+		len(scens), machine.Racks, machine.Nodes())
+	rep, err := sim.RunWith(context.Background(), spec, func(done, total int, cell string, elapsed time.Duration, cellErr error) {
+		status := "ok"
+		if cellErr != nil {
+			status = "FAILED: " + cellErr.Error()
 		}
+		fmt.Fprintf(out, "  [%d/%d] %-28s %v (%s)\n", done, total, cell, elapsed.Round(1e6), status)
+	})
+	if err != nil {
+		return err
 	}
-	fmt.Printf("sweeping %d scenarios on %d racks (%d nodes)...\n",
-		len(scens), base.Machine().Racks, base.Machine().Nodes())
-	t := experiment.Runner{
-		Workers: workers,
-		OnResult: func(done, total int, r experiment.Result) {
-			status := "ok"
-			if r.Err != nil {
-				status = "FAILED: " + r.Err.Error()
-			}
-			fmt.Printf("  [%d/%d] %-28s %v (%s)\n", done, total, r.Scenario.Name, r.Elapsed.Round(1e6), status)
-		},
-	}.Run(grid.Name, scens)
-	fmt.Println()
-	fmt.Print(t.ASCII(40))
-	if csvOut != "" {
-		if err := writeFile(csvOut, t.WriteCSV); err != nil {
-			fail(err)
-		}
-		fmt.Printf("sweep summary CSV written to %s\n", csvOut)
+	fmt.Fprintln(out)
+	fmt.Fprint(out, rep.Table.ASCII(40))
+	if err := export(csvOut, "csv", "sweep summary CSV", rep, out); err != nil {
+		return err
 	}
-	if jsonOut != "" {
-		if err := writeFile(jsonOut, t.WriteJSON); err != nil {
-			fail(err)
-		}
-		fmt.Printf("sweep JSON written to %s\n", jsonOut)
+	if err := export(jsonOut, "json", "sweep JSON", rep, out); err != nil {
+		return err
 	}
-	if errs := t.Errs(); len(errs) > 0 {
-		fail(errs[0])
+	if errs := rep.Errs(); len(errs) > 0 {
+		return errs[0]
 	}
+	return nil
 }
 
 // runSingle is the classic one-scenario replay with the full chart
 // output.
-func runSingle(base replay.Scenario, p core.Policy, capFrac float64, swfLabel string, width, height int, csvOut, jsonOut string) {
-	s := base
-	s.Policy = p
-	s.CapFraction = capFrac
-	label := s.Workload.Kind.String()
-	if swfLabel != "" {
-		label = swfLabel
+func runSingle(spec sim.RunSpec, width, height int, csvOut, jsonOut string, out io.Writer) error {
+	machine := replay.Scenario{ScaleRacks: spec.Racks}.Machine()
+	if spec.Workload.SWF != nil {
+		fmt.Fprintf(out, "streaming %s (window %q, timescale %v)\n",
+			spec.Workload.SWF.Path, windowLabel(*spec.Workload.SWF), spec.Workload.SWF.TimeScale)
 	}
-	s.Name = fmt.Sprintf("%s/%d%%/%s", label, int(capFrac*100), p)
-	fmt.Printf("replaying %s on %d racks (%d nodes)...\n", s.Name, s.Machine().Racks, s.Machine().Nodes())
-	r := replay.Run(s)
+	scens, err := spec.Scenarios()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "replaying %s on %d racks (%d nodes)...\n", scens[0].Name, machine.Racks, machine.Nodes())
+	rep, err := sim.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	r := *rep.Single
 	if r.Err != nil {
-		fail(r.Err)
+		return r.Err
 	}
-	if s.Capped() {
-		start, end := s.Window()
-		fmt.Printf("powercap window: [%d, %d) at %.0f%% of %v\n",
-			start, end, capFrac*100, r.MaxPower)
-		fmt.Printf("offline plan: %v, %d nodes reserved for switch-off (saving %v, needed %v)\n",
+	if r.Scenario.Capped() {
+		start, end := r.Scenario.Window()
+		fmt.Fprintf(out, "powercap window: [%d, %d) at %.0f%% of %v\n",
+			start, end, r.Scenario.CapFraction*100, r.MaxPower)
+		fmt.Fprintf(out, "offline plan: %v, %d nodes reserved for switch-off (saving %v, needed %v)\n",
 			r.Plan.Mechanism, len(r.Plan.OffNodes), r.Plan.PlannedSaving, r.Plan.NeededSaving)
 	}
-	fmt.Println()
-	fmt.Print(figures.TimeSeries(r, width, height))
-	fmt.Println()
-	fmt.Println("summary:", r.Summary)
-	fmt.Printf("normalized: energy=%.3f work=%.3f launched=%.3f mean-wait=%.0fs\n",
+	fmt.Fprintln(out)
+	fmt.Fprint(out, figures.TimeSeries(r, width, height))
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "summary:", r.Summary)
+	fmt.Fprintf(out, "normalized: energy=%.3f work=%.3f launched=%.3f mean-wait=%.0fs\n",
 		r.Summary.NormEnergy, r.Summary.NormWork, r.Summary.NormLaunched, r.Summary.MeanWaitSec)
-	fmt.Printf("launch frequencies: %v\n", r.Summary.LaunchedByFreq)
+	fmt.Fprintf(out, "launch frequencies: %v\n", r.Summary.LaunchedByFreq)
 	if r.Summary.Rescales > 0 {
-		fmt.Printf("dynamic re-clocks: %d\n", r.Summary.Rescales)
+		fmt.Fprintf(out, "dynamic re-clocks: %d\n", r.Summary.Rescales)
 	}
-	if jsonOut != "" {
-		if err := writeFile(jsonOut, func(w io.Writer) error {
-			return replay.WriteJSON(w, []replay.Result{r})
-		}); err != nil {
-			fail(err)
-		}
-		fmt.Printf("summary JSON written to %s\n", jsonOut)
+	if err := export(jsonOut, "json", "summary JSON", rep, out); err != nil {
+		return err
 	}
-	if csvOut != "" {
-		if err := writeFile(csvOut, func(w io.Writer) error {
-			return replay.WriteSeriesCSV(w, r.Samples)
-		}); err != nil {
-			fail(err)
-		}
-		fmt.Printf("time series CSV written to %s\n", csvOut)
-	}
+	return export(csvOut, "csv", "time series CSV", rep, out)
 }
 
-// runFederate is the -federate entry point: a single (members x cap x
+// runFederate runs federated specs: a single (members x cap x
 // division) combination replays one federation with the full
 // per-member breakdown; any multi-valued axis switches to sweep mode
 // over the federated grid.
-func runFederate(memberList, capList, divisionList string, racks int, epoch int64, workers, width int, csvOut, jsonOut string) {
-	memberCounts, err := parseInts(memberList)
-	if err != nil {
-		fail(err)
-	}
-	caps, err := parseCaps(capList)
-	if err != nil {
-		fail(err)
-	}
-	var divisions []replay.Division
-	for _, part := range strings.Split(divisionList, ",") {
-		d, err := replay.ParseDivision(strings.TrimSpace(part))
-		if err != nil {
-			fail(err)
-		}
-		divisions = append(divisions, d)
-	}
-	for _, frac := range caps {
-		if frac <= 0 || frac >= 1 {
-			fail(fmt.Errorf("federated mode needs cap fractions in (0, 1), got %v", frac))
-		}
-	}
-	if epoch < 0 {
-		fail(fmt.Errorf("negative -epoch %d", epoch))
-	}
-	scale := 0
-	if racks != 56 {
-		scale = racks
-	}
-	grid := experiment.FederationGrid{
-		Name:         "powersched-federation",
-		MemberCounts: memberCounts,
-		CapFractions: caps,
-		Divisions:    divisions,
-		ScaleRacks:   scale,
-		EpochSec:     epoch,
-	}
+func runFederate(spec sim.RunSpec, width int, csvOut, jsonOut string, out io.Writer) error {
+	single := len(spec.Federation.MemberCounts)*len(spec.CapFractions)*len(spec.Federation.Divisions) == 1
 
-	if grid.Size() == 1 {
-		fs := grid.Scenarios()[0]
-		fmt.Printf("federating %d member clusters (%d racks each) under a %d%% site budget, %s division, %ds epochs...\n",
-			len(fs.Members), fs.Members[0].Machine().Racks, int(fs.GlobalCapFraction*100+0.5), fs.Division, fs.Epoch())
-		r := federation.Run(fs)
-		if r.Err != nil {
-			fail(r.Err)
+	if single {
+		rep, err := sim.Run(context.Background(), spec)
+		if err != nil {
+			return err
 		}
-		fmt.Printf("site budget %v, peak site draw %v, energy %v\n", r.GlobalBudgetW, r.PeakGlobalW, r.EnergyJ)
-		fmt.Printf("aggregate: launched %d/%d completed %d killed %d mean BSLD %.2f mean wait %.0fs\n\n",
+		r := *rep.Federation
+		fs := r.Scenario
+		fmt.Fprintf(out, "federating %d member clusters (%d racks each) under a %d%% site budget, %s division, %ds epochs...\n",
+			len(fs.Members), fs.Members[0].Machine().Racks, int(fs.GlobalCapFraction*100+0.5), fs.Division, fs.Epoch())
+		if r.Err != nil {
+			return r.Err
+		}
+		fmt.Fprintf(out, "site budget %v, peak site draw %v, energy %v\n", r.GlobalBudgetW, r.PeakGlobalW, r.EnergyJ)
+		fmt.Fprintf(out, "aggregate: launched %d/%d completed %d killed %d mean BSLD %.2f mean wait %.0fs\n\n",
 			r.JobsLaunched, r.JobsSubmitted, r.JobsCompleted, r.JobsKilled, r.MeanBSLD, r.MeanWaitSec)
-		fmt.Printf("%-24s %10s %10s %8s %9s %12s\n", "member", "maxpower", "finalcap", "bsld", "wait(s)", "launched")
+		fmt.Fprintf(out, "%-24s %10s %10s %8s %9s %12s\n", "member", "maxpower", "finalcap", "bsld", "wait(s)", "launched")
 		for _, m := range r.Members {
 			s := m.Summary
-			fmt.Printf("%-24s %10.3g %10.3g %8.2f %9.0f %6d/%-5d\n",
+			fmt.Fprintf(out, "%-24s %10.3g %10.3g %8.2f %9.0f %6d/%-5d\n",
 				m.Name, float64(m.MaxPower), float64(m.FinalCapW), s.MeanBSLD, s.MeanWaitSec, s.JobsLaunched, s.JobsSubmitted)
 		}
 		if len(r.Epochs) > 0 {
-			fmt.Printf("\nshare timeline (%d epochs):\n", len(r.Epochs))
+			fmt.Fprintf(out, "\nshare timeline (%d epochs):\n", len(r.Epochs))
 			step := (len(r.Epochs) + 9) / 10 // at most ~10 lines
 			for i := 0; i < len(r.Epochs); i += step {
 				ep := r.Epochs[i]
-				fmt.Printf("  t=%6d  caps:", ep.T)
+				fmt.Fprintf(out, "  t=%6d  caps:", ep.T)
 				for _, c := range ep.CapW {
-					fmt.Printf(" %8.3g", float64(c))
+					fmt.Fprintf(out, " %8.3g", float64(c))
 				}
-				fmt.Printf("  pending:")
+				fmt.Fprintf(out, "  pending:")
 				for _, p := range ep.PendingCores {
-					fmt.Printf(" %6d", p)
+					fmt.Fprintf(out, " %6d", p)
 				}
-				fmt.Println()
+				fmt.Fprintln(out)
 			}
 		}
 		// -csv/-json export the run as a one-cell federation table, the
 		// same formats sweep mode writes.
-		single := experiment.FederationTable{Name: grid.Name, Workers: 1,
-			Rows: []experiment.FederationResult{{Result: r}}}
-		if csvOut != "" {
-			if err := writeFile(csvOut, single.WriteCSV); err != nil {
-				fail(err)
-			}
-			fmt.Printf("federation CSV written to %s\n", csvOut)
+		if err := export(csvOut, "csv", "federation CSV", rep, out); err != nil {
+			return err
 		}
-		if jsonOut != "" {
-			if err := writeFile(jsonOut, single.WriteJSON); err != nil {
-				fail(err)
-			}
-			fmt.Printf("federation JSON written to %s\n", jsonOut)
-		}
-		return
+		return export(jsonOut, "json", "federation JSON", rep, out)
 	}
 
-	fmt.Printf("sweeping %d federations...\n", grid.Size())
-	t := experiment.FederationRunner{
-		Workers: workers,
-		OnResult: func(done, total int, r experiment.FederationResult) {
-			status := "ok"
-			if r.Err != nil {
-				status = "FAILED: " + r.Err.Error()
-			}
-			fmt.Printf("  [%d/%d] %-22s %v (%s)\n", done, total, r.Scenario.Name, r.Elapsed.Round(1e6), status)
-		},
-	}.Run(grid.Name, grid.Scenarios())
-	fmt.Println()
-	fmt.Print(t.ASCII(width))
-	if csvOut != "" {
-		if err := writeFile(csvOut, t.WriteCSV); err != nil {
-			fail(err)
+	fscens, err := spec.FederationScenarios()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "sweeping %d federations...\n", len(fscens))
+	rep, err := sim.RunWith(context.Background(), spec, func(done, total int, cell string, elapsed time.Duration, cellErr error) {
+		status := "ok"
+		if cellErr != nil {
+			status = "FAILED: " + cellErr.Error()
 		}
-		fmt.Printf("federation sweep CSV written to %s\n", csvOut)
+		fmt.Fprintf(out, "  [%d/%d] %-22s %v (%s)\n", done, total, cell, elapsed.Round(1e6), status)
+	})
+	if err != nil {
+		return err
 	}
-	if jsonOut != "" {
-		if err := writeFile(jsonOut, t.WriteJSON); err != nil {
-			fail(err)
-		}
-		fmt.Printf("federation sweep JSON written to %s\n", jsonOut)
+	fmt.Fprintln(out)
+	fmt.Fprint(out, rep.FederationTable.ASCII(width))
+	if err := export(csvOut, "csv", "federation sweep CSV", rep, out); err != nil {
+		return err
 	}
-	if errs := t.Errs(); len(errs) > 0 {
-		fail(errs[0])
+	if err := export(jsonOut, "json", "federation sweep JSON", rep, out); err != nil {
+		return err
 	}
+	if errs := rep.Errs(); len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}
+
+// windowLabel reconstructs the -window flag spelling of a spec window.
+func windowLabel(s sim.SWFSpec) string {
+	if s.WindowStartSec == 0 && s.WindowEndSec == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d:%d", s.WindowStartSec, s.WindowEndSec)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		out = append(out, strings.TrimSpace(part))
+	}
+	return out
 }
 
 func parseInts(s string) ([]int, error) {
@@ -406,21 +434,6 @@ func parseInts(s string) ([]int, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no member counts given")
-	}
-	return out, nil
-}
-
-func parsePolicies(s string) ([]core.Policy, error) {
-	var out []core.Policy
-	for _, part := range strings.Split(s, ",") {
-		p, err := core.ParsePolicy(strings.TrimSpace(part))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no policies given")
 	}
 	return out, nil
 }
@@ -465,9 +478,4 @@ func writeFile(path string, fn func(w io.Writer) error) error {
 		return err
 	}
 	return f.Close()
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
 }

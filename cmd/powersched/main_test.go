@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestFlagVsSpecBitIdentical is the acceptance criterion end to end:
+// dump the spec a flag invocation describes, run both the flag path
+// and the -spec path through the real CLI entry point, and require the
+// JSON exports to match byte for byte (single-run exports carry no
+// timing fields).
+func TestFlagVsSpecBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "run.json")
+	jsonA := filepath.Join(dir, "a.json")
+	jsonB := filepath.Join(dir, "b.json")
+	flags := []string{"-kind", "smalljob", "-seed", "1002", "-racks", "2", "-policy", "SHUT", "-cap", "0.6"}
+
+	if err := run(append(flags, "-dumpspec", specPath), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(flags, "-json", jsonA), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", specPath, "-json", jsonB}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := os.ReadFile(jsonA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(jsonB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("flag-driven and spec-driven exports differ:\nflags: %s\nspec:  %s", a, b)
+	}
+}
+
+// TestFlagVsSpecSweepFingerprint covers the sweep mode: the spec built
+// from flags and the same spec round-tripped through its JSON encoding
+// must produce identical result fingerprints (timing excluded — it is
+// the only thing allowed to vary).
+func TestFlagVsSpecSweepFingerprint(t *testing.T) {
+	fromFlags, err := specFromFlags("smalljob", "SHUT,DVFS", "0,0.6", 2, 1002,
+		false, false, 0, 0, false, 2, "", "", 0, 0, 0, false, "", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fromFlags.Normalize().EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := sim.DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	repA, err := sim.Run(context.Background(), fromFlags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := sim.Run(context.Background(), fromJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpA, err := repA.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpB, err := repB.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpA != fpB {
+		t.Errorf("flag-built vs JSON-loaded sweep fingerprints differ: %s vs %s", fpA, fpB)
+	}
+}
+
+// TestSpecFromFlagsFederation pins the federate flag translation.
+func TestSpecFromFlagsFederation(t *testing.T) {
+	spec, err := specFromFlags("medianjob", "SHUT", "0.5,0.6", 2, 1001,
+		false, false, 0, 0, false, 0, "", "", 0, 0, 0, true, "2,3", "prorata,demand", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.EffectiveMode() != sim.ModeFederation {
+		t.Fatalf("mode = %q, want federation", spec.EffectiveMode())
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	scens, err := spec.FederationScenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != 2*2*2 {
+		t.Errorf("expanded %d federations, want 8", len(scens))
+	}
+	if scens[0].EpochSec != 600 {
+		t.Errorf("epoch = %d, want 600", scens[0].EpochSec)
+	}
+}
+
+// TestUnknownNamesEnumerate: the CLI surfaces registry-derived errors.
+func TestUnknownNamesEnumerate(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-kind", "mystery"}, &out)
+	if err == nil {
+		t.Fatal("unknown kind ran")
+	}
+	if !strings.Contains(err.Error(), "medianjob|smalljob|bigjob|24h|diurnal|bursty|heavytail") {
+		t.Errorf("error %q does not enumerate registered kinds", err)
+	}
+}

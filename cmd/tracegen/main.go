@@ -13,9 +13,9 @@
 //	         [-max 100000] [-o out.swf]
 //	tracegen summarize trace.swf
 //
-// Kinds cover the paper's four Curie intervals (medianjob, smalljob,
-// bigjob, 24h) plus the extended scenario library (diurnal, bursty,
-// heavytail).
+// Kinds cover the paper's four Curie intervals plus the extended
+// scenario library; the -kind help text enumerates the workload-kind
+// registry, so a newly registered kind is immediately visible here.
 package main
 
 import (
@@ -30,7 +30,15 @@ import (
 )
 
 func main() {
-	args := os.Args[1:]
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: out receives the primary artifact
+// (the SWF stream or the summary), stats the side-channel statistics.
+func run(args []string, out, stats io.Writer) error {
 	cmd := "gen"
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		cmd = args[0]
@@ -38,51 +46,49 @@ func main() {
 	}
 	switch cmd {
 	case "gen":
-		runGen(args)
+		return runGen(args, out, stats)
 	case "window":
-		runWindow(args)
+		return runWindow(args, out, stats)
 	case "rescale":
-		runRescale(args)
+		return runRescale(args, out, stats)
 	case "summarize":
-		runSummarize(args)
+		return runSummarize(args, out)
 	default:
-		fail(fmt.Errorf("tracegen: unknown subcommand %q (want gen, window, rescale or summarize)", cmd))
+		return fmt.Errorf("tracegen: unknown subcommand %q (want gen, window, rescale or summarize)", cmd)
 	}
 }
 
-func runGen(args []string) {
+func runGen(args []string, out, stats io.Writer) error {
 	fs := flag.NewFlagSet("tracegen gen", flag.ExitOnError)
 	var (
-		kind    = fs.String("kind", "medianjob", "interval kind: medianjob|smalljob|bigjob|24h|diurnal|bursty|heavytail")
+		kind    = fs.String("kind", "medianjob", "interval kind: "+trace.Kinds.Join("|"))
 		seed    = fs.Int64("seed", 1001, "generator seed")
 		cores   = fs.Int("cores", 80640, "machine core count")
 		load    = fs.Float64("load", 2.0, "submitted work / machine capacity")
-		out     = fs.String("o", "", "output file (default stdout)")
+		outPath = fs.String("o", "", "output file (default stdout)")
 		summary = fs.String("summarize", "", "summarize an existing SWF file instead of generating")
 	)
 	fs.Parse(args)
 
 	if *summary != "" { // legacy spelling of the summarize subcommand
-		summarizeFile(*summary)
-		return
+		return summarizeFile(*summary, out)
 	}
 
 	k, err := trace.ParseKind(*kind)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
 	}
 	cfg := trace.Config{Kind: k, Seed: *seed, Cores: *cores, LoadFactor: *load}
 	jobs, err := trace.Generate(cfg)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		defer f.Close()
 		w = f
@@ -90,25 +96,26 @@ func runGen(args []string) {
 	comment := fmt.Sprintf("synthetic Curie-like %s interval, seed %d, %d cores, load %.2f",
 		k, *seed, *cores, *load)
 	if err := trace.WriteSWF(w, jobs, comment); err != nil {
-		fail(err)
+		return err
 	}
-	printStats(os.Stderr, trace.Summarize(jobs, int64(*cores)*3600))
+	printStats(stats, trace.Summarize(jobs, int64(*cores)*3600))
+	return nil
 }
 
 // runWindow streams -in through a submit-time window onto -o: reading,
 // filtering and writing overlap, so windowing a million-job archive
 // trace holds one record in memory.
-func runWindow(args []string) {
+func runWindow(args []string, out, stats io.Writer) error {
 	fs := flag.NewFlagSet("tracegen window", flag.ExitOnError)
 	var (
-		in    = fs.String("in", "", "input SWF trace (required)")
-		start = fs.Int64("start", 0, "window start, submit seconds")
-		end   = fs.Int64("end", 0, "window end, submit seconds (exclusive; 0 = end of trace)")
-		out   = fs.String("o", "", "output file (default stdout)")
+		in      = fs.String("in", "", "input SWF trace (required)")
+		start   = fs.Int64("start", 0, "window start, submit seconds")
+		end     = fs.Int64("end", 0, "window end, submit seconds (exclusive; 0 = end of trace)")
+		outPath = fs.String("o", "", "output file (default stdout)")
 	)
 	fs.Parse(args)
 	if *in == "" || *start < 0 || (*end != 0 && *end <= *start) || (*start == 0 && *end == 0) {
-		fail(fmt.Errorf("tracegen window: need -in and a non-empty [-start, -end) window (-end 0 = to end of trace)"))
+		return fmt.Errorf("tracegen window: need -in and a non-empty [-start, -end) window (-end 0 = to end of trace)")
 	}
 	src := trace.SWFSource{Path: *in, WindowStart: *start, WindowEnd: *end}
 	endLabel := "end"
@@ -116,90 +123,92 @@ func runWindow(args []string) {
 		endLabel = strconv.FormatInt(*end, 10)
 	}
 	comment := fmt.Sprintf("window [%d, %s) of %s, re-based to t=0", *start, endLabel, *in)
-	pipe(src, *out, comment)
+	return pipe(src, *outPath, comment, out, stats)
 }
 
 // runRescale streams -in through arrival-rate and/or cluster-size
 // rescaling onto -o.
-func runRescale(args []string) {
+func runRescale(args []string, out, stats io.Writer) error {
 	fs := flag.NewFlagSet("tracegen rescale", flag.ExitOnError)
 	var (
 		in      = fs.String("in", "", "input SWF trace (required)")
 		timeSc  = fs.Float64("time", 0, "multiply submit times by this factor (0.5 = double the arrival rate)")
 		coresSc = fs.String("cores", "", "rescale job widths FROM:TO cores, e.g. 80640:5760")
 		maxJobs = fs.Int("max", 0, "keep at most this many jobs (0 = all)")
-		out     = fs.String("o", "", "output file (default stdout)")
+		outPath = fs.String("o", "", "output file (default stdout)")
 	)
 	fs.Parse(args)
 	if *in == "" {
-		fail(fmt.Errorf("tracegen rescale: need -in"))
+		return fmt.Errorf("tracegen rescale: need -in")
 	}
 	if *maxJobs < 0 {
-		fail(fmt.Errorf("tracegen rescale: negative -max %d", *maxJobs))
+		return fmt.Errorf("tracegen rescale: negative -max %d", *maxJobs)
 	}
 	src := trace.SWFSource{Path: *in, TimeScale: *timeSc, MaxJobs: *maxJobs}
 	if *coresSc != "" {
 		from, to, err := parseCores(*coresSc)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		src.CoresFrom, src.CoresTo = from, to
 	}
 	// Mirror the transform chain's no-op conditions, so the command never
 	// writes an unmodified copy labeled as rescaled.
 	if (*timeSc == 0 || *timeSc == 1) && src.CoresFrom == src.CoresTo && *maxJobs == 0 {
-		fail(fmt.Errorf("tracegen rescale: nothing to do (pass -time != 1, -cores FROM:TO with FROM != TO, and/or -max)"))
+		return fmt.Errorf("tracegen rescale: nothing to do (pass -time != 1, -cores FROM:TO with FROM != TO, and/or -max)")
 	}
 	comment := fmt.Sprintf("rescaled from %s (time x%v, cores %s, max %d)", *in, *timeSc, *coresSc, *maxJobs)
-	pipe(src, *out, comment)
+	return pipe(src, *outPath, comment, out, stats)
 }
 
-func runSummarize(args []string) {
+func runSummarize(args []string, out io.Writer) error {
 	if len(args) != 1 || strings.HasPrefix(args[0], "-") {
-		fail(fmt.Errorf("usage: tracegen summarize trace.swf"))
+		return fmt.Errorf("usage: tracegen summarize trace.swf")
 	}
-	summarizeFile(args[0])
+	return summarizeFile(args[0], out)
 }
 
-// pipe streams src into an SWF writer at path (stdout when empty).
-func pipe(src trace.SWFSource, path, comment string) {
+// pipe streams src into an SWF writer at path (out when empty).
+func pipe(src trace.SWFSource, path, comment string, out, stats io.Writer) error {
 	fs, err := src.Open()
 	if err != nil {
-		fail(err)
+		return err
 	}
 	defer fs.Close()
-	var w io.Writer = os.Stdout
+	w := out
 	if path != "" {
 		f, err := os.Create(path)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	n, err := trace.Copy(trace.NewWriter(w, comment), fs)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "%d jobs written\n", n)
+	fmt.Fprintf(stats, "%d jobs written\n", n)
+	return nil
 }
 
 // summarizeFile characterizes a trace through the streaming summarizer,
 // so traces of any size summarize in bounded memory.
-func summarizeFile(path string) {
+func summarizeFile(path string, out io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	defer f.Close()
 	s, err := trace.SummarizeStream(trace.NewScanner(f), 80640*3600)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	printStats(os.Stdout, s)
+	printStats(out, s)
+	return nil
 }
 
-func printStats(w *os.File, s trace.Stats) {
+func printStats(w io.Writer, s trace.Stats) {
 	fmt.Fprintf(w, "jobs: %d (distinct users %d, backlog at t=0: %d)\n",
 		s.Jobs, s.DistinctUsers, s.BacklogAtuZero)
 	fmt.Fprintf(w, "total work: %d core-seconds, widest job %d cores\n", s.TotalCoreSec, s.MaxCores)
@@ -223,9 +232,4 @@ func parseCores(s string) (from, to int, err error) {
 		return 0, 0, fmt.Errorf("tracegen: bad -cores %q", s)
 	}
 	return from, to, nil
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
 }

@@ -4,6 +4,11 @@
 // the controller re-clocks them down within the same scheduling tick, and
 // raises them back when the window closes — "faster power decrease when a
 // powercap period is approaching and lower jobs' turnaround time after".
+//
+// This example deliberately drives the controller below the sim facade
+// to show the interactive stepping API; the scenario-level form of the
+// same feature is one line in a sim.RunSpec
+// ("options": {"dynamic_dvfs": true}).
 package main
 
 import (

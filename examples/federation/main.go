@@ -3,15 +3,19 @@
 // once with demand-driven reallocation — to show where the watts go
 // and what the reallocation buys. Member 0 replays the bursty library
 // interval (backlogged during every burst); members 1-2 are lightly
-// loaded and spend most of the run donating their headroom.
+// loaded and spend most of the run donating their headroom. Both cells
+// are described by one declarative sim.RunSpec (a federation sweep
+// over the division axis) and executed through the facade.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 
 	"repro/internal/federation"
-	"repro/internal/replay"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -23,18 +27,30 @@ func main() {
 	fmt.Printf("federating %d members (%d racks each) under a %.0f%% site budget\n\n",
 		*members, *racks, *capFrac*100)
 
+	spec := sim.RunSpec{
+		Name:         "federation-walkthrough",
+		Racks:        *racks,
+		CapFractions: []float64{*capFrac},
+		Federation: &sim.FederationSpec{
+			MemberCounts: []int{*members},
+			Divisions:    []string{"prorata", "demand"},
+		},
+	}
+	rep, err := sim.Run(context.Background(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	var results [2]federation.Result
-	for i, div := range []replay.Division{replay.DivideProRata, replay.DivideDemand} {
-		fs := replay.FederationLibraryScenario(*members, *racks, *capFrac, div)
-		r := federation.Run(fs)
+	for i, row := range rep.FederationTable.Rows {
+		r := row.Result
 		if r.Err != nil {
-			fmt.Printf("%s failed: %v\n", fs.Name, r.Err)
-			return
+			log.Fatalf("%s failed: %v", r.Scenario.Name, r.Err)
 		}
 		results[i] = r
 
 		fmt.Printf("== %s division: aggregate BSLD %.2f, mean wait %.0fs, peak site draw %v of %v\n",
-			div, r.MeanBSLD, r.MeanWaitSec, r.PeakGlobalW, r.GlobalBudgetW)
+			r.Scenario.Division, r.MeanBSLD, r.MeanWaitSec, r.PeakGlobalW, r.GlobalBudgetW)
 		for _, m := range r.Members {
 			s := m.Summary
 			fmt.Printf("   %-24s bsld %6.2f  wait %5.0fs  launched %4d/%-4d  final cap %v\n",

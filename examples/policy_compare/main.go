@@ -1,17 +1,20 @@
 // Policy comparison: a reduced-scale Figure 8 — the three 5-hour
-// workload intervals under every policy/cap combination, fanned out on
-// the internal/experiment sweep engine and summarized as the paper's
-// normalized energy / jobs / work bars plus the sweep's parallel
-// speedup accounting.
+// workload intervals under every policy/cap combination, described as a
+// declarative sim.RunSpec (the predefined Figure 8 grid as an explicit
+// cell list), executed through the facade's worker pool, and summarized
+// as the paper's normalized energy / jobs / work bars plus the sweep's
+// parallel speedup accounting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 
-	"repro/internal/experiment"
 	"repro/internal/figures"
 	"repro/internal/replay"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -19,14 +22,32 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	scens := replay.Fig8Scenarios(*racks)
+	cells, err := sim.CellsFromScenarios(replay.Fig8Scenarios(*racks))
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := sim.RunSpec{
+		Name:    "policy-compare",
+		Racks:   *racks,
+		Cells:   cells,
+		Workers: *workers,
+	}
+	scens, err := spec.Scenarios()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("running %d scenarios on a %d-node machine...\n",
 		len(scens), scens[0].Machine().Nodes())
-	t := experiment.Runner{Workers: *workers}.Run("policy-compare", scens)
+
+	rep, err := sim.Run(context.Background(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := rep.Table
 	fmt.Printf("done in %v with %d workers (serial cost %v, speedup %.2fx)\n\n",
 		t.Elapsed.Round(1e6), t.Workers, t.SerialCost().Round(1e6), t.Speedup())
 
-	if errs := t.Errs(); len(errs) > 0 {
+	if errs := rep.Errs(); len(errs) > 0 {
 		fmt.Printf("sweep failed: %v\n", errs[0])
 		return
 	}

@@ -1,26 +1,43 @@
 // Powercap day: the Figure 6 experiment at reduced scale — a 24-hour
 // Curie-like workload under the MIX policy with a one-hour reservation of
 // 40% of the machine's power, rendered as the paper's stacked core and
-// power time series.
+// power time series. The run is described by converting the predefined
+// Figure 6 scenario into a declarative sim.RunSpec and executing it
+// through the facade.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
 	"repro/internal/figures"
 	"repro/internal/replay"
+	"repro/internal/sim"
 )
 
 func main() {
 	racks := flag.Int("racks", 8, "machine size in racks (56 = full Curie)")
 	flag.Parse()
 
-	s := replay.Fig6Scenario(*racks)
+	spec, err := sim.SpecFromScenario(replay.Fig6Scenario(*racks))
+	if err != nil {
+		log.Fatal(err)
+	}
+	scens, err := spec.Scenarios()
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := scens[0]
 	fmt.Printf("replaying %s on %d nodes — this takes a few seconds...\n\n",
 		s.Name, s.Machine().Nodes())
-	r := replay.Run(s)
+
+	rep, err := sim.Run(context.Background(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := *rep.Single
 	if r.Err != nil {
 		log.Fatal(r.Err)
 	}

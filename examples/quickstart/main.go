@@ -1,76 +1,70 @@
-// Quickstart: build a small Curie-like machine, submit a handful of
-// jobs, reserve a 60% powercap for a window, and watch the SHUT policy
-// plan a grouped switch-off and keep the draw inside the budget.
+// Quickstart: describe a run declaratively, execute it through the
+// internal/sim facade, and inspect the report — the three calls every
+// surface (CLIs, examples, services) builds on. The same RunSpec, as
+// JSON, sits next to this file in spec.json and runs unchanged through
+// `powersched -spec` or `expfig -spec`.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
-	"repro/internal/cluster"
-	"repro/internal/core"
-	"repro/internal/job"
 	"repro/internal/power"
-	"repro/internal/rjms"
+	"repro/internal/sim"
 )
 
 func main() {
-	// A 2-rack slice of Curie: 2 x 5 chassis x 18 nodes = 180 nodes,
-	// 16 cores each, with the measured Figure 4 power table.
-	cfg := rjms.Config{
-		Topology: cluster.Topology{Racks: 2, ChassisPerRack: 5, NodesPerChassis: 18, CoresPerNode: 16},
-		Policy:   core.PolicyShut,
+	// A 2-rack slice of Curie under the SHUT policy: a 60% powercap for
+	// the paper's one-hour window in the middle of the smalljob
+	// interval. The zero values (seed, window placement, options) mean
+	// the paper defaults.
+	spec := sim.RunSpec{
+		Workload:     sim.WorkloadSpec{Kind: "smalljob", Seed: 1002},
+		Racks:        2,
+		Policies:     []string{"SHUT"},
+		CapFractions: []float64{0.6},
 	}
-	ctl, err := rjms.New(cfg)
-	if err != nil {
+	if err := spec.Validate(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("machine: %d nodes / %d cores, max draw %v, idle draw %v\n",
-		ctl.Cluster().Nodes(), ctl.Cluster().Cores(),
-		ctl.Cluster().MaxPower(), ctl.Cluster().IdlePower())
 
-	// A 60% powercap reservation one hour into the day, for one hour.
-	budget := power.CapFraction(0.6, ctl.Cluster().MaxPower())
-	plan, err := ctl.ReservePowerCap(3600, 7200, budget)
+	rep, err := sim.Run(context.Background(), spec)
 	if err != nil {
 		log.Fatal(err)
 	}
+	r := *rep.Single
+	if r.Err != nil {
+		log.Fatal(r.Err)
+	}
+
+	fmt.Printf("replayed %s: machine max draw %v, %d cores\n",
+		r.Scenario.Name, r.MaxPower, r.Cores)
 	fmt.Printf("offline plan: mechanism=%v, %d nodes reserved for switch-off "+
 		"(sheds %v; the cap demands %v)\n",
-		plan.Mechanism, len(plan.OffNodes), plan.PlannedSaving, plan.NeededSaving)
+		r.Plan.Mechanism, len(r.Plan.OffNodes), r.Plan.PlannedSaving, r.Plan.NeededSaving)
+	fmt.Println("summary:", r.Summary)
+	fmt.Printf("energy %.1f kWh, mean draw %v, peak %v\n",
+		r.Summary.EnergyJ.KWh(), r.Summary.MeanPower, r.Summary.PeakPower)
 
-	// A steady stream of jobs, one submitted every 2 minutes.
-	var jobs []*job.Job
-	for i := 0; i < 120; i++ {
-		jobs = append(jobs, &job.Job{
-			ID:       job.ID(i + 1),
-			User:     fmt.Sprintf("user%d", i%7),
-			Cores:    64 << (i % 3), // 64, 128, 256 cores
-			Submit:   int64(i) * 120,
-			Runtime:  900,
-			Walltime: 7200, // the usual massive overestimate
-		})
-	}
-	if err := ctl.LoadWorkload(jobs); err != nil {
-		log.Fatal(err)
-	}
-
-	summary, err := ctl.Run(4 * 3600)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("\nafter 4 simulated hours:")
-	fmt.Println(" ", summary)
-	fmt.Printf("  energy %.1f kWh, mean draw %v, peak %v\n",
-		summary.EnergyJ.KWh(), summary.MeanPower, summary.PeakPower)
-
-	// Show that the cap held while the window was open.
+	// Show that the cap held while the window was open (skip the first
+	// ten minutes of the window, the drain-down transient).
+	start, end := r.Scenario.Window()
+	budget := power.CapFraction(0.6, r.MaxPower)
 	var peakInWindow power.Watts
-	for _, s := range ctl.Samples() {
-		if s.T >= 3600+600 && s.T < 7200 && s.Power > peakInWindow {
+	for _, s := range r.Samples {
+		if s.T >= start+600 && s.T < end && s.Power > peakInWindow {
 			peakInWindow = s.Power
 		}
 	}
-	fmt.Printf("  peak draw inside the capped window (after drain): %v (budget %v)\n",
+	fmt.Printf("peak draw inside the capped window (after drain): %v (budget %v)\n",
 		peakInWindow, budget)
+
+	// The same report encodes through the sink pipeline — JSON, CSV or
+	// ASCII — without mode dispatch; here the machine-readable summary.
+	fmt.Println("\nJSON export of the same report:")
+	if err := sim.Export(os.Stdout, "json", rep, sim.SinkOptions{}); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/dvfs"
 	"repro/internal/power"
+	"repro/internal/registry"
 )
 
 // Policy is the powercap scheduling mode (the SchedulerParameters option
@@ -50,21 +50,27 @@ func (p Policy) String() string {
 	}
 }
 
-// ParsePolicy parses the policy names used on command lines.
+// Policies is the powercap-policy registry. The five paper policies
+// self-register below; ParsePolicy, flag help and the sim facade all
+// read this, so an added policy shows up everywhere at once.
+var Policies = registry.New[Policy]("policy")
+
+func init() {
+	Policies.Register("NONE", PolicyNone, "no powercap handling (the 100% baseline)", "off")
+	Policies.Register("SHUT", PolicyShut, "switch nodes off, jobs stay at nominal frequency", "shutdown")
+	Policies.Register("DVFS", PolicyDvfs, "slow jobs down to the ladder minimum, no switch-off")
+	Policies.Register("MIX", PolicyMix, "switch-off plus DVFS with the 2.0 GHz floor", "mixed")
+	Policies.Register("IDLE", PolicyIdle, "neither mechanism: leave nodes idle, jobs wait")
+}
+
+// ParsePolicy parses the policy names used on command lines — a
+// registry lookup, so unknown-name errors enumerate what is registered.
 func ParsePolicy(s string) (Policy, error) {
-	switch strings.ToUpper(strings.TrimSpace(s)) {
-	case "NONE", "OFF":
-		return PolicyNone, nil
-	case "SHUT", "SHUTDOWN":
-		return PolicyShut, nil
-	case "DVFS":
-		return PolicyDvfs, nil
-	case "MIX", "MIXED":
-		return PolicyMix, nil
-	case "IDLE":
-		return PolicyIdle, nil
+	p, err := Policies.Lookup(s)
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
 	}
-	return 0, fmt.Errorf("core: unknown policy %q", s)
+	return p, nil
 }
 
 // CanShutdown reports whether the policy may power nodes off.

@@ -26,6 +26,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -172,12 +173,25 @@ func poolSize(workers, cells int) int {
 // shared pool of the scenario and federation sweeps. fn must write its
 // result to its own index; runIndexed provides no other
 // synchronization. workers must already be clamped by poolSize.
-func runIndexed(n, workers int, fn func(i int)) {
+//
+// Cancelling ctx stops the run promptly but cleanly: the feeder stops
+// handing out cells, every worker finishes (or skips) the cell it
+// holds, and runIndexed only returns once the whole pool has drained —
+// no goroutine outlives the call, however early the cancellation (the
+// -race cancellation tests pin this). Cells fn never ran stay untouched
+// for the caller to mark. Returns ctx.Err().
+func runIndexed(ctx context.Context, n, workers int, fn func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var wg sync.WaitGroup
 	idx := make(chan int)
@@ -186,15 +200,26 @@ func runIndexed(n, workers int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				fn(i)
+				// A cell handed over in the same instant as the cancel
+				// is skipped, not run: drain the channel so the feeder
+				// never blocks, but do no further work.
+				if ctx.Err() == nil {
+					fn(i)
+				}
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	return ctx.Err()
 }
 
 // Run executes the scenario list and aggregates the table. Each cell
@@ -202,6 +227,17 @@ func runIndexed(n, workers int, fn func(i int)) {
 // scenario inputs; rows land at their grid index regardless of which
 // worker ran them or in what order they finished.
 func (r Runner) Run(name string, scenarios []replay.Scenario) Table {
+	t, _ := r.RunContext(context.Background(), name, scenarios)
+	return t
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the pool
+// stops handing out cells, drains its in-flight workers, and returns
+// the partial table plus ctx.Err(). Rows whose cell never ran carry
+// their scenario and ctx.Err(), so the table stays self-describing;
+// rows that finished before the cancel are complete and identical to
+// an uncancelled run's.
+func (r Runner) RunContext(ctx context.Context, name string, scenarios []replay.Scenario) (Table, error) {
 	workers := poolSize(r.Workers, len(scenarios))
 	t := Table{Name: name, Rows: make([]Result, len(scenarios)), Workers: workers}
 	start := time.Now()
@@ -210,11 +246,13 @@ func (r Runner) Run(name string, scenarios []replay.Scenario) Table {
 		mu   sync.Mutex // serializes OnResult and the done counter
 		done int
 	)
-	runIndexed(len(scenarios), workers, func(i int) {
+	ran := make([]bool, len(scenarios)) // index-owned by the cell's worker
+	err := runIndexed(ctx, len(scenarios), workers, func(i int) {
 		t0 := time.Now()
 		res := replay.Run(scenarios[i])
 		row := Result{Result: res, Index: i, Elapsed: time.Since(t0)}
 		t.Rows[i] = row
+		ran[i] = true
 		if r.OnResult != nil {
 			mu.Lock()
 			done++
@@ -222,8 +260,16 @@ func (r Runner) Run(name string, scenarios []replay.Scenario) Table {
 			mu.Unlock()
 		}
 	})
+	for i := range t.Rows {
+		if !ran[i] {
+			t.Rows[i] = Result{
+				Result: replay.Result{Scenario: scenarios[i], Err: err},
+				Index:  i,
+			}
+		}
+	}
 	t.Elapsed = time.Since(start)
-	return t
+	return t, err
 }
 
 // Run expands the grid and executes it with the given worker count.

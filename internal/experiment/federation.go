@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/csv"
 	"encoding/hex"
@@ -115,6 +116,15 @@ type FederationRunner struct {
 // Rows land at their grid index regardless of scheduling, so the table
 // — and its Fingerprint — is identical at any worker count.
 func (r FederationRunner) Run(name string, scenarios []replay.FederationScenario) FederationTable {
+	t, _ := r.RunContext(context.Background(), name, scenarios)
+	return t
+}
+
+// RunContext is Run with cancellation, mirroring Runner.RunContext:
+// cancelled cells carry their scenario and ctx.Err(), finished cells
+// are identical to an uncancelled run's, and the pool is fully drained
+// before it returns.
+func (r FederationRunner) RunContext(ctx context.Context, name string, scenarios []replay.FederationScenario) (FederationTable, error) {
 	workers := poolSize(r.Workers, len(scenarios))
 	t := FederationTable{Name: name, Rows: make([]FederationResult, len(scenarios)), Workers: workers}
 	start := time.Now()
@@ -123,11 +133,13 @@ func (r FederationRunner) Run(name string, scenarios []replay.FederationScenario
 		mu   sync.Mutex
 		done int
 	)
-	runIndexed(len(scenarios), workers, func(i int) {
+	ran := make([]bool, len(scenarios))
+	err := runIndexed(ctx, len(scenarios), workers, func(i int) {
 		t0 := time.Now()
 		res := federation.Run(scenarios[i])
 		row := FederationResult{Result: res, Index: i, Elapsed: time.Since(t0)}
 		t.Rows[i] = row
+		ran[i] = true
 		if r.OnResult != nil {
 			mu.Lock()
 			done++
@@ -135,8 +147,16 @@ func (r FederationRunner) Run(name string, scenarios []replay.FederationScenario
 			mu.Unlock()
 		}
 	})
+	for i := range t.Rows {
+		if !ran[i] {
+			t.Rows[i] = FederationResult{
+				Result: federation.Result{Scenario: scenarios[i], Err: err},
+				Index:  i,
+			}
+		}
+	}
 	t.Elapsed = time.Since(start)
-	return t
+	return t, err
 }
 
 // RunFederation expands the grid and executes it with the given worker

@@ -13,6 +13,7 @@
 package replay
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -248,6 +249,21 @@ func RunWith(s Scenario, observe func(*rjms.Controller)) Result {
 // grid expansion, per-cell timing, progress callbacks, aggregation and
 // CSV/JSON/ASCII export on top — prefer it for new sweep code.
 func RunAll(scenarios []Scenario, workers int) []Result {
+	results, _ := RunAllContext(context.Background(), scenarios, workers)
+	return results
+}
+
+// RunAllContext is RunAll with cancellation: when ctx is cancelled the
+// feeder stops handing out scenarios, the in-flight workers finish
+// their cell, and the call returns the partial results plus ctx.Err().
+// The pool is always fully drained before returning — a worker never
+// outlives the call, and the feeder never blocks on workers that quit
+// (the early-exit goroutine leak the old hand-rolled pools risked).
+// Cells that never ran carry their scenario and ctx.Err().
+func RunAllContext(ctx context.Context, scenarios []Scenario, workers int) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -255,27 +271,48 @@ func RunAll(scenarios []Scenario, workers int) []Result {
 		workers = len(scenarios)
 	}
 	results := make([]Result, len(scenarios))
+	ran := make([]bool, len(scenarios)) // index-owned by the cell's worker
 	if workers <= 1 {
 		for i, s := range scenarios {
-			results[i] = Run(s)
-		}
-		return results
-	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				results[i] = Run(scenarios[i])
+			if ctx.Err() != nil {
+				break
 			}
-		}()
+			results[i] = Run(s)
+			ran[i] = true
+		}
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					// Drain without running once cancelled, so the
+					// feeder can never block on a quit worker.
+					if ctx.Err() == nil {
+						results[i] = Run(scenarios[i])
+						ran[i] = true
+					}
+				}
+			}()
+		}
+	feed:
+		for i := range scenarios {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(idx)
+		wg.Wait()
 	}
-	for i := range scenarios {
-		idx <- i
+	err := ctx.Err()
+	for i := range results {
+		if !ran[i] {
+			results[i] = Result{Scenario: scenarios[i], Err: err}
+		}
 	}
-	close(idx)
-	wg.Wait()
-	return results
+	return results, err
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/registry"
 	"repro/internal/trace"
 )
 
@@ -117,15 +118,24 @@ func (d Division) String() string {
 	}
 }
 
-// ParseDivision parses a division-policy name.
+// Divisions is the budget-division registry. The two broker policies
+// self-register below; ParseDivision, flag help and the sim facade all
+// read this, so a new division shows up everywhere at once.
+var Divisions = registry.New[Division]("division policy")
+
+func init() {
+	Divisions.Register("prorata", DivideProRata, "static split in proportion to member max draw", "static")
+	Divisions.Register("demand", DivideDemand, "move idle members' headroom to backlogged ones each epoch", "dynamic")
+}
+
+// ParseDivision parses a division-policy name — a registry lookup, so
+// unknown-name errors enumerate what is registered.
 func ParseDivision(s string) (Division, error) {
-	switch s {
-	case "prorata", "static":
-		return DivideProRata, nil
-	case "demand", "dynamic":
-		return DivideDemand, nil
+	d, err := Divisions.Lookup(s)
+	if err != nil {
+		return 0, fmt.Errorf("replay: %w", err)
 	}
-	return 0, fmt.Errorf("replay: unknown division policy %q (want prorata|demand)", s)
+	return d, nil
 }
 
 // FederationScenario is one cell of a federated multi-cluster

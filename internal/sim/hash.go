@@ -1,0 +1,28 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"hash"
+)
+
+// fingerprintWriter hashes everything written through it — the
+// streaming form Report.Fingerprint uses so single-run exports never
+// need buffering.
+type fingerprintWriter struct {
+	h hash.Hash
+}
+
+func (f *fingerprintWriter) Write(p []byte) (int, error) {
+	if f.h == nil {
+		f.h = sha256.New()
+	}
+	return f.h.Write(p)
+}
+
+func (f *fingerprintWriter) Sum() string {
+	if f.h == nil {
+		f.h = sha256.New()
+	}
+	return hex.EncodeToString(f.h.Sum(nil))
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/federation"
+	"repro/internal/replay"
+)
+
+// Report is the unified outcome of Run: exactly one of the mode
+// payloads is populated (federation single runs populate both the
+// one-cell table and the raw federation result). The sink pipeline
+// (WriteTo/Export) encodes any Report as JSON, CSV or ASCII without
+// the caller dispatching on mode.
+type Report struct {
+	// Spec is the normalized spec the run executed.
+	Spec RunSpec
+	// Mode is the executed mode (Spec.Mode after normalization).
+	Mode Mode
+
+	// Single is the one-scenario replay result with its time series.
+	Single *replay.Result
+	// Table is the aggregated sweep of sweep mode.
+	Table *experiment.Table
+	// FederationTable is the aggregated federated sweep (one row for a
+	// single federation run).
+	FederationTable *experiment.FederationTable
+	// Federation is the raw result of a one-cell federation run — the
+	// per-member, per-epoch detail the table form flattens away.
+	Federation *federation.Result
+}
+
+// Errs collects the per-cell errors of whichever payload ran.
+func (r Report) Errs() []error {
+	switch {
+	case r.Single != nil && r.Single.Err != nil:
+		return []error{r.Single.Err}
+	case r.Table != nil:
+		return r.Table.Errs()
+	case r.FederationTable != nil:
+		return r.FederationTable.Errs()
+	}
+	return nil
+}
+
+// Progress observes finished sweep cells: done of total, the cell's
+// label, its wall-clock cost and its error (nil when the cell
+// succeeded). Single-mode runs report one synthetic cell.
+type Progress func(done, total int, cell string, elapsed time.Duration, err error)
+
+// Run executes a spec: validate, normalize, dispatch on mode. The
+// context cancels sweeps mid-run — workers drain, the partial table
+// comes back along with ctx.Err() — and is checked before single
+// replays start. Cell-level failures do not abort the run; they sit in
+// the Report (Errs collects them) so partial sweeps stay inspectable.
+func Run(ctx context.Context, spec RunSpec) (Report, error) {
+	return RunWith(ctx, spec, nil)
+}
+
+// RunWith is Run with a progress callback (nil means silent).
+func RunWith(ctx context.Context, spec RunSpec, progress Progress) (Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := spec.Validate(); err != nil {
+		return Report{}, err
+	}
+	spec = spec.Normalize()
+	rep := Report{Spec: spec, Mode: spec.Mode}
+	if swf := spec.Workload.SWF; swf != nil && spec.Mode != ModeFederation {
+		// Probe the stream once so a bad path, corrupt header, invalid
+		// transform or empty window fails here, not mid-sweep. The
+		// replay re-scans the file — the deliberate cost of failing
+		// fast on archives.
+		if err := probeSWF(spec); err != nil {
+			return rep, err
+		}
+	}
+
+	switch spec.Mode {
+	case ModeSingle:
+		sc, err := spec.singleScenario()
+		if err != nil {
+			return rep, err
+		}
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		res := replay.Run(sc)
+		rep.Single = &res
+		if progress != nil {
+			progress(1, 1, sc.Name, 0, res.Err)
+		}
+		return rep, nil
+
+	case ModeSweep:
+		scens, err := spec.sweepScenarios()
+		if err != nil {
+			return rep, err
+		}
+		runner := experiment.Runner{Workers: spec.Workers}
+		if progress != nil {
+			runner.OnResult = func(done, total int, r experiment.Result) {
+				progress(done, total, r.Scenario.Name, r.Elapsed, r.Err)
+			}
+		}
+		t, err := runner.RunContext(ctx, spec.sweepName(), scens)
+		rep.Table = &t
+		return rep, err
+
+	case ModeFederation:
+		scens, err := spec.federationScenarios()
+		if err != nil {
+			return rep, err
+		}
+		runner := experiment.FederationRunner{Workers: spec.Workers}
+		if progress != nil {
+			runner.OnResult = func(done, total int, r experiment.FederationResult) {
+				progress(done, total, r.Scenario.Name, r.Elapsed, r.Err)
+			}
+		}
+		t, err := runner.RunContext(ctx, spec.sweepName(), scens)
+		rep.FederationTable = &t
+		if len(t.Rows) == 1 {
+			rep.Federation = &t.Rows[0].Result
+		}
+		return rep, err
+	}
+	return rep, fmt.Errorf("sim: unknown mode %q", spec.Mode)
+}
+
+// sweepName labels the aggregated table.
+func (s RunSpec) sweepName() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	if s.Mode == ModeFederation {
+		return "powersched-federation"
+	}
+	return "powersched"
+}
+
+// probeSWF opens the stream and pulls the first record, surfacing
+// bad-file and empty-window errors before any controller is built.
+func probeSWF(spec RunSpec) error {
+	base, err := spec.baseScenario()
+	if err != nil {
+		return err
+	}
+	fs, err := base.SWF.Open()
+	if err != nil {
+		return err
+	}
+	first, err := fs.Next()
+	fs.Close()
+	if err != nil {
+		return err
+	}
+	if first == nil {
+		return fmt.Errorf("no jobs in %s after the window/timescale transforms; check the window bounds (trace seconds)", base.SWF.Path)
+	}
+	return nil
+}

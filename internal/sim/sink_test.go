@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// sweepReport runs a tiny sweep once for the sink tests.
+func sweepReport(t *testing.T) Report {
+	t.Helper()
+	rep, err := Run(context.Background(), RunSpec{
+		Workload:     WorkloadSpec{Kind: "medianjob", Seed: 1001},
+		Racks:        2,
+		Policies:     []string{"SHUT", "DVFS"},
+		CapFractions: []float64{0.6},
+		Workers:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := rep.Errs(); len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	return rep
+}
+
+func TestSinksEncodeSweep(t *testing.T) {
+	rep := sweepReport(t)
+
+	var jsonBuf bytes.Buffer
+	if err := Export(&jsonBuf, "json", rep, SinkOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonBuf.String(), `"rows"`) {
+		t.Error("json sink did not write the table envelope")
+	}
+	// The sink must write exactly the historical table export.
+	var direct bytes.Buffer
+	if err := rep.Table.WriteJSON(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonBuf.Bytes(), direct.Bytes()) {
+		t.Error("json sink drifted from Table.WriteJSON")
+	}
+
+	var csvBuf bytes.Buffer
+	if err := Export(&csvBuf, "csv", rep, SinkOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csvBuf.String(), "index,name,workload,policy") {
+		t.Errorf("csv sink header wrong: %q", strings.SplitN(csvBuf.String(), "\n", 2)[0])
+	}
+
+	var asciiBuf bytes.Buffer
+	if err := Export(&asciiBuf, "ascii", rep, SinkOptions{Width: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(asciiBuf.String(), "medianjob/60%/SHUT") {
+		t.Error("ascii sink did not render the comparison table")
+	}
+}
+
+func TestSinksEncodeSingle(t *testing.T) {
+	rep, err := Run(context.Background(), RunSpec{
+		Workload: WorkloadSpec{Kind: "smalljob", Seed: 1002},
+		Racks:    2, Policies: []string{"SHUT"}, CapFractions: []float64{0.6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var csvBuf bytes.Buffer
+	if err := Export(&csvBuf, "csv", rep, SinkOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csvBuf.String(), "t_sec,power_w,cap_w") {
+		t.Errorf("single-run csv is not the time series: %q", strings.SplitN(csvBuf.String(), "\n", 2)[0])
+	}
+	var asciiBuf bytes.Buffer
+	if err := Export(&asciiBuf, "ascii", rep, SinkOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(asciiBuf.String(), "cores by CPU frequency") {
+		t.Error("single-run ascii sink did not render the time-series chart")
+	}
+}
+
+func TestExportUnknownFormatEnumeratesSinks(t *testing.T) {
+	rep := Report{}
+	err := Export(&bytes.Buffer{}, "parquet", rep, SinkOptions{})
+	if err == nil || !strings.Contains(err.Error(), "json|csv|ascii") {
+		t.Errorf("unknown-sink error %v does not enumerate formats", err)
+	}
+}
+
+func TestEmptyReportErrors(t *testing.T) {
+	for _, format := range Sinks.Names() {
+		if err := Export(&bytes.Buffer{}, format, Report{}, SinkOptions{}); err == nil {
+			t.Errorf("%s sink encoded an empty report silently", format)
+		}
+	}
+	if _, err := (Report{}).Fingerprint(); err == nil {
+		t.Error("empty report fingerprinted silently")
+	}
+}

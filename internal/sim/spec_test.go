@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// complexSpec exercises every RunSpec field at once.
+func complexSpec() RunSpec {
+	return RunSpec{
+		Name: "everything",
+		Workload: WorkloadSpec{
+			Kind: "bursty", Seed: 42, DurationSec: 7200, LoadFactor: 0.8,
+			BacklogFraction: 0.1, Users: 12,
+			SWF: &SWFSpec{Path: "trace.swf", WindowStartSec: 100, WindowEndSec: 200, TimeScale: 0.5, Cores: 80640, MaxJobs: 1000},
+		},
+		Racks:        4,
+		Policies:     []string{"SHUT", "MIX"},
+		CapFractions: []float64{0, 0.6, 0.4},
+		Cap:          CapSpec{StartSec: 1800, DurationSec: 900, OpenEnded: false},
+		Options: OptionSpec{
+			KillOnOverrun: true, Scattered: true, ReservationLeadSec: 60,
+			PlanningHorizonSec: 1800, DynamicDVFS: true, Compact: true,
+			MeasuredNoise: 0.01, SampleEverySec: 120, BackfillDepth: 7,
+		},
+		Workers: 3,
+	}
+}
+
+func TestSpecJSONRoundTripExact(t *testing.T) {
+	for name, spec := range map[string]RunSpec{
+		"zero":       {},
+		"normalized": RunSpec{}.Normalize(),
+		"complex":    complexSpec(),
+		"cells": {
+			Name: "cells",
+			Cells: []CellSpec{
+				{Policy: "SHUT", CapFraction: 0.6},
+				{Name: "x", Workload: &WorkloadSpec{Kind: "bigjob", Seed: 7},
+					Policy: "DVFS", CapFraction: 0.4,
+					Cap:     &CapSpec{OpenEnded: true, StartSec: 10},
+					Options: &OptionSpec{Scattered: true}},
+			},
+		},
+		"federation": {
+			CapFractions: []float64{0.5},
+			Federation:   &FederationSpec{MemberCounts: []int{2, 3}, Divisions: []string{"prorata"}, EpochSec: 600},
+		},
+	} {
+		var buf bytes.Buffer
+		if err := spec.EncodeJSON(&buf); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		got, err := DecodeJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, spec) {
+			t.Errorf("%s: round trip drifted:\nin:  %+v\nout: %+v", name, spec, got)
+		}
+		// And the byte-level property CI checks on spec files.
+		if err := RoundTrips(buf.Bytes()); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	_, err := DecodeJSON(strings.NewReader(`{"workolad": {"kind": "bigjob"}}`))
+	if err == nil {
+		t.Fatal("typo field decoded silently")
+	}
+}
+
+func TestEffectiveModeDerivation(t *testing.T) {
+	cases := []struct {
+		spec RunSpec
+		want Mode
+	}{
+		{RunSpec{}, ModeSingle},
+		{RunSpec{Policies: []string{"SHUT"}, CapFractions: []float64{0.6}}, ModeSingle},
+		{RunSpec{Policies: []string{"SHUT", "DVFS"}, CapFractions: []float64{0.6}}, ModeSweep},
+		{RunSpec{Policies: []string{"SHUT"}, CapFractions: []float64{0.6, 0.4}}, ModeSweep},
+		{RunSpec{Cells: []CellSpec{{Policy: "SHUT"}}}, ModeSweep},
+		{RunSpec{Federation: &FederationSpec{}}, ModeFederation},
+	}
+	for i, tc := range cases {
+		if got := tc.spec.EffectiveMode(); got != tc.want {
+			t.Errorf("case %d: mode %q, want %q", i, got, tc.want)
+		}
+	}
+}
+
+func TestNormalizeFillsDefaults(t *testing.T) {
+	n := RunSpec{}.Normalize()
+	if n.Mode != ModeSingle || n.Workload.Kind != "medianjob" ||
+		len(n.Policies) != 1 || n.Policies[0] != "SHUT" ||
+		len(n.CapFractions) != 1 || n.CapFractions[0] != 0.6 {
+		t.Errorf("zero-spec defaults wrong: %+v", n)
+	}
+
+	f := RunSpec{Federation: &FederationSpec{}, CapFractions: []float64{0.5}}.Normalize()
+	if f.Mode != ModeFederation || len(f.Federation.MemberCounts) != 1 ||
+		f.Federation.MemberCounts[0] != 3 || f.Federation.Divisions[0] != "demand" {
+		t.Errorf("federation defaults wrong: %+v", f)
+	}
+	if f.Workload.Kind != "" {
+		t.Errorf("federation spec grew a workload: %+v", f.Workload)
+	}
+}
+
+func TestValidateEnumeratesRegisteredNames(t *testing.T) {
+	cases := []struct {
+		spec    RunSpec
+		mention string
+	}{
+		{RunSpec{Policies: []string{"TURBO"}}, "SHUT"},
+		{RunSpec{Workload: WorkloadSpec{Kind: "mystery"}}, "medianjob"},
+		{RunSpec{CapFractions: []float64{0.5},
+			Federation: &FederationSpec{Divisions: []string{"fair"}}}, "prorata"},
+		{RunSpec{Cells: []CellSpec{{Policy: "TURBO"}}}, "SHUT"},
+	}
+	for i, tc := range cases {
+		err := tc.spec.Validate()
+		if err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.mention) {
+			t.Errorf("case %d: error %q does not enumerate registered names (want %q)", i, err, tc.mention)
+		}
+	}
+}
+
+func TestValidateRejectsStructuralProblems(t *testing.T) {
+	bad := []RunSpec{
+		{Mode: ModeSweep}, // mode contradicts fields
+		{Racks: -1},       // negative machine
+		{Workers: -2},     // negative pool
+		{Workload: WorkloadSpec{SWF: &SWFSpec{}}},                                               // SWF without path
+		{Workload: WorkloadSpec{SWF: &SWFSpec{Path: "x", WindowStartSec: 10, WindowEndSec: 5}}}, // empty window
+		{CapFractions: []float64{1.5}, Federation: &FederationSpec{}},                           // fed cap outside (0,1)
+		{CapFractions: []float64{0.5}, Federation: &FederationSpec{MemberCounts: []int{0}}},     // zero members
+		{CapFractions: []float64{0.5}, Federation: &FederationSpec{EpochSec: -1}},               // negative epoch
+		{Cap: CapSpec{StartSec: -5}},                                                            // negative window
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted: %+v", i, spec)
+		}
+	}
+	if err := complexSpec().Validate(); err != nil {
+		t.Errorf("complex-but-valid spec rejected: %v", err)
+	}
+}
+
+// TestFacadeRegistriesExposeEntries pins the facade surface: the
+// re-exported registries list the expected vocabulary.
+func TestFacadeRegistriesExposeEntries(t *testing.T) {
+	if got := Policies.Join("|"); got != "NONE|SHUT|DVFS|MIX|IDLE" {
+		t.Errorf("Policies = %q", got)
+	}
+	if got := Workloads.Join("|"); got != "medianjob|smalljob|bigjob|24h|diurnal|bursty|heavytail" {
+		t.Errorf("Workloads = %q", got)
+	}
+	if got := Divisions.Join("|"); got != "prorata|demand" {
+		t.Errorf("Divisions = %q", got)
+	}
+	if got := Sinks.Join("|"); got != "json|csv|ascii" {
+		t.Errorf("Sinks = %q", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"repro/internal/job"
+	"repro/internal/registry"
 )
 
 // Kind selects one of the four replayed workload intervals of Section
@@ -65,25 +66,30 @@ func (k Kind) String() string {
 	}
 }
 
-// ParseKind parses the interval names used on command lines.
+// Kinds is the workload-kind registry. The paper's four intervals and
+// the library extensions self-register below; ParseKind, flag help and
+// the sim facade all read this, so a new kind shows up everywhere at
+// once.
+var Kinds = registry.New[Kind]("workload kind")
+
+func init() {
+	Kinds.Register("medianjob", MedianJob, "5 h interval representative of the whole Curie mix", "median")
+	Kinds.Register("smalljob", SmallJob, "5 h interval skewed to small jobs", "small")
+	Kinds.Register("bigjob", BigJob, "5 h interval skewed to big jobs", "big")
+	Kinds.Register("24h", Day24h, "the 24 h representative interval", "day")
+	Kinds.Register("diurnal", Diurnal, "24 h day/night sinusoid arrivals")
+	Kinds.Register("bursty", Bursty, "5 h of submission storms over a thin background", "burst")
+	Kinds.Register("heavytail", HeavyTail, "5 h with Pareto-distributed job widths", "heavy")
+}
+
+// ParseKind parses the interval names used on command lines — a
+// registry lookup, so unknown-name errors enumerate what is registered.
 func ParseKind(s string) (Kind, error) {
-	switch s {
-	case "medianjob", "median":
-		return MedianJob, nil
-	case "smalljob", "small":
-		return SmallJob, nil
-	case "bigjob", "big":
-		return BigJob, nil
-	case "24h", "day":
-		return Day24h, nil
-	case "diurnal":
-		return Diurnal, nil
-	case "bursty", "burst":
-		return Bursty, nil
-	case "heavytail", "heavy":
-		return HeavyTail, nil
+	k, err := Kinds.Lookup(s)
+	if err != nil {
+		return 0, fmt.Errorf("trace: %w", err)
 	}
-	return 0, fmt.Errorf("trace: unknown workload kind %q", s)
+	return k, nil
 }
 
 // Duration returns the interval length in seconds (5 h, or 24 h for the
