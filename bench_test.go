@@ -12,7 +12,11 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/cluster"
@@ -24,6 +28,8 @@ import (
 	"repro/internal/power"
 	"repro/internal/replay"
 	"repro/internal/sched"
+	"repro/internal/service"
+	"repro/internal/sim"
 	"repro/internal/simengine"
 	"repro/internal/trace"
 )
@@ -405,4 +411,82 @@ func BenchmarkModelSolve(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Service layer ----------------------------------------------------
+
+// BenchmarkServiceSubmit measures the simd submission round trip
+// through the real HTTP API: "cold" submits distinct specs (every
+// iteration executes the engine), "cachehit" resubmits one already
+// finished spec (every iteration is served from the spec-hash result
+// cache). The gap between the two is the daemon's heavy-traffic story.
+func BenchmarkServiceSubmit(b *testing.B) {
+	baseSpec := func() sim.RunSpec {
+		return sim.RunSpec{
+			Workload:     sim.WorkloadSpec{Kind: "smalljob", Seed: 1002, DurationSec: 3600},
+			Racks:        1,
+			Policies:     []string{"SHUT"},
+			CapFractions: []float64{0.6},
+		}
+	}
+	boot := func(b *testing.B) (*service.Server, *service.Client, func()) {
+		srv := service.New(service.Config{Workers: 1, MaxRuns: 1 << 20})
+		ts := httptest.NewServer(srv.Handler())
+		c := service.NewClient(ts.URL)
+		c.PollInterval = 2 * time.Millisecond
+		return srv, c, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			ts.Close()
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		_, c, stop := boot(b)
+		defer stop()
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			spec := baseSpec()
+			spec.Name = fmt.Sprintf("cold-%d", i) // distinct hash: forces execution
+			v, hit, err := c.Submit(ctx, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if hit {
+				b.Fatal("cold submission hit the cache")
+			}
+			if _, err := c.Wait(ctx, v.ID, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("cachehit", func(b *testing.B) {
+		srv, c, stop := boot(b)
+		defer stop()
+		ctx := context.Background()
+		v, _, err := c.Submit(ctx, baseSpec())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Wait(ctx, v.ID, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			got, hit, err := c.Submit(ctx, baseSpec())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !hit || got.ID != v.ID {
+				b.Fatalf("resubmission missed the cache (hit=%v id=%s)", hit, got.ID)
+			}
+		}
+		b.StopTimer()
+		if st := srv.Stats(); st.Executions != 1 {
+			b.Fatalf("cache-hit loop executed %d times", st.Executions)
+		}
+	})
 }

@@ -24,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/service"
 	"repro/internal/sim"
 )
 
@@ -47,6 +48,7 @@ func run(args []string, out io.Writer) error {
 		jsonOut  = fs.String("json", "", "write the sweep results as JSON to this file")
 		specPath = fs.String("spec", "", "run this sim.RunSpec JSON file instead of a named figure")
 		dumpSpec = fs.String("dumpspec", "", "write the selected -fig's sim.RunSpec as JSON and exit")
+		remote   = fs.String("remote", "", "submit the run to a simd daemon at this base URL instead of executing locally (replayed figures and -spec runs; rendered through the generic sink)")
 	)
 	fs.Parse(args)
 
@@ -58,6 +60,14 @@ func run(args []string, out io.Writer) error {
 
 	if *dumpSpec != "" {
 		return dumpFigureSpec(*fig, opt, *dumpSpec, out)
+	}
+
+	if *remote != "" {
+		spec, err := remoteSpec(*specPath, *fig, opt, *workers)
+		if err != nil {
+			return err
+		}
+		return runRemote(*remote, spec, opt, *csvOut, *jsonOut, out)
 	}
 
 	// -spec: any declarative run, rendered through the ASCII sink and
@@ -143,6 +153,49 @@ func exportReport(rep *sim.Report, csvOut, jsonOut, name string, out io.Writer) 
 		fmt.Fprintf(out, "%s (%s) written to %s\n", jsonLabel, name, jsonOut)
 	}
 	return nil
+}
+
+// remoteSpec resolves what -remote submits: the -spec file when given,
+// otherwise the selected replayed figure's RunSpec (static tables and
+// the "all" set render locally only).
+func remoteSpec(specPath, fig string, opt sim.FigureOptions, workers int) (sim.RunSpec, error) {
+	if specPath != "" {
+		spec, err := sim.LoadSpec(specPath)
+		if err != nil {
+			return sim.RunSpec{}, err
+		}
+		if workers != 0 {
+			spec.Workers = workers
+		}
+		return spec, nil
+	}
+	if fig == "all" {
+		return sim.RunSpec{}, fmt.Errorf("-remote submits one run; pick a replayed figure or a -spec file")
+	}
+	f, err := sim.Figures.Lookup(fig)
+	if err != nil {
+		return sim.RunSpec{}, fmt.Errorf("sim: %w", err)
+	}
+	if f.Static != nil {
+		return sim.RunSpec{}, fmt.Errorf("figure %s is a static table; it renders locally without a simulation", fig)
+	}
+	spec, err := f.Spec(opt)
+	if err != nil {
+		return sim.RunSpec{}, err
+	}
+	spec.Workers = workers
+	return spec, nil
+}
+
+// runRemote submits the spec to a simd daemon, polls for completion and
+// streams the daemon's sink-pipeline renderings: the generic ASCII form
+// to the terminal, json/csv to the -json/-csv files.
+func runRemote(base string, spec sim.RunSpec, opt sim.FigureOptions, csvOut, jsonOut string, out io.Writer) error {
+	return service.NewClient(base).RunAndRender(context.Background(), spec,
+		sim.SinkOptions{Width: opt.Width, Height: opt.Height}, out,
+		service.Export{Path: csvOut, Format: "csv", Label: "CSV"},
+		service.Export{Path: jsonOut, Format: "json", Label: "JSON"},
+	)
 }
 
 // dumpFigureSpec writes the RunSpec a replayed figure would execute —

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+// TestRemoteSpecMatchesLocal runs the same spec file through the local
+// -spec path and through -remote against a simd daemon, and requires
+// byte-equal JSON exports from the shared sink pipeline.
+func TestRemoteSpecMatchesLocal(t *testing.T) {
+	srv := service.New(service.Config{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		ts.Close()
+	}()
+
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "run.json")
+	spec := sim.RunSpec{
+		Workload:     sim.WorkloadSpec{Kind: "smalljob", Seed: 1002, DurationSec: 7200},
+		Racks:        2,
+		Policies:     []string{"SHUT", "DVFS"},
+		CapFractions: []float64{0.6},
+	}
+	if err := sim.WriteSpecFile(specPath, spec.Normalize()); err != nil {
+		t.Fatal(err)
+	}
+
+	localJSON := filepath.Join(dir, "local.json")
+	remoteJSON := filepath.Join(dir, "remote.json")
+	if err := run([]string{"-spec", specPath, "-json", localJSON}, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	var remoteOut bytes.Buffer
+	if err := run([]string{"-spec", specPath, "-remote", ts.URL, "-json", remoteJSON}, &remoteOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(remoteOut.String(), "submitted sweep run") {
+		t.Errorf("remote output missing submission line:\n%s", remoteOut.String())
+	}
+
+	a, err := os.ReadFile(localJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(remoteJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep exports carry wall-clock fields; compare with timings
+	// stripped via the deterministic fingerprint instead of bytes.
+	if fpA, fpB := sweepFingerprint(t, a), sweepFingerprint(t, b); fpA != fpB {
+		t.Errorf("remote sweep results differ from local: %s vs %s", fpA, fpB)
+	}
+
+	if st := srv.Stats(); st.Executions != 1 {
+		t.Errorf("daemon executed %d times, want 1", st.Executions)
+	}
+}
+
+// sweepFingerprint hashes a sweep JSON export with the wall-clock
+// fields stripped — the deterministic content two runs of one spec must
+// agree on.
+func sweepFingerprint(t *testing.T, raw []byte) string {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("bad sweep JSON: %v\n%.300s", err, raw)
+	}
+	stripElapsed(v)
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+func stripElapsed(v any) {
+	switch x := v.(type) {
+	case map[string]any:
+		delete(x, "elapsed_ms")
+		delete(x, "serial_cost_ms")
+		delete(x, "speedup")
+		for _, vv := range x {
+			stripElapsed(vv)
+		}
+	case []any:
+		for _, vv := range x {
+			stripElapsed(vv)
+		}
+	}
+}
+
+// TestRemoteStaticFigureRejected: static tables have no spec to submit.
+func TestRemoteStaticFigureRejected(t *testing.T) {
+	err := run([]string{"-fig", "2", "-remote", "http://localhost:1"}, new(bytes.Buffer))
+	if err == nil || !strings.Contains(err.Error(), "static table") {
+		t.Errorf("static figure over -remote: err = %v", err)
+	}
+}

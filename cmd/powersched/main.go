@@ -39,6 +39,13 @@
 //	           -duration 18000 -policy SHUT -cap 0.6
 //	powersched -federate -members 2,3 -division prorata,demand -cap 0.5
 //	powersched -spec run.json
+//	powersched -remote http://localhost:8080 -policy MIX -cap 0.4
+//
+// With -remote the built RunSpec is submitted to a running simd daemon
+// instead of executing in-process: the client polls for the report and
+// the output (terminal rendering, -json/-csv exports) streams back
+// through the daemon's sink pipeline — identical specs submitted by
+// many clients execute once, served from the daemon's spec-hash cache.
 package main
 
 import (
@@ -53,6 +60,7 @@ import (
 
 	"repro/internal/figures"
 	"repro/internal/replay"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/slurmconf"
 )
@@ -96,6 +104,7 @@ func run(args []string, out io.Writer) error {
 		epoch     = fs.Int64("epoch", 0, "with -federate: redistribution period seconds (0 = 900)")
 		specPath  = fs.String("spec", "", "load the run description from this sim.RunSpec JSON file instead of the scenario flags")
 		dumpSpec  = fs.String("dumpspec", "", "write the run description as a sim.RunSpec JSON file and exit (start of a scenario library)")
+		remote    = fs.String("remote", "", "submit the run to a simd daemon at this base URL (http://host:port) instead of executing locally")
 	)
 	fs.Parse(args)
 
@@ -133,6 +142,10 @@ func run(args []string, out io.Writer) error {
 
 	if *confPath != "" {
 		return writeConf(*confPath, spec, out)
+	}
+
+	if *remote != "" {
+		return runRemote(*remote, spec, *width, *height, *csvOut, *jsonOut, out)
 	}
 
 	switch spec.Mode {
@@ -405,6 +418,20 @@ func runFederate(spec sim.RunSpec, width int, csvOut, jsonOut string, out io.Wri
 		return errs[0]
 	}
 	return nil
+}
+
+// runRemote is the thin-client mode: the built RunSpec goes to a simd
+// daemon, the client polls for completion, and every byte of output —
+// the terminal rendering and the -json/-csv exports — streams back
+// through the daemon's sink pipeline, the same encoders a local run
+// uses. No result decoding happens on this side: the API is
+// CLI-complete.
+func runRemote(base string, spec sim.RunSpec, width, height int, csvOut, jsonOut string, out io.Writer) error {
+	return service.NewClient(base).RunAndRender(context.Background(), spec,
+		sim.SinkOptions{Width: width, Height: height}, out,
+		service.Export{Path: jsonOut, Format: "json", Label: "summary JSON"},
+		service.Export{Path: csvOut, Format: "csv", Label: "time series CSV"},
+	)
 }
 
 // windowLabel reconstructs the -window flag spelling of a spec window.

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestRemoteMatchesLocal pins the -remote satellite's acceptance: the
+// same flags run locally and against a simd daemon produce byte-equal
+// JSON exports (both flow through the one sink pipeline, the daemon's
+// just runs server-side), and the second remote invocation dedupes into
+// the daemon's cached run.
+func TestRemoteMatchesLocal(t *testing.T) {
+	srv := service.New(service.Config{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		ts.Close()
+	}()
+
+	dir := t.TempDir()
+	localJSON := filepath.Join(dir, "local.json")
+	remoteJSON := filepath.Join(dir, "remote.json")
+	flags := []string{"-kind", "smalljob", "-seed", "1002", "-racks", "2",
+		"-policy", "SHUT", "-cap", "0.6", "-duration", "7200"}
+
+	var localOut bytes.Buffer
+	if err := run(append(flags, "-json", localJSON), &localOut); err != nil {
+		t.Fatal(err)
+	}
+	var remoteOut bytes.Buffer
+	if err := run(append(flags, "-remote", ts.URL, "-json", remoteJSON), &remoteOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(remoteOut.String(), "submitted single run") {
+		t.Errorf("remote output missing submission line:\n%s", remoteOut.String())
+	}
+	if !strings.Contains(remoteOut.String(), "summary:") {
+		t.Errorf("remote output missing the sink rendering:\n%s", remoteOut.String())
+	}
+
+	a, err := os.ReadFile(localJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(remoteJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("remote JSON differs from local:\nlocal:  %.300s\nremote: %.300s", a, b)
+	}
+
+	var again bytes.Buffer
+	if err := run(append(flags, "-remote", ts.URL), &again); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(again.String(), "deduped into existing") {
+		t.Errorf("second remote run was not a cache hit:\n%s", again.String())
+	}
+	if st := srv.Stats(); st.Executions != 1 || st.CacheHits != 1 {
+		t.Errorf("daemon stats = %+v, want 1 execution and 1 cache hit", st)
+	}
+}

@@ -1,0 +1,125 @@
+// Command simd serves the simulator as a long-running daemon: a JSON
+// HTTP API accepting declarative sim.RunSpec submissions, executing
+// them on a bounded worker scheduler with a content-addressed result
+// cache (identical specs under load run once), per-run telemetry in an
+// in-memory time-series store, SSE progress streams and graceful drain
+// on SIGINT/SIGTERM.
+//
+//	simd -listen :8080
+//	curl -s -X POST -d @examples/specs/quick_single.json localhost:8080/v1/runs
+//	curl -s localhost:8080/v1/runs/r000001
+//	curl -s 'localhost:8080/v1/runs/r000001/metrics?series=power&res=300'
+//	curl -s localhost:8080/v1/runs/r000001/report?format=ascii
+//
+// The powersched and expfig commands speak this API through their
+// -remote flag, so any locally expressible run can be executed by a
+// shared daemon instead.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/tsdb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: parse flags, serve until the context
+// (or a termination signal) ends, drain, exit. When ready is non-nil it
+// receives the bound address once the listener is up (tests bind
+// ":0").
+func run(args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("simd", flag.ExitOnError)
+	var (
+		listen       = fs.String("listen", ":8080", "HTTP listen address")
+		workers      = fs.Int("workers", 2, "concurrent run executions")
+		sweepWorkers = fs.Int("sweep-workers", 0, "per-run sweep pool clamp (0 = leave specs as submitted)")
+		queueDepth   = fs.Int("queue", 256, "pending-submission queue bound")
+		maxRuns      = fs.Int("max-runs", 1024, "retained run records before terminal runs are evicted")
+		points       = fs.Int("tsdb-points", 512, "telemetry ring capacity per series level")
+		levels       = fs.Int("tsdb-levels", 4, "telemetry downsampling levels")
+		maxSeries    = fs.Int("tsdb-series", 128, "telemetry series cap per run (4 per sweep cell; wider sweeps report dropped_series)")
+		drainSecs    = fs.Int64("drain-timeout", 60, "seconds to wait for in-flight runs on shutdown before hard-cancelling them")
+	)
+	fs.Parse(args)
+
+	srv := service.New(service.Config{
+		Workers:      *workers,
+		SweepWorkers: *sweepWorkers,
+		QueueDepth:   *queueDepth,
+		MaxRuns:      *maxRuns,
+		TSDB:         tsdb.Options{PointsPerLevel: *points, Levels: *levels, MaxSeriesPerRun: *maxSeries},
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler: srv.Handler(),
+		// Slow-client bounds: headers cannot trickle forever and idle
+		// keep-alives are reaped. No ReadTimeout — it is an absolute
+		// per-connection deadline that would sever long-lived SSE
+		// /events streams mid-run; request bodies are bounded by size
+		// (MaxBytesReader in the handler) instead of time.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(out, "simd listening on %s (%d workers, queue %d)\n", ln.Addr(), *workers, *queueDepth)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections and submissions, let
+	// in-flight runs finish (bounded by -drain-timeout), then exit 0.
+	// The two shutdowns must overlap: SSE followers of queued runs hold
+	// their connections open until those runs turn terminal, which is
+	// exactly what the service drain's queued-run cancellation causes —
+	// sequencing the HTTP shutdown first would let one follower burn
+	// the whole budget and force a hard cancel of healthy runs.
+	fmt.Fprintln(out, "simd draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs)*time.Second)
+	defer cancel()
+	svcDone := make(chan error, 1)
+	go func() { svcDone <- srv.Shutdown(drainCtx) }()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		<-svcDone
+		return err
+	}
+	if err := <-svcDone; err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Fprintf(out, "simd drained: %d runs served, %d executions, %d cache hits\n",
+		st.Runs, st.Executions, st.CacheHits)
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+// TestServeSubmitDrain boots the daemon on an ephemeral port, submits a
+// spec twice (the second must dedupe), sends itself SIGTERM and checks
+// the drain exits cleanly — the CI smoke in miniature.
+func TestServeSubmitDrain(t *testing.T) {
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	var (
+		wg     sync.WaitGroup
+		runErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runErr = run([]string{"-listen", "127.0.0.1:0", "-workers", "1"}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+
+	c := service.NewClient("http://" + addr)
+	c.PollInterval = 20 * time.Millisecond
+	ctx := context.Background()
+	spec := sim.RunSpec{
+		Workload:     sim.WorkloadSpec{Kind: "smalljob", Seed: 9, DurationSec: 1800},
+		Racks:        1,
+		Policies:     []string{"SHUT"},
+		CapFractions: []float64{0.6},
+	}
+	v1, hit, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first submission was a cache hit")
+	}
+	v2, hit, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || v2.ID != v1.ID {
+		t.Errorf("second identical submission: hit=%v id=%s want id=%s", hit, v2.ID, v1.ID)
+	}
+	if _, err := c.Wait(ctx, v1.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if runErr != nil {
+		t.Fatalf("daemon exited with error: %v", runErr)
+	}
+	if !strings.Contains(out.String(), "1 cache hits") {
+		t.Errorf("drain summary missing cache hit count:\n%s", out.String())
+	}
+}

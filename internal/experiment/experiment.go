@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/replay"
+	"repro/internal/rjms"
 	"repro/internal/trace"
 )
 
@@ -152,6 +153,14 @@ type Runner struct {
 	// OnResult, when set, observes each finished cell (serialized
 	// across workers; done counts finished cells so far).
 	OnResult func(done, total int, r Result)
+	// Observe, when set, sees every cell's controller after its
+	// workload is loaded and before any virtual time passes — the
+	// attach point of telemetry collectors and invariant checkers. It
+	// is called concurrently from the pool workers (one call per cell,
+	// each with its own controller), so the callback must be safe for
+	// concurrent use; anything it registers on the controller
+	// (AddObserver) stays single-goroutine per cell.
+	Observe func(index int, sc replay.Scenario, ctl *rjms.Controller)
 }
 
 // poolSize clamps a requested worker count against the cell count
@@ -249,7 +258,11 @@ func (r Runner) RunContext(ctx context.Context, name string, scenarios []replay.
 	ran := make([]bool, len(scenarios)) // index-owned by the cell's worker
 	err := runIndexed(ctx, len(scenarios), workers, func(i int) {
 		t0 := time.Now()
-		res := replay.Run(scenarios[i])
+		var observe func(*rjms.Controller)
+		if r.Observe != nil {
+			observe = func(ctl *rjms.Controller) { r.Observe(i, scenarios[i], ctl) }
+		}
+		res := replay.RunContextWith(ctx, scenarios[i], observe)
 		row := Result{Result: res, Index: i, Elapsed: time.Since(t0)}
 		t.Rows[i] = row
 		ran[i] = true

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/federation"
 	"repro/internal/replay"
+	"repro/internal/rjms"
 )
 
 // FederationGrid is the declarative form of a federated sweep: the
@@ -110,6 +111,11 @@ type FederationRunner struct {
 	// OnResult, when set, observes each finished cell (serialized
 	// across workers).
 	OnResult func(done, total int, r FederationResult)
+	// Observe, when set, sees every member controller of every cell as
+	// it is assembled (the federation.Observer contract), tagged with
+	// the cell's grid index. Called concurrently across cells; each
+	// member controller itself stays single-goroutine.
+	Observe func(cell int, memberIndex int, member string, ctl *rjms.Controller)
 }
 
 // Run executes the federation scenario list and aggregates the table.
@@ -136,7 +142,11 @@ func (r FederationRunner) RunContext(ctx context.Context, name string, scenarios
 	ran := make([]bool, len(scenarios))
 	err := runIndexed(ctx, len(scenarios), workers, func(i int) {
 		t0 := time.Now()
-		res := federation.Run(scenarios[i])
+		var observe federation.Observer
+		if r.Observe != nil {
+			observe = func(mi int, name string, ctl *rjms.Controller) { r.Observe(i, mi, name, ctl) }
+		}
+		res := federation.RunContext(ctx, scenarios[i], observe)
 		row := FederationResult{Result: res, Index: i, Elapsed: time.Since(t0)}
 		t.Rows[i] = row
 		ran[i] = true

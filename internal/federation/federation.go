@@ -25,6 +25,7 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/metrics"
@@ -115,6 +116,18 @@ func Run(fs replay.FederationScenario) Result { return RunWith(fs, nil) }
 // RunWith executes one federation scenario, invoking observe on each
 // member as it is assembled.
 func RunWith(fs replay.FederationScenario, observe Observer) Result {
+	return RunContext(context.Background(), fs, observe)
+}
+
+// RunContext is RunWith with cancellation: ctx is checked at every
+// epoch boundary (the broker's natural control points), so a cancelled
+// federation returns within one epoch of member lockstep work, carrying
+// ctx.Err() and whatever epochs completed. Uncancelled runs are
+// identical to RunWith's.
+func RunContext(ctx context.Context, fs replay.FederationScenario, observe Observer) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := Result{Scenario: fs}
 	if err := fs.Validate(); err != nil {
 		res.Err = err
@@ -175,6 +188,10 @@ func RunWith(fs replay.FederationScenario, observe Observer) Result {
 	// the whole run is a deterministic function of the scenario.
 	epoch := fs.Epoch()
 	for t := epoch; t < duration; t += epoch {
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			return res
+		}
 		for i, m := range members {
 			if err := m.ctl.Advance(t); err != nil {
 				res.Err = fmt.Errorf("federation: member %d (%s) at t=%d: %w", i, m.name, t, err)
@@ -195,6 +212,10 @@ func RunWith(fs replay.FederationScenario, observe Observer) Result {
 			}
 		}
 		res.Epochs = append(res.Epochs, rec)
+	}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
 	}
 	for i, m := range members {
 		if err := m.ctl.Advance(duration); err != nil {

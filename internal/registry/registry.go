@@ -62,17 +62,40 @@ func (r *Registry[T]) Register(name string, value T, help string, aliases ...str
 	r.order = append(r.order, name)
 }
 
-// Lookup resolves a name or alias. The error of an unknown name
-// enumerates the registered canonical names.
-func (r *Registry[T]) Lookup(name string) (T, error) {
+// find resolves a name or alias to its entry under the read lock — the
+// one place key normalization and the unknown-name error live, so
+// Lookup and Canonical can never disagree.
+func (r *Registry[T]) find(name string) (entry[T], error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	e, ok := r.entries[strings.ToLower(strings.TrimSpace(name))]
 	if !ok {
+		return entry[T]{}, fmt.Errorf("unknown %s %q (registered: %s)", r.kind, name, strings.Join(r.order, "|"))
+	}
+	return e, nil
+}
+
+// Lookup resolves a name or alias. The error of an unknown name
+// enumerates the registered canonical names.
+func (r *Registry[T]) Lookup(name string) (T, error) {
+	e, err := r.find(name)
+	if err != nil {
 		var zero T
-		return zero, fmt.Errorf("unknown %s %q (registered: %s)", r.kind, name, strings.Join(r.order, "|"))
+		return zero, err
 	}
 	return e.value, nil
+}
+
+// Canonical resolves a name or alias to its canonical spelling — the
+// normalization step spec hashing relies on, so "shut" and "SHUT"
+// content-address identically. The error of an unknown name matches
+// Lookup's.
+func (r *Registry[T]) Canonical(name string) (string, error) {
+	e, err := r.find(name)
+	if err != nil {
+		return "", err
+	}
+	return e.canonical, nil
 }
 
 // Names returns the canonical names in registration order.

@@ -1,0 +1,86 @@
+package replay
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rjms"
+	"repro/internal/trace"
+)
+
+// TestRunContextWithMatchesRun pins the stepping equivalence the
+// service's cancellable execution path relies on: Start + stepped
+// Advance + Finish replays the exact event sequence of one Run call, so
+// an uncancelled RunContextWith is bit-identical to Run.
+func TestRunContextWithMatchesRun(t *testing.T) {
+	s := Scenario{
+		Name:     "ctx-equiv",
+		Workload: shortWorkload(trace.MedianJob, 7),
+		Policy:   core.PolicyMix, CapFraction: 0.5, ScaleRacks: testRacks,
+	}
+	want := Run(s)
+	got := RunContextWith(context.Background(), s, nil)
+	if want.Err != nil || got.Err != nil {
+		t.Fatalf("errs: run=%v stepped=%v", want.Err, got.Err)
+	}
+	if !reflect.DeepEqual(want.Summary, got.Summary) {
+		t.Errorf("summaries differ:\nrun:     %+v\nstepped: %+v", want.Summary, got.Summary)
+	}
+	var a, b bytes.Buffer
+	if err := WriteSeriesCSV(&a, want.Samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSeriesCSV(&b, got.Samples); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("sample series differ between Run and RunContextWith")
+	}
+}
+
+// TestRunContextWithCancelled checks both cancellation points: a
+// pre-cancelled context never builds a controller, and a cancellation
+// raised mid-replay (from a sample observer, the way a service cancel
+// races a running cell) stops the replay at the next step boundary with
+// ctx.Err() and the partial sample series.
+func TestRunContextWithCancelled(t *testing.T) {
+	s := Scenario{
+		Workload: shortWorkload(trace.MedianJob, 7),
+		Policy:   core.PolicyShut, CapFraction: 0.6, ScaleRacks: testRacks,
+	}
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := RunContextWith(pre, s, nil)
+	if res.Err != context.Canceled {
+		t.Fatalf("pre-cancelled Err = %v, want context.Canceled", res.Err)
+	}
+	if res.Summary.JobsSubmitted != 0 || len(res.Samples) != 0 {
+		t.Errorf("pre-cancelled run produced output: %+v", res.Summary)
+	}
+
+	full := Run(s)
+	ctx, cancelMid := context.WithCancel(context.Background())
+	defer cancelMid()
+	cutoff := s.Duration() / 4
+	res = RunContextWith(ctx, s, func(ctl *rjms.Controller) {
+		ctl.AddObserver(func(now int64) {
+			if now >= cutoff {
+				cancelMid()
+			}
+		})
+	})
+	if res.Err != context.Canceled {
+		t.Fatalf("mid-run Err = %v, want context.Canceled", res.Err)
+	}
+	if len(res.Samples) == 0 {
+		t.Error("mid-run cancel kept no partial samples")
+	}
+	if len(res.Samples) >= len(full.Samples) {
+		t.Errorf("cancelled run recorded %d samples, uncancelled %d — cancellation was not prompt",
+			len(res.Samples), len(full.Samples))
+	}
+}

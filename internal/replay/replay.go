@@ -241,6 +241,81 @@ func RunWith(s Scenario, observe func(*rjms.Controller)) Result {
 	return res
 }
 
+// cancelSteps bounds how stale a cancellation check can get: a replay
+// advances in duration/cancelSteps chunks of virtual time, probing ctx
+// between chunks, so a cancelled scenario returns after at most ~1/128
+// of its remaining wall-clock cost.
+const cancelSteps = 128
+
+// RunContextWith executes one scenario like RunWith but checks ctx
+// between bounded steps of virtual time, so a cancellation aborts the
+// replay mid-run instead of after it: the result then carries ctx.Err()
+// plus the samples recorded so far. Uncancelled runs are bit-identical
+// to Run's (Start + stepped Advance + Finish is the same event sequence
+// as one Run to the horizon — the federation broker's lockstep
+// contract; TestRunContextWithMatchesRun pins it).
+func RunContextWith(ctx context.Context, s Scenario, observe func(*rjms.Controller)) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res := Result{Scenario: s}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	ctl, cleanup, err := Build(s)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer cleanup()
+	res.MaxPower = ctl.Cluster().MaxPower()
+	res.Cores = ctl.Cluster().Cores()
+	if observe != nil {
+		observe(ctl)
+	}
+
+	if s.Capped() {
+		start, end := s.Window()
+		budget := power.CapFraction(s.CapFraction, ctl.Cluster().MaxPower())
+		plan, err := ctl.ReservePowerCap(start, end, budget)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Plan = plan
+	}
+	dur := s.Duration()
+	if err := ctl.Start(dur); err != nil {
+		res.Err = err
+		return res
+	}
+	step := dur / cancelSteps
+	if step < 1 {
+		step = 1
+	}
+	for t := step; ; t += step {
+		if t > dur {
+			t = dur
+		}
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			res.Samples = ctl.Samples()
+			return res
+		}
+		if err := ctl.Advance(t); err != nil {
+			res.Err = err
+			return res
+		}
+		if t == dur {
+			break
+		}
+	}
+	res.Summary = ctl.Finish()
+	res.Samples = ctl.Samples()
+	return res
+}
+
 // RunAll executes scenarios on a worker pool (one controller per worker;
 // controllers are single-threaded, the sweep is embarrassingly parallel).
 // workers <= 0 means GOMAXPROCS. Results keep the input order.
@@ -277,7 +352,7 @@ func RunAllContext(ctx context.Context, scenarios []Scenario, workers int) ([]Re
 			if ctx.Err() != nil {
 				break
 			}
-			results[i] = Run(s)
+			results[i] = RunContextWith(ctx, s, nil)
 			ran[i] = true
 		}
 	} else {
@@ -291,7 +366,7 @@ func RunAllContext(ctx context.Context, scenarios []Scenario, workers int) ([]Re
 					// Drain without running once cancelled, so the
 					// feeder can never block on a quit worker.
 					if ctx.Err() == nil {
-						results[i] = Run(scenarios[i])
+						results[i] = RunContextWith(ctx, scenarios[i], nil)
 						ran[i] = true
 					}
 				}

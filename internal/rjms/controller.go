@@ -400,8 +400,26 @@ func (c *Controller) SnapshotJobs() []*job.Job {
 
 // SetObserver registers fn to run after every metrics sample is
 // recorded — the attach point of the test-only invariant checker. A nil
-// fn clears it.
+// fn clears it (including anything added with AddObserver).
 func (c *Controller) SetObserver(fn func(now int64)) { c.observer = fn }
+
+// AddObserver chains fn behind the current observer instead of
+// replacing it, so independent probes compose: the service's telemetry
+// collector attaches this way and an invariant checker (or another
+// collector) can still ride along. Observers run in attach order.
+func (c *Controller) AddObserver(fn func(now int64)) {
+	if fn == nil {
+		return
+	}
+	if prev := c.observer; prev != nil {
+		c.observer = func(now int64) {
+			prev(now)
+			fn(now)
+		}
+		return
+	}
+	c.observer = fn
+}
 
 // --- event handlers -------------------------------------------------
 

@@ -1,0 +1,317 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/tsdb"
+)
+
+// maxSpecBytes bounds a submission body. The largest checked-in spec is
+// ~3 KB; 8 MiB leaves three orders of magnitude of headroom for huge
+// generated cell lists while still bounding memory per request.
+const maxSpecBytes = 8 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/runs                 submit a sim.RunSpec (JSON body)
+//	GET    /v1/runs                 list runs (?state=, ?hash= filters)
+//	GET    /v1/runs/{id}            status + report (?report=0 omits it)
+//	DELETE /v1/runs/{id}            cancel
+//	GET    /v1/runs/{id}/report     sink-rendered report (?format=json|csv|ascii)
+//	GET    /v1/runs/{id}/metrics    telemetry (?series=,&from=,&to=,&res=)
+//	GET    /v1/runs/{id}/events     progress stream (SSE)
+//	GET    /v1/stats                server counters
+//	GET    /healthz                 liveness
+//
+// Paths are routed by hand (no 1.22 mux patterns — the module targets
+// go 1.21).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/runs", s.handleRuns)
+	mux.HandleFunc("/v1/runs/", s.handleRun)
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, 200, s.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, 200, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		// Specs are small; a bounded body keeps a hostile or broken
+		// client from ballooning the daemon's memory.
+		spec, err := sim.DecodeJSON(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+		if err != nil {
+			writeErr(w, &Error{Status: 400, Msg: err.Error()})
+			return
+		}
+		v, hit, err := s.Submit(spec)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		status := http.StatusCreated
+		if hit {
+			status = http.StatusOK // existing run; nothing created
+		}
+		writeJSON(w, status, submitResponse{Run: v, CacheHit: hit})
+	case http.MethodGet:
+		q := r.URL.Query()
+		writeJSON(w, 200, s.List(q.Get("state"), q.Get("hash")))
+	default:
+		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+	}
+}
+
+// submitResponse wraps a submission's run with the dedup verdict.
+type submitResponse struct {
+	Run      RunView `json:"run"`
+	CacheHit bool    `json:"cache_hit"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/runs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		writeErr(w, &Error{Status: 404, Msg: "missing run id"})
+		return
+	}
+	switch sub {
+	case "":
+		switch r.Method {
+		case http.MethodGet:
+			v, err := s.Get(id, r.URL.Query().Get("report") != "0")
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			writeJSON(w, 200, v)
+		case http.MethodDelete:
+			v, err := s.Cancel(id)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			writeJSON(w, 200, v)
+		default:
+			writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+		}
+	case "report":
+		s.handleReport(w, r, id)
+	case "metrics":
+		s.handleMetrics(w, r, id)
+	case "events":
+		s.handleEvents(w, r, id)
+	default:
+		writeErr(w, &Error{Status: 404, Msg: fmt.Sprintf("unknown resource %q", sub)})
+	}
+}
+
+// handleReport streams the run's report through the named sink — the
+// exact pipeline the CLIs print with, so a remote client's output is
+// byte-compatible with a local run's exports.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+		return
+	}
+	q := r.URL.Query()
+	format := q.Get("format")
+	if format == "" {
+		format = "json"
+	}
+	// An unknown format is the client's mistake: classify it before any
+	// report bytes stream, so the 400 carries the registry enumeration.
+	if _, err := sim.Sinks.Lookup(format); err != nil {
+		writeErr(w, &Error{Status: 400, Msg: err.Error()})
+		return
+	}
+	width, err := intParam("width", q.Get("width"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	height, err := intParam("height", q.Get("height"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	opt := sim.SinkOptions{Width: width, Height: height}
+	switch format {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	err = s.Report(id, func(rep sim.Report) error {
+		return sim.Export(w, format, rep, opt)
+	})
+	if err != nil {
+		var apiErr *Error
+		if errors.As(err, &apiErr) {
+			// Nothing was streamed yet on API errors; the header above
+			// is overridden by writeErr's JSON.
+			writeErr(w, err)
+			return
+		}
+		// The sink failed mid-stream: part of a 200 response is already
+		// out. Abort the connection so the client sees a failed
+		// transfer instead of saving a partial report that ends in an
+		// appended error object.
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// metricsResponse is the wire form of a telemetry query.
+type metricsResponse struct {
+	Run    string         `json:"run"`
+	Series []seriesResult `json:"series"`
+	// Available lists the run's series names when no ?series= was
+	// asked for (discovery).
+	Available []string `json:"available,omitempty"`
+	// DroppedSeries names series the per-run cap refused: the run was
+	// wider than the configured store and its telemetry is partial
+	// (raise -tsdb-series / tsdb.Options.MaxSeriesPerRun).
+	DroppedSeries []string `json:"dropped_series,omitempty"`
+}
+
+type seriesResult struct {
+	Name string `json:"name"`
+	// RawPerPoint is the downsampling factor of the level that answered
+	// (1 = raw samples).
+	RawPerPoint int          `json:"raw_per_point"`
+	Points      []tsdb.Point `json:"points"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+		return
+	}
+	if _, err := s.Get(id, false); err != nil {
+		writeErr(w, err)
+		return
+	}
+	rs := s.tsdb.Lookup(id)
+	if rs == nil {
+		writeErr(w, &Error{Status: 404, Msg: fmt.Sprintf("run %s recorded no telemetry", id)})
+		return
+	}
+	q := r.URL.Query()
+	resp := metricsResponse{Run: id, DroppedSeries: rs.Dropped()}
+	names := q.Get("series")
+	if names == "" {
+		resp.Available = rs.Series()
+		resp.Series = []seriesResult{}
+		writeJSON(w, 200, resp)
+		return
+	}
+	var from, to, res int64
+	for _, p := range []struct {
+		name string
+		dst  *int64
+	}{{"from", &from}, {"to", &to}, {"res", &res}} {
+		v, err := int64Param(p.name, q.Get(p.name))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		*p.dst = v
+	}
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		pts, per, err := rs.Query(name, from, to, res)
+		if err != nil {
+			writeErr(w, &Error{Status: 404, Msg: err.Error()})
+			return
+		}
+		resp.Series = append(resp.Series, seriesResult{Name: name, RawPerPoint: per, Points: pts})
+	}
+	writeJSON(w, 200, resp)
+}
+
+// handleEvents streams the run's progress log as server-sent events:
+// replayed from the start for late subscribers, then followed live
+// until the run is terminal. Event types: queued, started, cell, done,
+// failed, cancelled.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, &Error{Status: 500, Msg: "streaming unsupported by this connection"})
+		return
+	}
+	if _, err := s.Get(id, false); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(200)
+	flusher.Flush()
+
+	_ = s.Follow(r.Context(), id, func(e Event) error {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data); err != nil {
+			return err
+		}
+		flusher.Flush()
+		return nil
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	var apiErr *Error
+	if !errors.As(err, &apiErr) {
+		apiErr = &Error{Status: 500, Msg: err.Error()}
+	}
+	writeJSON(w, apiErr.Status, map[string]string{"error": apiErr.Msg})
+}
+
+// intParam parses an optional numeric query parameter; a malformed
+// value is a 400, not a silent zero ("res=300s" must not quietly mean
+// "raw resolution").
+func intParam(name, s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, &Error{Status: 400, Msg: fmt.Sprintf("bad %s %q: want an integer", name, s)}
+	}
+	return v, nil
+}
+
+func int64Param(name, s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, &Error{Status: 400, Msg: fmt.Sprintf("bad %s %q: want an integer (seconds)", name, s)}
+	}
+	return v, nil
+}

@@ -1,0 +1,640 @@
+// Package service is the simulation-as-a-service core behind cmd/simd:
+// a long-running daemon that accepts declarative sim.RunSpec
+// submissions over HTTP, executes them on one shared bounded worker
+// scheduler, content-addresses results by canonical spec hash so
+// identical specs under load collapse into a single execution, and
+// streams per-run telemetry into the internal/tsdb time-series store.
+//
+// The execution pipeline is the sim facade end to end: a submission is
+// validated and normalized exactly like a -spec file, runs through
+// sim.RunObserved with a per-run cancellable context, and its Report is
+// served back through the same sink pipeline the CLIs print with — the
+// service adds queueing, dedup, telemetry and lifecycle, never a second
+// result format.
+//
+// Layering (see ARCHITECTURE.md "Service layer"):
+//
+//	cmd/simd                     HTTP + signals
+//	        v
+//	internal/service             queue, spec-hash cache, events, drain
+//	        |            sim.RunObserved(ctx, spec, progress, observe)
+//	        v
+//	internal/sim -> experiment/replay/federation -> rjms
+//	        |
+//	        +-- rjms.AddObserver samples -> internal/tsdb rings
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rjms"
+	"repro/internal/sim"
+	"repro/internal/tsdb"
+)
+
+// Config bounds a server. The zero value picks the defaults.
+type Config struct {
+	// Workers is the number of runs executing concurrently (the shared
+	// scheduler's pool size; default 2). Each run's internal sweep pool
+	// is bounded separately by SweepWorkers.
+	Workers int
+	// QueueDepth bounds the submissions waiting for a worker (default
+	// 256); a full queue rejects submissions instead of buffering
+	// without bound.
+	QueueDepth int
+	// SweepWorkers clamps every run's sweep pool (spec.Workers); 0
+	// leaves specs as submitted. With W service workers and S sweep
+	// workers the daemon runs at most W*S controllers at once.
+	SweepWorkers int
+	// TSDB bounds the telemetry store (per-series ring sizes).
+	TSDB tsdb.Options
+	// MaxRuns caps the retained run records; when exceeded, the oldest
+	// terminal runs (and their telemetry) are evicted (default 1024).
+	MaxRuns int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxRuns <= 0 {
+		c.MaxRuns = 1024
+	}
+	return c
+}
+
+// State is a run's lifecycle position.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one entry of a run's progress log, streamed over SSE and
+// replayed to late subscribers in order. Seq increases by one per
+// event.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"` // queued|started|cell|done|failed|cancelled
+	// Cell/Done/Total/ElapsedMS describe finished sweep cells (type
+	// "cell").
+	Cell      string  `json:"cell,omitempty"`
+	Done      int     `json:"done,omitempty"`
+	Total     int     `json:"total,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// run is the server-side record of one submitted spec.
+type run struct {
+	id   string
+	hash string
+	spec sim.RunSpec // normalized, sweep pool clamped
+	seq  int         // submission order
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	cond      *sync.Cond // signals event appends and state changes
+	state     State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	hits      int // deduped identical submissions after the first
+	done      int // finished sweep cells
+	total     int
+	report    *sim.Report
+	// reportJSON caches the json-sink encoding of report, built on the
+	// first view that asks for it — a poll loop on a finished sweep
+	// must not re-serialize hundreds of cells per request.
+	reportJSON []byte
+	errMsg     string
+	events     []Event
+}
+
+func (r *run) appendEventLocked(typ string, e Event) {
+	e.Seq = len(r.events)
+	e.Type = typ
+	r.events = append(r.events, e)
+	r.cond.Broadcast()
+}
+
+// Stats are the server-wide counters the cache-hit story is measured
+// by.
+type Stats struct {
+	Runs       int  `json:"runs"`
+	Queued     int  `json:"queued"`
+	Running    int  `json:"running"`
+	Executions int  `json:"executions"`
+	CacheHits  int  `json:"cache_hits"`
+	Workers    int  `json:"workers"`
+	QueueDepth int  `json:"queue_depth"`
+	Draining   bool `json:"draining"`
+}
+
+// Server is the daemon core: the run registry, the spec-hash result
+// cache, the FIFO worker scheduler and the telemetry store. Construct
+// with New; serve its HTTP API via Handler; stop with Shutdown.
+type Server struct {
+	cfg  Config
+	tsdb *tsdb.Store
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu         sync.Mutex
+	runs       map[string]*run
+	order      []*run          // submission order (eviction + listing)
+	byHash     map[string]*run // the result cache index
+	queue      chan *run
+	draining   bool
+	nextSeq    int
+	executions int
+	cacheHits  int
+
+	wg sync.WaitGroup
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		tsdb:       tsdb.New(cfg.TSDB),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		runs:       map[string]*run{},
+		byHash:     map[string]*run{},
+		queue:      make(chan *run, cfg.QueueDepth),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for r := range s.queue {
+				s.execute(r)
+			}
+		}()
+	}
+	return s
+}
+
+// TSDB exposes the telemetry store (the metrics endpoint reads it).
+func (s *Server) TSDB() *tsdb.Store { return s.tsdb }
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Runs:       len(s.runs),
+		Executions: s.executions,
+		CacheHits:  s.cacheHits,
+		Workers:    s.cfg.Workers,
+		QueueDepth: s.cfg.QueueDepth,
+		Draining:   s.draining,
+	}
+	for _, r := range s.runs {
+		switch r.snapshot().State {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		}
+	}
+	return st
+}
+
+// Submit validates, normalizes and content-addresses a spec. An
+// identical spec already queued, running or done dedupes into that run
+// — the submitter becomes one more waiter on the shared execution — and
+// reports cacheHit true. Failed and cancelled runs never serve as cache
+// entries: resubmitting their spec starts a fresh execution.
+func (s *Server) Submit(spec sim.RunSpec) (RunView, bool, error) {
+	if err := spec.Validate(); err != nil {
+		return RunView{}, false, &Error{Status: 400, Msg: err.Error()}
+	}
+	norm := spec.Normalize()
+	if s.cfg.SweepWorkers > 0 && (norm.Workers == 0 || norm.Workers > s.cfg.SweepWorkers) {
+		norm.Workers = s.cfg.SweepWorkers
+	}
+	hash, err := sim.SpecHash(norm)
+	if err != nil {
+		return RunView{}, false, &Error{Status: 400, Msg: err.Error()}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return RunView{}, false, &Error{Status: 503, Msg: "service: draining, not accepting submissions"}
+	}
+	if prev := s.byHash[hash]; prev != nil {
+		prev.mu.Lock()
+		st := prev.state
+		if st != StateFailed && st != StateCancelled {
+			prev.hits++
+			s.cacheHits++
+			s.touchLocked(prev)
+			v := prev.viewLocked(false, false)
+			prev.mu.Unlock()
+			return v, true, nil
+		}
+		prev.mu.Unlock()
+	}
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	r := &run{
+		id:        fmt.Sprintf("r%06d", s.nextSeq+1),
+		hash:      hash,
+		spec:      norm,
+		seq:       s.nextSeq,
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	s.nextSeq++
+	r.cond = sync.NewCond(&r.mu)
+	// The queued event lands before the run is visible to any worker,
+	// so the event log always starts queued -> started.
+	r.mu.Lock()
+	r.appendEventLocked("queued", Event{})
+	v := r.viewLocked(false, false)
+	r.mu.Unlock()
+	select {
+	case s.queue <- r:
+	default:
+		cancel()
+		return RunView{}, false, &Error{Status: 503, Msg: fmt.Sprintf("service: queue full (%d pending)", s.cfg.QueueDepth)}
+	}
+	s.runs[r.id] = r
+	s.order = append(s.order, r)
+	s.byHash[hash] = r
+	s.evictLocked()
+	return v, false, nil
+}
+
+// touchLocked moves a run to the young end of the eviction order — a
+// cache hit is a use, so hot dedupe targets outlive cold ones and a run
+// just returned to a submitter cannot be the next eviction victim.
+// Called with s.mu held.
+func (s *Server) touchLocked(r *run) {
+	for i, cur := range s.order {
+		if cur == r {
+			s.order = append(append(s.order[:i], s.order[i+1:]...), r)
+			return
+		}
+	}
+}
+
+// evictLocked drops the oldest terminal runs beyond the retention cap,
+// along with their telemetry and cache entries. Live runs are never
+// evicted; the cap therefore bounds memory only once runs settle, which
+// is the steady state that matters.
+func (s *Server) evictLocked() {
+	excess := len(s.runs) - s.cfg.MaxRuns
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, r := range s.order {
+		if excess > 0 && r.snapshot().State.Terminal() {
+			excess--
+			delete(s.runs, r.id)
+			if s.byHash[r.hash] == r {
+				delete(s.byHash, r.hash)
+			}
+			s.tsdb.Drop(r.id)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	s.order = kept
+}
+
+// Get returns one run's view (withReport controls the heavy payload).
+func (s *Server) Get(id string, withReport bool) (RunView, error) {
+	s.mu.Lock()
+	r := s.runs[id]
+	s.mu.Unlock()
+	if r == nil {
+		return RunView{}, &Error{Status: 404, Msg: fmt.Sprintf("service: unknown run %q", id)}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.viewLocked(withReport, true), nil
+}
+
+// Report hands the run's sim.Report to fn while the run is terminal —
+// the sink-pipeline bridge of the report endpoint.
+func (s *Server) Report(id string, fn func(rep sim.Report) error) error {
+	s.mu.Lock()
+	r := s.runs[id]
+	s.mu.Unlock()
+	if r == nil {
+		return &Error{Status: 404, Msg: fmt.Sprintf("service: unknown run %q", id)}
+	}
+	r.mu.Lock()
+	state, rep := r.state, r.report
+	r.mu.Unlock()
+	if !state.Terminal() {
+		return &Error{Status: 409, Msg: fmt.Sprintf("service: run %s is %s; report not ready", id, state)}
+	}
+	if rep == nil {
+		return &Error{Status: 409, Msg: fmt.Sprintf("service: run %s (%s) produced no report: %s", id, state, r.errMsg)}
+	}
+	return fn(*rep)
+}
+
+// List returns the run views in submission order, filtered by state
+// and/or spec hash when non-empty (the /v1/runs listing; no report or
+// spec payloads — fetch a single run for those).
+func (s *Server) List(state, hash string) []RunView {
+	s.mu.Lock()
+	order := append([]*run(nil), s.order...)
+	s.mu.Unlock()
+	// s.order is eviction (recency-of-use) order; the listing promises
+	// submission order, which the immutable seq preserves.
+	sort.Slice(order, func(i, j int) bool { return order[i].seq < order[j].seq })
+	out := make([]RunView, 0, len(order))
+	for _, r := range order {
+		r.mu.Lock()
+		v := r.viewLocked(false, false)
+		r.mu.Unlock()
+		if state != "" && string(v.State) != state {
+			continue
+		}
+		if hash != "" && !strings.HasPrefix(v.SpecHash, hash) {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Cancel cancels a run: a queued run transitions immediately, a running
+// one has its context cancelled and transitions when the engine unwinds
+// (bounded-step checks keep that prompt). Cancelling a terminal run is
+// a no-op; the returned view reports the state reached.
+func (s *Server) Cancel(id string) (RunView, error) {
+	s.mu.Lock()
+	r := s.runs[id]
+	s.mu.Unlock()
+	if r == nil {
+		return RunView{}, &Error{Status: 404, Msg: fmt.Sprintf("service: unknown run %q", id)}
+	}
+	r.cancel()
+	r.mu.Lock()
+	if r.state == StateQueued {
+		r.state = StateCancelled
+		r.finished = time.Now()
+		r.errMsg = context.Canceled.Error()
+		r.appendEventLocked("cancelled", Event{Error: r.errMsg})
+	}
+	v := r.viewLocked(false, false)
+	r.mu.Unlock()
+	return v, nil
+}
+
+// Follow replays a run's event log from the start and then follows live
+// appends, invoking fn per event in order, until the run is terminal
+// and fully delivered, fn errors, or ctx ends — the SSE loop.
+func (s *Server) Follow(ctx context.Context, id string, fn func(Event) error) error {
+	s.mu.Lock()
+	r := s.runs[id]
+	s.mu.Unlock()
+	if r == nil {
+		return &Error{Status: 404, Msg: fmt.Sprintf("service: unknown run %q", id)}
+	}
+	stop := context.AfterFunc(ctx, func() {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+	defer stop()
+
+	idx := 0
+	r.mu.Lock()
+	for {
+		for idx < len(r.events) {
+			e := r.events[idx]
+			idx++
+			r.mu.Unlock()
+			if err := fn(e); err != nil {
+				return err
+			}
+			r.mu.Lock()
+		}
+		if r.state.Terminal() {
+			r.mu.Unlock()
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			r.mu.Unlock()
+			return err
+		}
+		r.cond.Wait()
+	}
+}
+
+// execute runs one queued submission on the calling worker.
+func (s *Server) execute(r *run) {
+	// The run's cancel context is a child of baseCtx and stays
+	// registered there until cancelled — release it once execution is
+	// over, or a long-lived daemon leaks one context per finished run.
+	defer r.cancel()
+	r.mu.Lock()
+	if r.state != StateQueued {
+		r.mu.Unlock()
+		return // cancelled while queued
+	}
+	r.state = StateRunning
+	r.started = time.Now()
+	r.appendEventLocked("started", Event{})
+	r.mu.Unlock()
+
+	s.mu.Lock()
+	s.executions++
+	s.mu.Unlock()
+
+	rep, err := sim.RunObserved(r.ctx, r.spec, s.progressFn(r), s.observeFn(r))
+
+	r.mu.Lock()
+	r.finished = time.Now()
+	if rep.Single != nil || rep.Table != nil || rep.FederationTable != nil {
+		r.report = &rep
+	}
+	ctxErr := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	// A cancellation that raced in after every cell completed leaves a
+	// ctx error but an error-free report — the work is all there, so
+	// classify by the result, not the race: only an *incomplete* run is
+	// cancelled (the sweep pools stamp ctx.Err() into unrun cells, so
+	// completeness is exactly "payload present, no cell errors").
+	complete := r.report != nil && len(rep.Errs()) == 0
+	switch {
+	case ctxErr && !complete:
+		r.state = StateCancelled
+		r.errMsg = err.Error()
+		r.appendEventLocked("cancelled", Event{Error: r.errMsg})
+	case err != nil && !ctxErr:
+		r.state = StateFailed
+		r.errMsg = err.Error()
+		r.appendEventLocked("failed", Event{Error: r.errMsg})
+	default:
+		r.state = StateDone
+		if errs := rep.Errs(); len(errs) > 0 {
+			// Cell-level failures keep the run inspectable but mark it
+			// failed: a cached result must never silently hide errors.
+			r.state = StateFailed
+			r.errMsg = errs[0].Error()
+			r.appendEventLocked("failed", Event{Error: r.errMsg})
+		} else {
+			r.appendEventLocked("done", Event{Done: r.done, Total: r.total})
+		}
+	}
+	r.mu.Unlock()
+}
+
+// progressFn adapts finished-cell callbacks into run events.
+func (s *Server) progressFn(r *run) sim.Progress {
+	return func(done, total int, cell string, elapsed time.Duration, err error) {
+		e := Event{Cell: cell, Done: done, Total: total, ElapsedMS: float64(elapsed.Microseconds()) / 1000}
+		if err != nil {
+			e.Error = err.Error()
+		}
+		r.mu.Lock()
+		r.done, r.total = done, total
+		r.appendEventLocked("cell", e)
+		r.mu.Unlock()
+	}
+}
+
+// observeFn attaches the telemetry collector: every controller the run
+// builds streams power draw, active cap, pending cores and running jobs
+// into the run's tsdb series at each metrics sample. Single runs use
+// the bare series names; sweep cells and federation members prefix
+// theirs with the cell label ("smalljob/60%/SHUT/power"). Nothing stops
+// a cell-list spec from naming two cells identically, and two
+// controllers interleaving appends into one series would corrupt it —
+// colliding labels get a "#2"-style disambiguator instead (assignment
+// order follows pool scheduling, so the suffixes are stable only for
+// deterministic label sets; deduped telemetry beats dropped telemetry).
+func (s *Server) observeFn(r *run) sim.Observer {
+	rs := s.tsdb.Run(r.id)
+	single := r.spec.Mode == sim.ModeSingle
+	var (
+		mu   sync.Mutex
+		seen = map[string]int{}
+	)
+	return func(cell string, ctl *rjms.Controller) {
+		prefix := ""
+		if !single {
+			mu.Lock()
+			seen[cell]++
+			if n := seen[cell]; n > 1 {
+				cell = fmt.Sprintf("%s#%d", cell, n)
+			}
+			mu.Unlock()
+			prefix = cell + "/"
+		}
+		power, cap := prefix+"power", prefix+"cap"
+		pending, running := prefix+"pending_cores", prefix+"running_jobs"
+		ctl.AddObserver(func(now int64) {
+			// Append errors (series caps, never out-of-order — the
+			// virtual clock is monotone) drop the sample, not the run.
+			_ = rs.Append(power, now, float64(ctl.Cluster().Power()))
+			w := 0.0
+			if c := ctl.ActiveCap(); c.IsSet() {
+				w = float64(c.Watts())
+			}
+			_ = rs.Append(cap, now, w)
+			_ = rs.Append(pending, now, float64(ctl.PendingCores()))
+			_ = rs.Append(running, now, float64(ctl.RunningCount()))
+		})
+	}
+}
+
+// Shutdown drains the server: submissions are refused, queued runs are
+// cancelled (they never started; re-submitting later re-executes), and
+// the workers finish their in-flight runs. If ctx ends first, the
+// in-flight runs are hard-cancelled through their contexts and Shutdown
+// still waits for the pool to unwind (no goroutine outlives it) before
+// returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	queued := make([]*run, 0)
+	for _, r := range s.runs {
+		if r.snapshot().State == StateQueued {
+			queued = append(queued, r)
+		}
+	}
+	close(s.queue)
+	s.mu.Unlock()
+
+	sort.Slice(queued, func(i, j int) bool { return queued[i].seq < queued[j].seq })
+	for _, r := range queued {
+		r.cancel()
+		r.mu.Lock()
+		if r.state == StateQueued {
+			r.state = StateCancelled
+			r.finished = time.Now()
+			r.errMsg = "service: shut down before the run started"
+			r.appendEventLocked("cancelled", Event{Error: r.errMsg})
+		}
+		r.mu.Unlock()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// snapshot reads the run's mutable fields under its lock.
+func (r *run) snapshot() RunView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.viewLocked(false, false)
+}
+
+// Error is an API error with its HTTP status.
+type Error struct {
+	Status int
+	Msg    string
+}
+
+func (e *Error) Error() string { return e.Msg }

@@ -1,0 +1,451 @@
+package service_test
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/tsdb"
+)
+
+// fastSpec is a sub-second single run: one rack, one simulated hour.
+func fastSpec(name string) sim.RunSpec {
+	return sim.RunSpec{
+		Name:         name,
+		Workload:     sim.WorkloadSpec{Kind: "smalljob", Seed: 42, DurationSec: 3600},
+		Racks:        1,
+		Policies:     []string{"SHUT"},
+		CapFractions: []float64{0.6},
+	}
+}
+
+// sweepSpec expands to four cells.
+func sweepSpec() sim.RunSpec {
+	return sim.RunSpec{
+		Name:         "test-sweep",
+		Workload:     sim.WorkloadSpec{Kind: "smalljob", Seed: 42, DurationSec: 3600},
+		Racks:        1,
+		Policies:     []string{"SHUT", "DVFS"},
+		CapFractions: []float64{0.6, 0.4},
+	}
+}
+
+// longSpec runs long enough to cancel mid-flight.
+func longSpec() sim.RunSpec {
+	return sim.RunSpec{
+		Name:         "test-long",
+		Workload:     sim.WorkloadSpec{Kind: "24h", Seed: 7},
+		Racks:        4,
+		Policies:     []string{"MIX"},
+		CapFractions: []float64{0.5},
+	}
+}
+
+func newTestServer(t *testing.T, cfg service.Config) (*service.Server, *service.Client) {
+	t.Helper()
+	s := service.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		ts.Close()
+	})
+	c := service.NewClient(ts.URL)
+	c.PollInterval = 20 * time.Millisecond
+	return s, c
+}
+
+func TestSubmitStatusReportMetrics(t *testing.T) {
+	s, c := newTestServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+
+	v, hit, err := c.Submit(ctx, fastSpec("single"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first submission reported a cache hit")
+	}
+	if v.State != service.StateQueued && v.State != service.StateRunning {
+		t.Fatalf("fresh run state = %s", v.State)
+	}
+
+	v, err = c.Wait(ctx, v.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != service.StateDone {
+		t.Fatalf("state = %s (%s), want done", v.State, v.Error)
+	}
+
+	// The report endpoint renders through the sink pipeline.
+	var ascii, jsonOut strings.Builder
+	if err := c.WriteReport(ctx, v.ID, "ascii", sim.SinkOptions{Width: 60, Height: 8}, &ascii); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ascii.String(), "summary:") {
+		t.Errorf("ascii report missing summary:\n%s", ascii.String())
+	}
+	if err := c.WriteReport(ctx, v.ID, "json", sim.SinkOptions{}, &jsonOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonOut.String(), "\"max_power_w\"") {
+		t.Errorf("json report looks empty: %.200s", jsonOut.String())
+	}
+
+	// Telemetry must agree with the run's own sample series: the
+	// collector fires once per recorded sample with identical values.
+	var rep sim.Report
+	if err := s.Report(v.ID, func(r sim.Report) error { rep = r; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	rs := s.TSDB().Lookup(v.ID)
+	if rs == nil {
+		t.Fatal("run recorded no telemetry")
+	}
+	for _, name := range []string{"power", "cap", "pending_cores", "running_jobs"} {
+		pts, per, err := rs.Query(name, 0, 0, 0)
+		if err != nil {
+			t.Fatalf("query %s: %v", name, err)
+		}
+		if per != 1 {
+			t.Errorf("%s answered at raw_per_point=%d, want raw", name, per)
+		}
+		if len(pts) != len(rep.Single.Samples) {
+			t.Fatalf("%s holds %d points, report has %d samples", name, len(pts), len(rep.Single.Samples))
+		}
+	}
+	pts, _, _ := rs.Query("power", 0, 0, 0)
+	capPts, _, _ := rs.Query("cap", 0, 0, 0)
+	for i, sm := range rep.Single.Samples {
+		if pts[i].T != sm.T || pts[i].Mean != float64(sm.Power) {
+			t.Fatalf("power[%d] = (%d, %v), sample = (%d, %v)", i, pts[i].T, pts[i].Mean, sm.T, float64(sm.Power))
+		}
+		if capPts[i].Mean != float64(sm.Cap) {
+			t.Fatalf("cap[%d] = %v, sample cap = %v", i, capPts[i].Mean, float64(sm.Cap))
+		}
+	}
+
+	// HTTP metrics endpoint: discovery then a downsampled query.
+	resp, err := http.Get(fmt.Sprintf("%s/v1/runs/%s/metrics", c.Base, v.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics discovery status %d", resp.StatusCode)
+	}
+}
+
+// TestCacheHitDedupe pins the heavy-traffic story: 50 concurrent
+// identical submissions collapse into one execution.
+func TestCacheHitDedupe(t *testing.T) {
+	s, c := newTestServer(t, service.Config{Workers: 2})
+	ctx := context.Background()
+
+	const n = 50
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		ids  = map[string]int{}
+		hits int
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, hit, err := c.Submit(ctx, fastSpec("dedupe"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			ids[v.ID]++
+			if hit {
+				hits++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if len(ids) != 1 {
+		t.Fatalf("submissions landed on %d distinct runs, want 1: %v", len(ids), ids)
+	}
+	if hits != n-1 {
+		t.Errorf("cache hits = %d, want %d", hits, n-1)
+	}
+	var id string
+	for k := range ids {
+		id = k
+	}
+	v, err := c.Wait(ctx, id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != service.StateDone {
+		t.Fatalf("state = %s (%s)", v.State, v.Error)
+	}
+	if v.CacheHits != n-1 {
+		t.Errorf("run metadata cache_hits = %d, want %d", v.CacheHits, n-1)
+	}
+	st := s.Stats()
+	if st.Executions != 1 {
+		t.Errorf("executions = %d, want 1", st.Executions)
+	}
+	if st.CacheHits != n-1 {
+		t.Errorf("stats cache hits = %d, want %d", st.CacheHits, n-1)
+	}
+
+	// A later identical submission hits the finished result instantly.
+	v2, hit, err := c.Submit(ctx, fastSpec("dedupe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || v2.ID != id || v2.State != service.StateDone {
+		t.Errorf("post-completion resubmit: hit=%v id=%s state=%s", hit, v2.ID, v2.State)
+	}
+}
+
+func TestCancelRunningPromptly(t *testing.T) {
+	_, c := newTestServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+
+	v, _, err := c.Submit(ctx, longSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		got, err := c.Get(ctx, v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State == service.StateRunning {
+			break
+		}
+		if got.Terminal() {
+			t.Fatalf("run finished before it could be cancelled (state %s); grow longSpec", got.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	t0 := time.Now()
+	if _, err := c.Cancel(ctx, v.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Wait(ctx, v.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != service.StateCancelled {
+		t.Fatalf("state after cancel = %s", got.State)
+	}
+	if wait := time.Since(t0); wait > 10*time.Second {
+		t.Errorf("cancellation took %v", wait)
+	}
+
+	// A fresh identical submission must re-execute, not serve the
+	// cancelled run.
+	v2, hit, err := c.Submit(ctx, longSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || v2.ID == v.ID {
+		t.Errorf("cancelled run served as a cache entry (hit=%v, id=%s)", hit, v2.ID)
+	}
+	if _, err := c.Cancel(ctx, v2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, v2.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	_, c := newTestServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+
+	// Occupy the single worker, then queue a second run behind it.
+	first, _, err := c.Submit(ctx, longSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, _, err := c.Submit(ctx, fastSpec("queued-cancel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Cancel(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != service.StateCancelled {
+		t.Fatalf("queued run state after cancel = %s, want cancelled immediately", v.State)
+	}
+	if _, err := c.Cancel(ctx, first.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, first.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSSEEventOrdering reads the event stream of a sweep run and checks
+// the protocol: queued, started, cells with increasing done counters,
+// then done — and that a late subscriber replays the identical history.
+func TestSSEEventOrdering(t *testing.T) {
+	_, c := newTestServer(t, service.Config{Workers: 1, SweepWorkers: 2})
+	ctx := context.Background()
+
+	v, _, err := c.Submit(ctx, sweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	readEvents := func() []string {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/runs/%s/events", c.Base, v.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+			t.Fatalf("content type %q", ct)
+		}
+		var types []string
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "event: ") {
+				types = append(types, strings.TrimPrefix(sc.Text(), "event: "))
+			}
+		}
+		return types
+	}
+
+	live := readEvents() // follows until terminal
+	want := []string{"queued", "started", "cell", "cell", "cell", "cell", "done"}
+	if strings.Join(live, ",") != strings.Join(want, ",") {
+		t.Fatalf("live event order = %v, want %v", live, want)
+	}
+	replay := readEvents() // late subscriber: history replay, then close
+	if strings.Join(replay, ",") != strings.Join(live, ",") {
+		t.Fatalf("replayed events %v != live %v", replay, live)
+	}
+}
+
+func TestListFiltersAndErrors(t *testing.T) {
+	_, c := newTestServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+
+	a, _, err := c.Submit(ctx, fastSpec("list-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Submit(ctx, fastSpec("list-b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, a.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(c.Base + "/v1/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if !strings.Contains(string(body[:n]), a.ID) {
+		t.Errorf("listing misses %s: %.300s", a.ID, body[:n])
+	}
+
+	if _, err := c.Get(ctx, "r999999"); err == nil {
+		t.Error("unknown run id succeeded")
+	} else if apiErr, ok := err.(*service.Error); !ok || apiErr.Status != 404 {
+		t.Errorf("unknown run error = %v", err)
+	}
+
+	bad := fastSpec("bad")
+	bad.Policies = []string{"NOPE"}
+	if _, _, err := c.Submit(ctx, bad); err == nil {
+		t.Error("invalid spec accepted")
+	} else if apiErr, ok := err.(*service.Error); !ok || apiErr.Status != 400 {
+		t.Errorf("invalid spec error = %v", err)
+	}
+}
+
+// TestShutdownDrains checks the SIGTERM path: queued runs cancel,
+// running runs finish, later submissions are refused.
+func TestShutdownDrains(t *testing.T) {
+	s, c := newTestServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+
+	running, _, err := c.Submit(ctx, fastSpec("drain-running"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, _, err := c.Submit(ctx, fastSpec("drain-queued"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	got, err := c.Get(ctx, running.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != service.StateDone && got.State != service.StateCancelled {
+		t.Errorf("in-flight run state after drain = %s", got.State)
+	}
+	gotQ, err := c.Get(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotQ.State != service.StateCancelled {
+		t.Errorf("queued run state after drain = %s, want cancelled", gotQ.State)
+	}
+	if _, _, err := c.Submit(ctx, fastSpec("post-drain")); err == nil {
+		t.Error("submission accepted while draining")
+	} else if apiErr, ok := err.(*service.Error); !ok || apiErr.Status != 503 {
+		t.Errorf("draining submit error = %v", err)
+	}
+}
+
+// TestTSDBBoundsFromConfig checks the config plumbing into the store.
+func TestTSDBBoundsFromConfig(t *testing.T) {
+	s, c := newTestServer(t, service.Config{
+		Workers: 1,
+		TSDB:    tsdb.Options{PointsPerLevel: 8, Levels: 2, Fanout: 2},
+	})
+	ctx := context.Background()
+	v, _, err := c.Submit(ctx, fastSpec("bounds"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, v.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	rs := s.TSDB().Lookup(v.ID)
+	if rs == nil {
+		t.Fatal("no telemetry")
+	}
+	for _, lv := range rs.Levels("power") {
+		if lv.Points > 8 {
+			t.Errorf("level %d holds %d points, cap 8", lv.Level, lv.Points)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// RunView is the wire form of one run: everything a client needs to
+// poll, plus (on demand) the report payload encoded through the json
+// sink — the same bytes the CLIs' -json flag writes.
+type RunView struct {
+	ID       string   `json:"id"`
+	SpecHash string   `json:"spec_hash"`
+	Name     string   `json:"name,omitempty"`
+	Mode     sim.Mode `json:"mode"`
+	State    State    `json:"state"`
+	Error    string   `json:"error,omitempty"`
+	// Spec is the normalized spec the run executes. Only the single-run
+	// GET carries it: cell-list specs can be megabytes, and a listing
+	// of a thousand runs must not amplify every submitted byte back out
+	// on each poll.
+	Spec *sim.RunSpec `json:"spec,omitempty"`
+
+	// CacheHits counts identical submissions deduped into this run
+	// after the first — the heavy-traffic observable.
+	CacheHits int `json:"cache_hits"`
+
+	// CellsDone/CellsTotal track sweep progress (0/0 before the first
+	// cell finishes).
+	CellsDone  int `json:"cells_done"`
+	CellsTotal int `json:"cells_total"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// ElapsedMS is the wall-clock execution time so far (or total, once
+	// terminal); 0 while queued.
+	ElapsedMS float64 `json:"elapsed_ms"`
+
+	// Report carries the json-sink encoding of the finished run's
+	// sim.Report; populated only when requested and terminal.
+	Report json.RawMessage `json:"report,omitempty"`
+}
+
+// Terminal reports whether the viewed run is finished.
+func (v RunView) Terminal() bool { return v.State.Terminal() }
+
+// viewLocked renders the run; r.mu must be held. withSpec embeds the
+// full normalized spec (the single-run GET), withReport the encoded
+// report payload.
+func (r *run) viewLocked(withReport, withSpec bool) RunView {
+	v := RunView{
+		ID:          r.id,
+		SpecHash:    r.hash,
+		Name:        r.spec.Name,
+		Mode:        r.spec.Mode,
+		State:       r.state,
+		Error:       r.errMsg,
+		CacheHits:   r.hits,
+		CellsDone:   r.done,
+		CellsTotal:  r.total,
+		SubmittedAt: r.submitted,
+	}
+	if withSpec {
+		sp := r.spec
+		v.Spec = &sp
+	}
+	if !r.started.IsZero() {
+		t := r.started
+		v.StartedAt = &t
+		end := time.Now()
+		if !r.finished.IsZero() {
+			end = r.finished
+		}
+		v.ElapsedMS = float64(end.Sub(r.started).Microseconds()) / 1000
+	}
+	if !r.finished.IsZero() {
+		t := r.finished
+		v.FinishedAt = &t
+	}
+	if withReport && r.report != nil {
+		if r.reportJSON == nil {
+			var buf bytes.Buffer
+			if err := sim.Export(&buf, "json", *r.report, sim.SinkOptions{}); err == nil {
+				r.reportJSON = buf.Bytes()
+			}
+		}
+		v.Report = json.RawMessage(r.reportJSON)
+	}
+	return v
+}

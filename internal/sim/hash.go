@@ -3,8 +3,39 @@ package sim
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
+	"fmt"
 	"hash"
 )
+
+// SpecHash returns the canonical content address of a spec: the SHA-256
+// of the compact JSON encoding of Normalize(spec) with the
+// execution-resource fields zeroed. Two specs hash identically exactly
+// when they describe the same results — name-case differences ("shut"
+// vs "SHUT"), omitted defaults, an explicit Mode, a TimeScale of 1 and
+// the sweep worker count all collapse — which is what the service's
+// result cache keys on: a cache hit is safe because the sweep tables
+// are worker-count independent (fingerprint-pinned) and Normalize is
+// idempotent and JSON-round-trip stable (hash_test pins both).
+//
+// The spec is hashed as described, not as validated: callers that need
+// runnable specs validate first, like LoadSpec does. SWF workloads are
+// addressed by their *path* (plus window/rescale transforms), not the
+// file's bytes — the spec describes the world, it does not snapshot it
+// — so a result cache keyed on SpecHash serves stale reports if a trace
+// file is edited in place under a running service. Publish new trace
+// versions under new paths (the archive convention) when cache
+// correctness matters.
+func SpecHash(spec RunSpec) (string, error) {
+	n := spec.Normalize()
+	n.Workers = 0
+	b, err := json.Marshal(n)
+	if err != nil {
+		return "", fmt.Errorf("sim: hashing spec: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
 
 // fingerprintWriter hashes everything written through it — the
 // streaming form Report.Fingerprint uses so single-run exports never

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// hashSpecs is the spec corpus the normalization/hashing properties are
+// checked over: every mode, terse and fully spelled forms, aliased
+// names, and the equivalent-spelling corners cache keying surfaced.
+func hashSpecs() map[string]RunSpec {
+	return map[string]RunSpec{
+		"zero":        {},
+		"lower-names": {Workload: WorkloadSpec{Kind: "medianjob"}, Policies: []string{"shut"}},
+		"upper-names": {Workload: WorkloadSpec{Kind: "MEDIANJOB"}, Policies: []string{"SHUT"}},
+		"explicit-mode": {
+			Mode:         ModeSweep,
+			Workload:     WorkloadSpec{Kind: "24h", Seed: 1004},
+			Policies:     []string{"shut", "dvfs"},
+			CapFractions: []float64{0.6, 0.4},
+		},
+		"cells": {
+			Cells: []CellSpec{
+				{Policy: "mix", CapFraction: 0.4, Workload: &WorkloadSpec{Kind: "smalljob"}},
+				{Policy: "SHUT", CapFraction: 0.6},
+			},
+		},
+		"federation": {
+			Racks:        2,
+			CapFractions: []float64{0.5},
+			Federation:   &FederationSpec{Divisions: []string{"PRORATA"}},
+		},
+		"swf-timescale-one": {
+			Workload: WorkloadSpec{SWF: &SWFSpec{Path: "trace.swf", TimeScale: 1}},
+		},
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	for name, spec := range hashSpecs() {
+		once := spec.Normalize()
+		twice := once.Normalize()
+		if !reflect.DeepEqual(once, twice) {
+			t.Errorf("%s: Normalize not idempotent:\nonce:  %+v\ntwice: %+v", name, once, twice)
+		}
+	}
+}
+
+func TestNormalizeDoesNotMutateInput(t *testing.T) {
+	spec := RunSpec{
+		Policies: []string{"shut"},
+		Cells:    []CellSpec{{Policy: "mix", Workload: &WorkloadSpec{Kind: "smalljob"}}},
+		Workload: WorkloadSpec{SWF: &SWFSpec{Path: "t.swf", TimeScale: 1}},
+	}
+	spec.Normalize()
+	if spec.Policies[0] != "shut" || spec.Cells[0].Policy != "mix" || spec.Workload.SWF.TimeScale != 1 {
+		t.Fatalf("Normalize mutated its input: %+v", spec)
+	}
+}
+
+// TestSpecHashStableAcrossJSONRoundTrip pins the cache-key property:
+// hashing a spec, its normalized form, and its decode(encode(...))
+// round trip all yield the same address.
+func TestSpecHashStableAcrossJSONRoundTrip(t *testing.T) {
+	for name, spec := range hashSpecs() {
+		h0, err := SpecHash(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		hNorm, err := SpecHash(spec.Normalize())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h0 != hNorm {
+			t.Errorf("%s: hash(spec) %s != hash(Normalize(spec)) %s", name, h0, hNorm)
+		}
+		var buf bytes.Buffer
+		if err := spec.Normalize().EncodeJSON(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		decoded, err := DecodeJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		hRT, err := SpecHash(decoded)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h0 != hRT {
+			t.Errorf("%s: hash drifted across JSON round trip: %s != %s", name, h0, hRT)
+		}
+	}
+}
+
+// TestSpecHashCollapsesEquivalentSpellings pins that the spellings
+// Normalize declares equivalent content-address identically, and that
+// result-changing fields do not collapse.
+func TestSpecHashCollapsesEquivalentSpellings(t *testing.T) {
+	hash := func(s RunSpec) string {
+		t.Helper()
+		h, err := SpecHash(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	terse := hash(RunSpec{})
+	spelled := hash(RunSpec{
+		Mode:         ModeSingle,
+		Workload:     WorkloadSpec{Kind: "MedianJob"},
+		Policies:     []string{"shut"},
+		CapFractions: []float64{0.6},
+	})
+	if terse != spelled {
+		t.Errorf("zero spec and its spelled-out default hash differently: %s vs %s", terse, spelled)
+	}
+
+	if a, b := hash(RunSpec{Workers: 0}), hash(RunSpec{Workers: 8}); a != b {
+		t.Errorf("worker count changed the hash: %s vs %s (pool size never changes results)", a, b)
+	}
+	one := RunSpec{Workload: WorkloadSpec{SWF: &SWFSpec{Path: "t.swf", TimeScale: 1}}}
+	zeroTS := RunSpec{Workload: WorkloadSpec{SWF: &SWFSpec{Path: "t.swf"}}}
+	if a, b := hash(one), hash(zeroTS); a != b {
+		t.Errorf("TimeScale 1 and 0 hash differently: %s vs %s", a, b)
+	}
+
+	if a, b := hash(RunSpec{}), hash(RunSpec{CapFractions: []float64{0.4}}); a == b {
+		t.Error("different cap fractions hashed identically")
+	}
+	if a, b := hash(RunSpec{}), hash(RunSpec{Name: "labelled"}); a == b {
+		t.Error("different names hashed identically (names label exports and belong in the address)")
+	}
+}
+
+func TestRegistryCanonical(t *testing.T) {
+	for _, in := range []string{"shut", "SHUT", " Shut "} {
+		c, err := Policies.Canonical(in)
+		if err != nil {
+			t.Fatalf("Canonical(%q): %v", in, err)
+		}
+		if c != "SHUT" {
+			t.Errorf("Canonical(%q) = %q, want SHUT", in, c)
+		}
+	}
+	if _, err := Policies.Canonical("nope"); err == nil {
+		t.Error("Canonical of an unknown name succeeded")
+	}
+}

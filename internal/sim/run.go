@@ -2,12 +2,14 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/federation"
 	"repro/internal/replay"
+	"repro/internal/rjms"
 )
 
 // Report is the unified outcome of Run: exactly one of the mode
@@ -51,17 +53,33 @@ func (r Report) Errs() []error {
 // succeeded). Single-mode runs report one synthetic cell.
 type Progress func(done, total int, cell string, elapsed time.Duration, err error)
 
+// Observer sees every controller a run builds, after its workload is
+// loaded and before any virtual time passes: one call per scenario cell
+// (labelled with the cell name) and one per federation member (labelled
+// "cell/member" in multi-cell federated sweeps, the bare member name
+// for a single federation). It is the facade's telemetry attach point —
+// the simulation service hangs its per-run time-series collector here
+// via rjms.AddObserver. Cells run concurrently across the sweep pool,
+// so the callback must be safe for concurrent use.
+type Observer func(cell string, ctl *rjms.Controller)
+
 // Run executes a spec: validate, normalize, dispatch on mode. The
-// context cancels sweeps mid-run — workers drain, the partial table
-// comes back along with ctx.Err() — and is checked before single
-// replays start. Cell-level failures do not abort the run; they sit in
-// the Report (Errs collects them) so partial sweeps stay inspectable.
+// context cancels runs mid-replay — single runs and in-flight sweep
+// cells check it between bounded steps of virtual time, workers drain,
+// and the partial report comes back along with ctx.Err(). Cell-level
+// failures do not abort the run; they sit in the Report (Errs collects
+// them) so partial sweeps stay inspectable.
 func Run(ctx context.Context, spec RunSpec) (Report, error) {
 	return RunWith(ctx, spec, nil)
 }
 
 // RunWith is Run with a progress callback (nil means silent).
 func RunWith(ctx context.Context, spec RunSpec, progress Progress) (Report, error) {
+	return RunObserved(ctx, spec, progress, nil)
+}
+
+// RunObserved is RunWith with a controller observer (nil means none).
+func RunObserved(ctx context.Context, spec RunSpec, progress Progress, observe Observer) (Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -89,10 +107,20 @@ func RunWith(ctx context.Context, spec RunSpec, progress Progress) (Report, erro
 		if err := ctx.Err(); err != nil {
 			return rep, err
 		}
-		res := replay.Run(sc)
+		var obs func(*rjms.Controller)
+		if observe != nil {
+			obs = func(ctl *rjms.Controller) { observe(sc.Name, ctl) }
+		}
+		res := replay.RunContextWith(ctx, sc, obs)
 		rep.Single = &res
 		if progress != nil {
 			progress(1, 1, sc.Name, 0, res.Err)
+		}
+		// Surface the context error only when the replay actually
+		// aborted on it: a cancellation racing in after the run
+		// completed must not mislabel a full result.
+		if res.Err != nil && errors.Is(res.Err, ctx.Err()) {
+			return rep, res.Err
 		}
 		return rep, nil
 
@@ -105,6 +133,11 @@ func RunWith(ctx context.Context, spec RunSpec, progress Progress) (Report, erro
 		if progress != nil {
 			runner.OnResult = func(done, total int, r experiment.Result) {
 				progress(done, total, r.Scenario.Name, r.Elapsed, r.Err)
+			}
+		}
+		if observe != nil {
+			runner.Observe = func(i int, sc replay.Scenario, ctl *rjms.Controller) {
+				observe(sc.Name, ctl)
 			}
 		}
 		t, err := runner.RunContext(ctx, spec.sweepName(), scens)
@@ -120,6 +153,15 @@ func RunWith(ctx context.Context, spec RunSpec, progress Progress) (Report, erro
 		if progress != nil {
 			runner.OnResult = func(done, total int, r experiment.FederationResult) {
 				progress(done, total, r.Scenario.Name, r.Elapsed, r.Err)
+			}
+		}
+		if observe != nil {
+			runner.Observe = func(cell, mi int, member string, ctl *rjms.Controller) {
+				label := member
+				if len(scens) > 1 {
+					label = scens[cell].Name + "/" + member
+				}
+				observe(label, ctl)
 			}
 		}
 		t, err := runner.RunContext(ctx, spec.sweepName(), scens)

@@ -33,6 +33,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/registry"
 	"repro/internal/replay"
 	"repro/internal/trace"
 )
@@ -224,11 +225,16 @@ func (s RunSpec) EffectiveMode() Mode {
 	}
 }
 
-// Normalize returns the spec with defaults filled in: the derived
-// Mode, the powersched default workload/policy/cap for empty axes, and
-// the default federation axes. Normalize never changes what a spec
-// means — a normalized spec runs identically to its terse form — and
-// normalized specs round-trip exactly through EncodeJSON/DecodeJSON.
+// Normalize returns the spec with defaults filled in and every
+// registry name canonicalized: the derived Mode, the powersched
+// default workload/policy/cap for empty axes, the default federation
+// axes, and the registries' canonical spellings for policy, kind and
+// division names ("shut" becomes "SHUT"). Normalize never changes what
+// a spec means — a normalized spec runs identically to its terse form
+// — it is idempotent, and normalized specs round-trip exactly through
+// EncodeJSON/DecodeJSON (the properties SpecHash and the result cache
+// key on). Unregistered names pass through unchanged; Validate, not
+// Normalize, reports them.
 func (s RunSpec) Normalize() RunSpec {
 	out := s
 	if out.Federation == nil && len(out.Cells) == 0 {
@@ -242,6 +248,20 @@ func (s RunSpec) Normalize() RunSpec {
 			out.CapFractions = []float64{0.6}
 		}
 	}
+	out.Workload = out.Workload.normalize()
+	out.Policies = canonicalNames(Policies, out.Policies)
+	if len(out.Cells) > 0 {
+		cells := make([]CellSpec, len(out.Cells))
+		for i, c := range out.Cells {
+			c.Policy = canonicalName(Policies, c.Policy)
+			if c.Workload != nil {
+				w := c.Workload.normalize()
+				c.Workload = &w
+			}
+			cells[i] = c
+		}
+		out.Cells = cells
+	}
 	if f := out.Federation; f != nil {
 		ff := *f
 		if len(ff.MemberCounts) == 0 {
@@ -250,12 +270,52 @@ func (s RunSpec) Normalize() RunSpec {
 		if len(ff.Divisions) == 0 {
 			ff.Divisions = []string{replay.DivideDemand.String()}
 		}
+		ff.Divisions = canonicalNames(Divisions, ff.Divisions)
 		if len(out.CapFractions) == 0 {
 			out.CapFractions = []float64{0.6}
 		}
 		out.Federation = &ff
 	}
 	out.Mode = out.EffectiveMode()
+	return out
+}
+
+// normalize canonicalizes the registry names and collapses the
+// equivalent spellings of a workload (an SWF TimeScale of 1 means the
+// same as the zero value: unchanged arrival times).
+func (w WorkloadSpec) normalize() WorkloadSpec {
+	w.Kind = canonicalName(Workloads, w.Kind)
+	if swf := w.SWF; swf != nil && swf.TimeScale == 1 {
+		s := *swf
+		s.TimeScale = 0
+		w.SWF = &s
+	}
+	return w
+}
+
+// canonicalName resolves a registry name to its canonical spelling,
+// passing empty and unregistered names through unchanged (Normalize
+// must not fail; Validate reports unknown names).
+func canonicalName[T any](reg *registry.Registry[T], name string) string {
+	if name == "" {
+		return name
+	}
+	if c, err := reg.Canonical(name); err == nil {
+		return c
+	}
+	return name
+}
+
+// canonicalNames maps canonicalName over a name list, leaving the
+// input slice untouched.
+func canonicalNames[T any](reg *registry.Registry[T], names []string) []string {
+	if len(names) == 0 {
+		return names
+	}
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = canonicalName(reg, n)
+	}
 	return out
 }
 
