@@ -259,6 +259,7 @@ func BenchmarkSweep(b *testing.B) {
 		b.Fatalf("grid has %d configurations, want >= 12", len(scens))
 	}
 	refFP := ""
+	var serialWall time.Duration
 	for _, bc := range []struct {
 		name    string
 		workers int
@@ -281,7 +282,18 @@ func BenchmarkSweep(b *testing.B) {
 				b.Fatalf("aggregated metrics differ from serial reference at %d workers", t.Workers)
 			}
 			b.ReportMetric(float64(len(t.Rows)), "configs")
-			b.ReportMetric(t.Speedup(), "speedup")
+			// Speedup is the whole-sweep wall-clock ratio against the
+			// serial leg — NOT Table.Speedup(), whose summed per-cell
+			// times include runnable-but-descheduled waits and so credit
+			// an oversubscribed pool with concurrency the hardware never
+			// delivered (a 1-CPU runner would report ~4x for workers4
+			// while its wall clock showed none).
+			if bc.workers == 1 {
+				serialWall = t.Elapsed
+			}
+			if serialWall > 0 && t.Elapsed > 0 {
+				b.ReportMetric(float64(serialWall)/float64(t.Elapsed), "speedup")
+			}
 		})
 	}
 }

@@ -56,16 +56,42 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		levels       = fs.Int("tsdb-levels", 4, "telemetry downsampling levels")
 		maxSeries    = fs.Int("tsdb-series", 128, "telemetry series cap per run (4 per sweep cell; wider sweeps report dropped_series)")
 		drainSecs    = fs.Int64("drain-timeout", 60, "seconds to wait for in-flight runs on shutdown before hard-cancelling them")
+		archiveDir   = fs.String("archive-dir", "", "directory for the durable run archive (empty = in-memory only; results do not survive restarts)")
+		archiveMax   = fs.Int("archive-max", 0, "archived run records before the oldest are pruned (0 = unbounded)")
+		tokensFile   = fs.String("tokens-file", "", `JSON tenant/token file enabling bearer-token auth and per-tenant quotas ({"tenants":[{"name":...,"token":...,"max_queued":...,"rate_per_min":...}]})`)
 	)
 	fs.Parse(args)
 
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		Workers:      *workers,
 		SweepWorkers: *sweepWorkers,
 		QueueDepth:   *queueDepth,
 		MaxRuns:      *maxRuns,
 		TSDB:         tsdb.Options{PointsPerLevel: *points, Levels: *levels, MaxSeriesPerRun: *maxSeries},
-	})
+	}
+	if *archiveDir != "" {
+		fsStore, err := service.OpenFSStore(*archiveDir, service.FSOptions{MaxRecords: *archiveMax})
+		if err != nil {
+			return fmt.Errorf("opening archive: %w", err)
+		}
+		for _, f := range fsStore.Skipped() {
+			fmt.Fprintf(out, "simd: archive: skipping unreadable %s\n", f)
+		}
+		cfg.Archive = fsStore
+	}
+	if *tokensFile != "" {
+		tenants, err := service.LoadTokens(*tokensFile)
+		if err != nil {
+			return fmt.Errorf("loading tokens: %w", err)
+		}
+		auth, err := service.NewAuth(tenants)
+		if err != nil {
+			return err
+		}
+		cfg.Auth = auth
+		fmt.Fprintf(out, "simd: auth enabled for %d tenants\n", len(tenants))
+	}
+	srv := service.New(cfg)
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

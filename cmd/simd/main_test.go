@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
 	"strings"
 	"sync"
 	"syscall"
@@ -71,5 +74,121 @@ func TestServeSubmitDrain(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "1 cache hits") {
 		t.Errorf("drain summary missing cache hit count:\n%s", out.String())
+	}
+}
+
+// bootDaemon starts run() in a goroutine and returns the bound address
+// plus a stop function that SIGTERMs the process and waits for a clean
+// drain.
+func bootDaemon(t *testing.T, args []string, out *bytes.Buffer) (string, func()) {
+	t.Helper()
+	ready := make(chan string, 1)
+	var (
+		wg     sync.WaitGroup
+		runErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runErr = run(args, out, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return addr, func() {
+			if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+				t.Fatal(err)
+			}
+			wg.Wait()
+			if runErr != nil {
+				t.Fatalf("daemon exited with error: %v\n%s", runErr, out.String())
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never came up")
+		return "", nil
+	}
+}
+
+// TestRestartSurvivesArchive is the durability contract end to end: a
+// daemon with -archive-dir is killed and rebooted on the same
+// directory, and the reborn process must answer the identical spec as a
+// cache hit under the original run id — with its telemetry still
+// queryable — while fresh work gets ids the dead process never issued.
+func TestRestartSurvivesArchive(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-listen", "127.0.0.1:0", "-workers", "1", "-archive-dir", dir}
+	spec := sim.RunSpec{
+		Workload:     sim.WorkloadSpec{Kind: "smalljob", Seed: 11, DurationSec: 1800},
+		Racks:        1,
+		Policies:     []string{"SHUT"},
+		CapFractions: []float64{0.6},
+	}
+	ctx := context.Background()
+
+	// First life: run the spec to completion, remember its identity.
+	var out1 bytes.Buffer
+	addr1, stop1 := bootDaemon(t, args, &out1)
+	c1 := service.NewClient("http://" + addr1)
+	c1.PollInterval = 20 * time.Millisecond
+	v1, hit, err := c1.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first-life submission was a cache hit")
+	}
+	if _, err := c1.Wait(ctx, v1.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	stop1()
+
+	// Second life, same archive directory: the identical spec is a hit
+	// served from disk — same id, no re-execution.
+	var out2 bytes.Buffer
+	addr2, stop2 := bootDaemon(t, args, &out2)
+	defer stop2()
+	c2 := service.NewClient("http://" + addr2)
+	c2.PollInterval = 20 * time.Millisecond
+	v2, hit, err := c2.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || v2.ID != v1.ID || v2.State != "done" {
+		t.Errorf("post-restart resubmit: hit=%v id=%s state=%s, want hit of done %s", hit, v2.ID, v2.State, v1.ID)
+	}
+
+	// Its telemetry is restored from the envelope and queryable.
+	resp, err := http.Get(fmt.Sprintf("http://%s/v1/runs/%s/metrics", addr2, v1.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Available []string `json:"available"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&metrics)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || err != nil || len(metrics.Available) == 0 {
+		t.Errorf("post-restart metrics: status=%d err=%v available=%v, want 200 with series", resp.StatusCode, err, metrics.Available)
+	}
+
+	// The report survives too.
+	var report bytes.Buffer
+	if err := c2.WriteReport(ctx, v1.ID, "json", sim.SinkOptions{}, &report); err != nil {
+		t.Errorf("post-restart report: %v", err)
+	}
+
+	// Fresh work never reuses an id the first life issued: the sequence
+	// was reseeded past the archive's high-water mark.
+	fresh := spec
+	fresh.Workload.Seed = 12
+	v3, hit, err := c2.Submit(ctx, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || v3.ID == v1.ID {
+		t.Errorf("fresh spec after restart: hit=%v id=%s, want a new id (had %s)", hit, v3.ID, v1.ID)
+	}
+	if _, err := c2.Wait(ctx, v3.ID, nil); err != nil {
+		t.Fatal(err)
 	}
 }

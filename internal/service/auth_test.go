@@ -1,0 +1,152 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testAuth(t *testing.T, tenants ...TenantConfig) *Auth {
+	t.Helper()
+	a, err := NewAuth(tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAuthAuthenticate(t *testing.T) {
+	a := testAuth(t,
+		TenantConfig{Name: "alice", Token: "tok-a"},
+		TenantConfig{Name: "bob", Token: "tok-b", Admin: true},
+	)
+	cases := []struct {
+		header string
+		want   string // tenant name, "" = 401
+	}{
+		{"Bearer tok-a", "alice"},
+		{"bearer tok-b", "bob"}, // scheme is case-insensitive
+		{"Bearer  tok-a", "alice"},
+		{"", ""},
+		{"tok-a", ""},        // no scheme
+		{"Basic tok-a", ""},  // wrong scheme
+		{"Bearer tok-c", ""}, // unknown token
+		{"Bearer tok-a extra", ""},
+	}
+	for _, tc := range cases {
+		tcfg, err := a.Authenticate(tc.header)
+		if tc.want == "" {
+			if err == nil {
+				t.Errorf("Authenticate(%q) accepted", tc.header)
+			} else if apiErr, ok := err.(*Error); !ok || apiErr.Status != 401 {
+				t.Errorf("Authenticate(%q) error = %v, want 401", tc.header, err)
+			}
+			continue
+		}
+		if err != nil || tcfg.Name != tc.want {
+			t.Errorf("Authenticate(%q) = %q, %v; want %q", tc.header, tcfg.Name, err, tc.want)
+		}
+	}
+}
+
+func TestAuthConfigValidation(t *testing.T) {
+	bad := [][]TenantConfig{
+		nil,
+		{{Name: "", Token: "x"}},
+		{{Name: "x", Token: ""}},
+		{{Name: "a", Token: "t"}, {Name: "a", Token: "u"}}, // dup name
+		{{Name: "a", Token: "t"}, {Name: "b", Token: "t"}}, // dup token
+		{{Name: "a", Token: "t", MaxQueued: -1}},
+		{{Name: "a", Token: "t", RatePerMin: -1}},
+	}
+	for i, tenants := range bad {
+		if _, err := NewAuth(tenants); err == nil {
+			t.Errorf("case %d: bad tenant set accepted: %+v", i, tenants)
+		}
+	}
+}
+
+// TestAuthRateLimit drives the token bucket on a fake clock: burst
+// drains, refill accrues at the configured rate, and the refusal's
+// retry hint is exactly the time to the next whole token.
+func TestAuthRateLimit(t *testing.T) {
+	a := testAuth(t, TenantConfig{Name: "alice", Token: "t", RatePerMin: 60, Burst: 2})
+	now := time.Unix(1000, 0)
+	a.now = func() time.Time { return now }
+
+	// Burst of 2 passes, the third is refused with a ~1s retry hint
+	// (60/min = 1 token per second).
+	for i := 0; i < 2; i++ {
+		if _, ok := a.AllowSubmit("alice"); !ok {
+			t.Fatalf("burst submission %d refused", i)
+		}
+	}
+	wait, ok := a.AllowSubmit("alice")
+	if ok {
+		t.Fatal("over-burst submission allowed")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Errorf("retry hint = %v, want (0, 1s]", wait)
+	}
+
+	// Refill: one second later exactly one more token exists.
+	now = now.Add(time.Second)
+	if _, ok := a.AllowSubmit("alice"); !ok {
+		t.Error("refilled token refused")
+	}
+	if _, ok := a.AllowSubmit("alice"); ok {
+		t.Error("second token granted after one refill second")
+	}
+
+	// The bucket never overflows its burst.
+	now = now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if _, ok := a.AllowSubmit("alice"); !ok {
+			t.Fatalf("post-idle submission %d refused", i)
+		}
+	}
+	if _, ok := a.AllowSubmit("alice"); ok {
+		t.Error("idle time grew the bucket beyond burst")
+	}
+
+	// Unlimited tenants and unknown names always pass.
+	b := testAuth(t, TenantConfig{Name: "free", Token: "f"})
+	for i := 0; i < 100; i++ {
+		if _, ok := b.AllowSubmit("free"); !ok {
+			t.Fatal("unlimited tenant throttled")
+		}
+	}
+	if _, ok := b.AllowSubmit("stranger"); !ok {
+		t.Error("unknown tenant name throttled")
+	}
+}
+
+func TestLoadTokens(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tokens.json")
+	body := `{"tenants": [
+		{"name": "alice", "token": "s3cret", "max_queued": 4, "rate_per_min": 120},
+		{"name": "ops", "token": "0p5", "admin": true}
+	]}`
+	if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	tenants, err := LoadTokens(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 2 || tenants[0].Name != "alice" || tenants[0].MaxQueued != 4 || !tenants[1].Admin {
+		t.Errorf("LoadTokens = %+v", tenants)
+	}
+
+	if err := os.WriteFile(path, []byte(`{"tenants": [], "typo": 1}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTokens(path); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := LoadTokens(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -26,6 +28,9 @@ type Client struct {
 	HTTPClient *http.Client
 	// PollInterval paces Wait (default 150ms).
 	PollInterval time.Duration
+	// Token, when non-empty, is sent as a bearer token on every request
+	// (daemons started with -tokens-file require one).
+	Token string
 }
 
 // NewClient builds a client for a daemon base URL.
@@ -47,6 +52,9 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
@@ -93,6 +101,42 @@ func (c *Client) Get(ctx context.Context, id string) (RunView, error) {
 	var v RunView
 	err := c.do(ctx, http.MethodGet, "/v1/runs/"+id+"?report=0", nil, &v)
 	return v, err
+}
+
+// List fetches one page of the daemon's runs listing. The filter's
+// Cursor resumes where a previous page's NextCursor left off.
+func (c *Client) List(ctx context.Context, f ListFilter) ([]RunView, string, error) {
+	q := url.Values{}
+	set := func(k, v string) {
+		if v != "" {
+			q.Set(k, v)
+		}
+	}
+	set("state", f.State)
+	set("hash", f.HashPrefix)
+	set("policy", f.Policy)
+	set("kind", f.Kind)
+	set("name", f.Name)
+	set("tenant", f.Tenant)
+	if !f.Since.IsZero() {
+		q.Set("since", f.Since.Format(time.RFC3339))
+	}
+	if !f.Until.IsZero() {
+		q.Set("until", f.Until.Format(time.RFC3339))
+	}
+	set("cursor", f.Cursor)
+	if f.Limit > 0 {
+		q.Set("limit", strconv.Itoa(f.Limit))
+	}
+	path := "/v1/runs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var resp listResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, "", err
+	}
+	return resp.Runs, resp.NextCursor, nil
 }
 
 // Cancel cancels a run.
@@ -201,6 +245,9 @@ func (c *Client) WriteReport(ctx context.Context, id, format string, opt sim.Sin
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
 	if err != nil {
 		return err
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {

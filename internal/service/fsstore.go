@@ -1,0 +1,371 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/tsdb"
+)
+
+// FSStore is the durable RunStore: a filesystem archive of completed
+// runs, one versioned JSON envelope per spec hash, modeled on
+// cc-backend's file-backed job archive. Records are content-addressed
+// by sim.SpecHash — "<hash>.json" in the archive directory — and
+// written atomically (temp file, fsync, rename), so a crash mid-write
+// never leaves a half-record behind and concurrent writers of one hash
+// converge on a whole file.
+//
+// Opening a store scans the directory once into an in-memory metadata
+// index (everything List and ByHash need); Get reads and verifies the
+// envelope from disk. Files that fail to decode — truncated, corrupt,
+// or written by an unknown format version — are skipped at open and
+// reported via Skipped, not fatal: one bad file must not take the whole
+// archive down with it.
+type FSStore struct {
+	dir     string
+	max     int
+	onEvict func(Record)
+
+	mu      sync.Mutex
+	meta    map[string]Record // hash -> light record
+	byID    map[string]string // id -> hash
+	skipped []string
+}
+
+// FSOptions bound a filesystem archive.
+type FSOptions struct {
+	// MaxRecords caps the archive (0 = keep everything forever, the
+	// archive default); beyond it the oldest records are deleted.
+	MaxRecords int
+	// OnEvict observes each evicted or replaced record.
+	OnEvict func(Record)
+}
+
+// OpenFSStore opens (creating if needed) the archive directory and
+// indexes its envelopes.
+func OpenFSStore(dir string, opt FSOptions) (*FSStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("service: archive needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: creating archive dir: %w", err)
+	}
+	st := &FSStore{
+		dir:     dir,
+		max:     opt.MaxRecords,
+		onEvict: opt.OnEvict,
+		meta:    map[string]Record{},
+		byID:    map[string]string{},
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: scanning archive dir: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		rec, err := st.readFile(filepath.Join(dir, name))
+		if err != nil {
+			st.skipped = append(st.skipped, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		st.meta[rec.SpecHash] = rec.light()
+		st.byID[rec.ID] = rec.SpecHash
+	}
+	return st, nil
+}
+
+// Dir returns the archive directory.
+func (st *FSStore) Dir() string { return st.dir }
+
+// Skipped reports the files the open scan could not decode (corrupt or
+// foreign), one "name: reason" line each.
+func (st *FSStore) Skipped() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]string(nil), st.skipped...)
+}
+
+func (st *FSStore) path(hash string) string {
+	return filepath.Join(st.dir, hash+".json")
+}
+
+// recordMeta is the archived form of a Record's service-level metadata
+// — the envelope's opaque Meta payload.
+type recordMeta struct {
+	ID         string    `json:"id"`
+	Seq        int       `json:"seq"`
+	Tenant     string    `json:"tenant,omitempty"`
+	Name       string    `json:"name,omitempty"`
+	Mode       sim.Mode  `json:"mode"`
+	Policies   []string  `json:"policies,omitempty"`
+	Kinds      []string  `json:"kinds,omitempty"`
+	State      State     `json:"state"`
+	Error      string    `json:"error,omitempty"`
+	Submitted  time.Time `json:"submitted_at"`
+	Started    time.Time `json:"started_at,omitempty"`
+	Finished   time.Time `json:"finished_at,omitempty"`
+	CacheHits  int       `json:"cache_hits"`
+	CellsDone  int       `json:"cells_done"`
+	CellsTotal int       `json:"cells_total"`
+	Events     []Event   `json:"events,omitempty"`
+}
+
+// encodeRecord builds the archive envelope for a record. The live
+// Report pointer is process state and is deliberately not encoded; the
+// Renders carry what readers consume.
+func encodeRecord(rec Record) (sim.Envelope, error) {
+	env, err := sim.NewEnvelope(rec.Spec)
+	if err != nil {
+		return sim.Envelope{}, err
+	}
+	if env.SpecHash != rec.SpecHash {
+		return sim.Envelope{}, fmt.Errorf("service: record %s claims hash %.12s but its spec hashes to %.12s",
+			rec.ID, rec.SpecHash, env.SpecHash)
+	}
+	meta := recordMeta{
+		ID: rec.ID, Seq: rec.Seq, Tenant: rec.Tenant,
+		Name: rec.Name, Mode: rec.Mode,
+		Policies: rec.Policies, Kinds: rec.Kinds,
+		State: rec.State, Error: rec.Error,
+		Submitted: rec.Submitted, Started: rec.Started, Finished: rec.Finished,
+		CacheHits: rec.CacheHits, CellsDone: rec.CellsDone, CellsTotal: rec.CellsTotal,
+		Events: rec.Events,
+	}
+	if env.Meta, err = json.Marshal(meta); err != nil {
+		return sim.Envelope{}, err
+	}
+	env.Renders = rec.Renders
+	if rec.Telemetry != nil {
+		if env.Telemetry, err = json.Marshal(rec.Telemetry); err != nil {
+			return sim.Envelope{}, err
+		}
+	}
+	return env, nil
+}
+
+// decodeRecord rebuilds a Record from a verified envelope.
+func decodeRecord(env sim.Envelope) (Record, error) {
+	var meta recordMeta
+	if len(env.Meta) == 0 {
+		return Record{}, fmt.Errorf("service: archive envelope carries no run metadata")
+	}
+	if err := json.Unmarshal(env.Meta, &meta); err != nil {
+		return Record{}, fmt.Errorf("service: archive metadata: %w", err)
+	}
+	if meta.ID == "" {
+		return Record{}, fmt.Errorf("service: archive metadata names no run id")
+	}
+	rec := Record{
+		ID: meta.ID, Seq: meta.Seq, Tenant: meta.Tenant,
+		SpecHash: env.SpecHash, Name: meta.Name, Mode: meta.Mode,
+		Policies: meta.Policies, Kinds: meta.Kinds,
+		State: meta.State, Error: meta.Error,
+		Submitted: meta.Submitted, Started: meta.Started, Finished: meta.Finished,
+		CacheHits: meta.CacheHits, CellsDone: meta.CellsDone, CellsTotal: meta.CellsTotal,
+		Events: meta.Events,
+		Spec:   env.Spec,
+	}
+	rec.Renders = env.Renders
+	if len(env.Telemetry) > 0 {
+		var snap tsdb.Snapshot
+		if err := json.Unmarshal(env.Telemetry, &snap); err != nil {
+			return Record{}, fmt.Errorf("service: archive telemetry snapshot: %w", err)
+		}
+		rec.Telemetry = &snap
+	}
+	return rec, nil
+}
+
+// readFile decodes and verifies one archive file.
+func (st *FSStore) readFile(path string) (Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Record{}, err
+	}
+	defer f.Close()
+	env, err := sim.DecodeEnvelope(f)
+	if err != nil {
+		return Record{}, err
+	}
+	return decodeRecord(env)
+}
+
+// Put archives the record atomically: encode to a temp file in the
+// archive directory, fsync, rename onto "<hash>.json". A replaced
+// record of the same hash simply loses the rename race — the invariant
+// "one record per hash, the newest write wins" is the filesystem's.
+func (st *FSStore) Put(rec Record) error {
+	if rec.ID == "" || rec.SpecHash == "" {
+		return fmt.Errorf("service: record needs an id and a spec hash")
+	}
+	env, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(st.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("service: archive temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := env.Encode(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("service: archive fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), st.path(rec.SpecHash)); err != nil {
+		return fmt.Errorf("service: archive rename: %w", err)
+	}
+
+	st.mu.Lock()
+	var evicted []Record
+	if prev, ok := st.meta[rec.SpecHash]; ok && prev.ID != rec.ID {
+		delete(st.byID, prev.ID)
+		evicted = append(evicted, prev)
+	}
+	st.meta[rec.SpecHash] = rec.light()
+	st.byID[rec.ID] = rec.SpecHash
+	for st.max > 0 && len(st.meta) > st.max {
+		oldest, ok := st.oldestLocked(rec.SpecHash)
+		if !ok {
+			break
+		}
+		evicted = append(evicted, st.meta[oldest])
+		st.removeLocked(oldest)
+	}
+	st.mu.Unlock()
+	for _, e := range evicted {
+		if st.onEvict != nil {
+			st.onEvict(e)
+		}
+	}
+	return nil
+}
+
+// oldestLocked finds the lowest-Seq hash other than keep; st.mu held.
+func (st *FSStore) oldestLocked(keep string) (string, bool) {
+	best, bestSeq := "", -1
+	for hash, rec := range st.meta {
+		if hash == keep {
+			continue
+		}
+		if bestSeq < 0 || rec.Seq < bestSeq {
+			best, bestSeq = hash, rec.Seq
+		}
+	}
+	return best, best != ""
+}
+
+// removeLocked drops the record from the index and disk; st.mu held.
+func (st *FSStore) removeLocked(hash string) {
+	rec, ok := st.meta[hash]
+	if !ok {
+		return
+	}
+	delete(st.meta, hash)
+	if st.byID[rec.ID] == hash {
+		delete(st.byID, rec.ID)
+	}
+	_ = os.Remove(st.path(hash))
+}
+
+// Get reads the record owning the run id from disk.
+func (st *FSStore) Get(id string) (Record, bool, error) {
+	st.mu.Lock()
+	hash, ok := st.byID[id]
+	st.mu.Unlock()
+	if !ok {
+		return Record{}, false, nil
+	}
+	rec, err := st.readFile(st.path(hash))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Record{}, false, nil
+		}
+		return Record{}, false, fmt.Errorf("service: reading archived run %s: %w", id, err)
+	}
+	return rec, true, nil
+}
+
+// ByHash reads the record for the spec hash from disk.
+func (st *FSStore) ByHash(hash string) (Record, bool, error) {
+	st.mu.Lock()
+	_, ok := st.meta[hash]
+	st.mu.Unlock()
+	if !ok {
+		return Record{}, false, nil
+	}
+	rec, err := st.readFile(st.path(hash))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Record{}, false, nil
+		}
+		return Record{}, false, fmt.Errorf("service: reading archived spec %.12s: %w", hash, err)
+	}
+	return rec, true, nil
+}
+
+// List answers from the in-memory metadata index — no file reads, so
+// paging a large archive stays cheap.
+func (st *FSStore) List(f ListFilter) ([]Record, string, error) {
+	st.mu.Lock()
+	records := make([]Record, 0, len(st.meta))
+	for _, rec := range st.meta {
+		records = append(records, rec)
+	}
+	st.mu.Unlock()
+	sort.Slice(records, func(i, j int) bool { return records[i].Seq < records[j].Seq })
+	return pageRecords(records, f)
+}
+
+// Delete removes the record owning the run id from index and disk.
+func (st *FSStore) Delete(id string) (bool, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	hash, ok := st.byID[id]
+	if !ok {
+		return false, nil
+	}
+	st.removeLocked(hash)
+	return true, nil
+}
+
+// Len counts the archived records.
+func (st *FSStore) Len() (int, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.meta), nil
+}
+
+// MaxSeq returns the highest archived sequence number, or -1 when
+// empty.
+func (st *FSStore) MaxSeq() (int, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	max := -1
+	for _, rec := range st.meta {
+		if rec.Seq > max {
+			max = rec.Seq
+		}
+	}
+	return max, nil
+}
+
+// Close releases the store. The archive holds no open handles between
+// calls, so this is a no-op kept for the interface's lifecycle.
+func (st *FSStore) Close() error { return nil }

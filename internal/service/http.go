@@ -1,9 +1,11 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -17,10 +19,24 @@ import (
 // generated cell lists while still bounding memory per request.
 const maxSpecBytes = 8 << 20
 
+// tenantKey carries the authenticated tenant through request contexts.
+type tenantKeyType struct{}
+
+var tenantKey tenantKeyType
+
+// requestTenant returns the tenant the request authenticated as (the
+// zero config on open daemons).
+func requestTenant(r *http.Request) TenantConfig {
+	tc, _ := r.Context().Value(tenantKey).(TenantConfig)
+	return tc
+}
+
 // Handler returns the service's HTTP API:
 //
 //	POST   /v1/runs                 submit a sim.RunSpec (JSON body)
-//	GET    /v1/runs                 list runs (?state=, ?hash= filters)
+//	GET    /v1/runs                 list runs (?state=&hash=&policy=&kind=
+//	                                &name=&tenant=&since=&until=
+//	                                &cursor=&limit= filters + paging)
 //	GET    /v1/runs/{id}            status + report (?report=0 omits it)
 //	DELETE /v1/runs/{id}            cancel
 //	GET    /v1/runs/{id}/report     sink-rendered report (?format=json|csv|ascii)
@@ -28,6 +44,11 @@ const maxSpecBytes = 8 << 20
 //	GET    /v1/runs/{id}/events     progress stream (SSE)
 //	GET    /v1/stats                server counters
 //	GET    /healthz                 liveness
+//
+// With Config.Auth set, every endpoint except /healthz requires an
+// "Authorization: Bearer <token>" header naming a configured tenant;
+// failures are 401 with a WWW-Authenticate challenge. Liveness stays
+// open so load balancers and restart scripts need no credentials.
 //
 // Paths are routed by hand (no 1.22 mux patterns — the module targets
 // go 1.21).
@@ -41,7 +62,22 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, 200, map[string]string{"status": "ok"})
 	})
-	return mux
+	if s.cfg.Auth == nil {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		tc, err := s.cfg.Auth.Authenticate(r.Header.Get("Authorization"))
+		if err != nil {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="simd"`)
+			writeErr(w, err)
+			return
+		}
+		mux.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantKey, tc)))
+	})
 }
 
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
@@ -54,7 +90,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, &Error{Status: 400, Msg: err.Error()})
 			return
 		}
-		v, hit, err := s.Submit(spec)
+		v, hit, err := s.SubmitAs(requestTenant(r), spec)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -65,8 +101,17 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, status, submitResponse{Run: v, CacheHit: hit})
 	case http.MethodGet:
-		q := r.URL.Query()
-		writeJSON(w, 200, s.List(q.Get("state"), q.Get("hash")))
+		f, err := ParseListFilter(r.URL.Query())
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		views, next, err := s.List(f)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, 200, listResponse{Runs: views, NextCursor: next})
 	default:
 		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
 	}
@@ -76,6 +121,13 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 type submitResponse struct {
 	Run      RunView `json:"run"`
 	CacheHit bool    `json:"cache_hit"`
+}
+
+// listResponse is one page of the runs listing. NextCursor resumes the
+// listing where this page ended; empty means the listing is exhausted.
+type listResponse struct {
+	Runs       []RunView `json:"runs"`
+	NextCursor string    `json:"next_cursor,omitempty"`
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -96,7 +148,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			}
 			writeJSON(w, 200, v)
 		case http.MethodDelete:
-			v, err := s.Cancel(id)
+			v, err := s.CancelAs(requestTenant(r), id)
 			if err != nil {
 				writeErr(w, err)
 				return
@@ -118,7 +170,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 // handleReport streams the run's report through the named sink — the
 // exact pipeline the CLIs print with, so a remote client's output is
-// byte-compatible with a local run's exports.
+// byte-compatible with a local run's exports. Runs that survive only in
+// the archive serve the rendering captured at completion.
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request, id string) {
 	if r.Method != http.MethodGet {
 		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
@@ -152,10 +205,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request, id string)
 	default:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	}
-	err = s.Report(id, func(rep sim.Report) error {
-		return sim.Export(w, format, rep, opt)
-	})
-	if err != nil {
+	if err := s.RenderReport(id, format, opt, w); err != nil {
 		var apiErr *Error
 		if errors.As(err, &apiErr) {
 			// Nothing was streamed yet on API errors; the header above
@@ -202,6 +252,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, id string
 		return
 	}
 	rs := s.tsdb.Lookup(id)
+	if rs == nil {
+		// Runs evicted from the hot tier (or completed by an earlier
+		// process) keep their telemetry as an archived snapshot —
+		// restore it into the live store on first query.
+		if rec, ok := s.storeRecord(id); ok && rec.Telemetry != nil {
+			var err error
+			if rs, err = s.tsdb.Restore(id, rec.Telemetry); err != nil {
+				writeErr(w, &Error{Status: 500, Msg: fmt.Sprintf("restoring archived telemetry: %v", err)})
+				return
+			}
+		}
+	}
 	if rs == nil {
 		writeErr(w, &Error{Status: 404, Msg: fmt.Sprintf("run %s recorded no telemetry", id)})
 		return
@@ -287,6 +349,9 @@ func writeErr(w http.ResponseWriter, err error) {
 	var apiErr *Error
 	if !errors.As(err, &apiErr) {
 		apiErr = &Error{Status: 500, Msg: err.Error()}
+	}
+	if apiErr.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(apiErr.RetryAfter.Seconds()))))
 	}
 	writeJSON(w, apiErr.Status, map[string]string{"error": apiErr.Msg})
 }

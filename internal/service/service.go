@@ -12,11 +12,21 @@
 // service adds queueing, dedup, telemetry and lifecycle, never a second
 // result format.
 //
-// Layering (see ARCHITECTURE.md "Service layer"):
+// Completed runs move out of the live registry into the persistence
+// tier: always the in-memory MemStore (the hot tier, bounded by
+// Config.MaxRuns), and — when Config.Archive is set — a write-through
+// RunStore that survives restarts (cmd/simd wires the filesystem
+// archive there). Reads fall through live -> hot -> archive, so a
+// rebooted daemon still serves yesterday's reports and dedupes
+// resubmissions of archived specs into cache hits.
 //
-//	cmd/simd                     HTTP + signals
+// Layering (see ARCHITECTURE.md "Service layer" and "Persistence &
+// tenancy"):
+//
+//	cmd/simd                     HTTP + signals + archive/tokens wiring
 //	        v
 //	internal/service             queue, spec-hash cache, events, drain
+//	        |                    auth/quotas, MemStore + archive tiers
 //	        |            sim.RunObserved(ctx, spec, progress, observe)
 //	        v
 //	internal/sim -> experiment/replay/federation -> rjms
@@ -25,11 +35,12 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -54,9 +65,19 @@ type Config struct {
 	SweepWorkers int
 	// TSDB bounds the telemetry store (per-series ring sizes).
 	TSDB tsdb.Options
-	// MaxRuns caps the retained run records; when exceeded, the oldest
-	// terminal runs (and their telemetry) are evicted (default 1024).
+	// MaxRuns caps the hot tier's retained run records; when exceeded,
+	// the oldest records (and their live telemetry) are evicted
+	// (default 1024). Archived copies survive eviction.
 	MaxRuns int
+	// Archive, when non-nil, is the durable store completed runs are
+	// written through to and read back from after hot-tier eviction or
+	// a restart. The server owns it from New on and closes it in
+	// Shutdown.
+	Archive RunStore
+	// Auth, when non-nil, turns on bearer-token authentication and
+	// per-tenant quotas; nil runs the daemon open (single-user
+	// default).
+	Auth *Auth
 }
 
 func (c Config) withDefaults() Config {
@@ -103,12 +124,19 @@ type Event struct {
 	Error     string  `json:"error,omitempty"`
 }
 
-// run is the server-side record of one submitted spec.
+// run is the server-side record of one live (queued or running)
+// submission. Terminal runs are retired into the store tiers and no
+// longer live here.
 type run struct {
-	id   string
-	hash string
-	spec sim.RunSpec // normalized, sweep pool clamped
-	seq  int         // submission order
+	id     string
+	hash   string
+	spec   sim.RunSpec // normalized, sweep pool clamped
+	seq    int         // submission order
+	tenant string
+	// policies/kinds are the spec's derived filter columns, computed
+	// once at submission.
+	policies []string
+	kinds    []string
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -138,9 +166,34 @@ func (r *run) appendEventLocked(typ string, e Event) {
 	r.cond.Broadcast()
 }
 
+// recordLocked builds the run's Record from its current fields; r.mu
+// must be held. Heavy payloads (events copy, renders, telemetry) are
+// attached by the caller.
+func (r *run) recordLocked() Record {
+	return Record{
+		ID:         r.id,
+		Seq:        r.seq,
+		Tenant:     r.tenant,
+		SpecHash:   r.hash,
+		Name:       r.spec.Name,
+		Mode:       r.spec.Mode,
+		Policies:   r.policies,
+		Kinds:      r.kinds,
+		State:      r.state,
+		Error:      r.errMsg,
+		Submitted:  r.submitted,
+		Started:    r.started,
+		Finished:   r.finished,
+		CacheHits:  r.hits,
+		CellsDone:  r.done,
+		CellsTotal: r.total,
+	}
+}
+
 // Stats are the server-wide counters the cache-hit story is measured
 // by.
 type Stats struct {
+	// Runs counts the process-visible runs: live plus the hot tier.
 	Runs       int  `json:"runs"`
 	Queued     int  `json:"queued"`
 	Running    int  `json:"running"`
@@ -149,32 +202,42 @@ type Stats struct {
 	Workers    int  `json:"workers"`
 	QueueDepth int  `json:"queue_depth"`
 	Draining   bool `json:"draining"`
+	// Archived counts the durable archive's records (0 with no
+	// archive configured); ArchiveErrors counts failed archive writes
+	// — a non-zero value means the durable tier is lossy right now.
+	Archived      int `json:"archived,omitempty"`
+	ArchiveErrors int `json:"archive_errors,omitempty"`
 }
 
-// Server is the daemon core: the run registry, the spec-hash result
-// cache, the FIFO worker scheduler and the telemetry store. Construct
-// with New; serve its HTTP API via Handler; stop with Shutdown.
+// Server is the daemon core: the live run registry, the spec-hash
+// result cache, the FIFO worker scheduler, the telemetry store and the
+// persistence tiers. Construct with New; serve its HTTP API via
+// Handler; stop with Shutdown.
 type Server struct {
-	cfg  Config
-	tsdb *tsdb.Store
+	cfg   Config
+	tsdb  *tsdb.Store
+	store *MemStore // hot tier: terminal runs completed in this process
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu         sync.Mutex
-	runs       map[string]*run
-	order      []*run          // submission order (eviction + listing)
-	byHash     map[string]*run // the result cache index
-	queue      chan *run
-	draining   bool
-	nextSeq    int
-	executions int
-	cacheHits  int
+	mu          sync.Mutex
+	runs        map[string]*run // live (non-terminal) runs only
+	order       []*run          // live submission order
+	byHash      map[string]*run // live dedupe index
+	queue       chan *run
+	draining    bool
+	nextSeq     int
+	executions  int
+	cacheHits   int
+	archiveErrs int
 
 	wg sync.WaitGroup
 }
 
-// New builds a server and starts its worker pool.
+// New builds a server and starts its worker pool. With an archive
+// configured, the run-id sequence resumes above the archive's highest
+// stored sequence so restarted daemons never reissue an archived id.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -186,6 +249,14 @@ func New(cfg Config) *Server {
 		runs:       map[string]*run{},
 		byHash:     map[string]*run{},
 		queue:      make(chan *run, cfg.QueueDepth),
+	}
+	// Hot-tier eviction drops the run's live telemetry with it; the
+	// archived copy keeps a snapshot for later restore.
+	s.store = NewMemStore(cfg.MaxRuns, func(rec Record) { s.tsdb.Drop(rec.ID) })
+	if cfg.Archive != nil {
+		if max, err := cfg.Archive.MaxSeq(); err == nil && max >= 0 {
+			s.nextSeq = max + 1
+		}
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -202,17 +273,20 @@ func New(cfg Config) *Server {
 // TSDB exposes the telemetry store (the metrics endpoint reads it).
 func (s *Server) TSDB() *tsdb.Store { return s.tsdb }
 
+// Store exposes the hot-tier run store (tests and tooling).
+func (s *Server) Store() RunStore { return s.store }
+
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := Stats{
-		Runs:       len(s.runs),
-		Executions: s.executions,
-		CacheHits:  s.cacheHits,
-		Workers:    s.cfg.Workers,
-		QueueDepth: s.cfg.QueueDepth,
-		Draining:   s.draining,
+		Runs:          len(s.runs),
+		Executions:    s.executions,
+		CacheHits:     s.cacheHits,
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.cfg.QueueDepth,
+		Draining:      s.draining,
+		ArchiveErrors: s.archiveErrs,
 	}
 	for _, r := range s.runs {
 		switch r.snapshot().State {
@@ -222,15 +296,40 @@ func (s *Server) Stats() Stats {
 			st.Running++
 		}
 	}
+	s.mu.Unlock()
+	if n, err := s.store.Len(); err == nil {
+		st.Runs += n
+	}
+	if s.cfg.Archive != nil {
+		if n, err := s.cfg.Archive.Len(); err == nil {
+			st.Archived = n
+		}
+	}
 	return st
 }
 
-// Submit validates, normalizes and content-addresses a spec. An
-// identical spec already queued, running or done dedupes into that run
-// — the submitter becomes one more waiter on the shared execution — and
-// reports cacheHit true. Failed and cancelled runs never serve as cache
-// entries: resubmitting their spec starts a fresh execution.
+// Submit is SubmitAs for the open (unauthenticated) daemon.
 func (s *Server) Submit(spec sim.RunSpec) (RunView, bool, error) {
+	return s.SubmitAs(TenantConfig{}, spec)
+}
+
+// SubmitAs validates, normalizes and content-addresses a spec on behalf
+// of a tenant. An identical spec already queued, running or done —
+// live, hot or archived — dedupes into that run and reports cacheHit
+// true; the result cache is shared across tenants (identical physics is
+// identical physics), while quotas bill only fresh executions. Failed
+// and cancelled runs never serve as cache entries: resubmitting their
+// spec starts a fresh execution.
+func (s *Server) SubmitAs(tenant TenantConfig, spec sim.RunSpec) (RunView, bool, error) {
+	if s.cfg.Auth != nil && tenant.Name != "" {
+		if wait, ok := s.cfg.Auth.AllowSubmit(tenant.Name); !ok {
+			return RunView{}, false, &Error{
+				Status:     429,
+				Msg:        fmt.Sprintf("service: tenant %s over submission rate", tenant.Name),
+				RetryAfter: wait,
+			}
+		}
+	}
 	if err := spec.Validate(); err != nil {
 		return RunView{}, false, &Error{Status: 400, Msg: err.Error()}
 	}
@@ -254,20 +353,53 @@ func (s *Server) Submit(spec sim.RunSpec) (RunView, bool, error) {
 		if st != StateFailed && st != StateCancelled {
 			prev.hits++
 			s.cacheHits++
-			s.touchLocked(prev)
 			v := prev.viewLocked(false, false)
 			prev.mu.Unlock()
 			return v, true, nil
 		}
 		prev.mu.Unlock()
 	}
+	// Not live: a done run in the hot tier or the archive is still a
+	// cache hit — the durable half of the result cache. The hit count
+	// update is serialized by s.mu (stores do no read-modify-write of
+	// their own), and re-putting an archive-only record warms it back
+	// into the hot tier.
+	if rec, ok := s.storeByHashLocked(hash); ok && rec.State == StateDone {
+		rec.CacheHits++
+		s.cacheHits++
+		if err := s.store.Put(rec); err == nil {
+			v := viewFromRecord(rec, false, false)
+			return v, true, nil
+		}
+	}
 
+	// A fresh execution: this is the submission quotas bill.
+	if s.cfg.Auth != nil && tenant.Name != "" && tenant.MaxQueued > 0 {
+		live := 0
+		for _, r := range s.runs {
+			if r.tenant == tenant.Name && !r.snapshot().State.Terminal() {
+				live++
+			}
+		}
+		if live >= tenant.MaxQueued {
+			return RunView{}, false, &Error{
+				Status:     429,
+				Msg:        fmt.Sprintf("service: tenant %s has %d live runs (quota %d)", tenant.Name, live, tenant.MaxQueued),
+				RetryAfter: time.Second,
+			}
+		}
+	}
+
+	policies, kinds := derivePolicyKinds(norm)
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	r := &run{
 		id:        fmt.Sprintf("r%06d", s.nextSeq+1),
 		hash:      hash,
 		spec:      norm,
 		seq:       s.nextSeq,
+		tenant:    tenant.Name,
+		policies:  policies,
+		kinds:     kinds,
 		ctx:       ctx,
 		cancel:    cancel,
 		state:     StateQueued,
@@ -290,141 +422,314 @@ func (s *Server) Submit(spec sim.RunSpec) (RunView, bool, error) {
 	s.runs[r.id] = r
 	s.order = append(s.order, r)
 	s.byHash[hash] = r
-	s.evictLocked()
 	return v, false, nil
 }
 
-// touchLocked moves a run to the young end of the eviction order — a
-// cache hit is a use, so hot dedupe targets outlive cold ones and a run
-// just returned to a submitter cannot be the next eviction victim.
-// Called with s.mu held.
-func (s *Server) touchLocked(r *run) {
-	for i, cur := range s.order {
-		if cur == r {
-			s.order = append(append(s.order[:i], s.order[i+1:]...), r)
-			return
+// storeByHashLocked resolves a spec hash through the store tiers (hot
+// first); s.mu must be held (it serializes hit-count updates).
+func (s *Server) storeByHashLocked(hash string) (Record, bool) {
+	if rec, ok, err := s.store.ByHash(hash); err == nil && ok {
+		return rec, true
+	}
+	if s.cfg.Archive != nil {
+		if rec, ok, err := s.cfg.Archive.ByHash(hash); err == nil && ok {
+			return rec, true
 		}
 	}
+	return Record{}, false
 }
 
-// evictLocked drops the oldest terminal runs beyond the retention cap,
-// along with their telemetry and cache entries. Live runs are never
-// evicted; the cap therefore bounds memory only once runs settle, which
-// is the steady state that matters.
-func (s *Server) evictLocked() {
-	excess := len(s.runs) - s.cfg.MaxRuns
-	if excess <= 0 {
-		return
+// storeRecord resolves a run id through the store tiers (hot first).
+func (s *Server) storeRecord(id string) (Record, bool) {
+	if rec, ok, err := s.store.Get(id); err == nil && ok {
+		return rec, true
 	}
-	kept := s.order[:0]
-	for _, r := range s.order {
-		if excess > 0 && r.snapshot().State.Terminal() {
-			excess--
-			delete(s.runs, r.id)
-			if s.byHash[r.hash] == r {
-				delete(s.byHash, r.hash)
-			}
-			s.tsdb.Drop(r.id)
-			continue
+	if s.cfg.Archive != nil {
+		if rec, ok, err := s.cfg.Archive.Get(id); err == nil && ok {
+			return rec, true
 		}
-		kept = append(kept, r)
 	}
-	s.order = kept
+	return Record{}, false
 }
 
-// Get returns one run's view (withReport controls the heavy payload).
-func (s *Server) Get(id string, withReport bool) (RunView, error) {
-	s.mu.Lock()
-	r := s.runs[id]
-	s.mu.Unlock()
-	if r == nil {
-		return RunView{}, &Error{Status: 404, Msg: fmt.Sprintf("service: unknown run %q", id)}
-	}
+// retire moves a terminal run out of the live registry into the store
+// tiers: hot always, archive (write-through) for done runs. The record
+// is built outside the server lock (rendering a big sweep's sinks is
+// the expensive part), then the handoff — final hit count, live-index
+// removal, hot-tier put — is atomic under s.mu, so a concurrent Submit
+// sees the run either live or stored, never neither, and no cache hit
+// lands between the count copy and the put.
+func (s *Server) retire(r *run) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.viewLocked(withReport, true), nil
-}
-
-// Report hands the run's sim.Report to fn while the run is terminal —
-// the sink-pipeline bridge of the report endpoint.
-func (s *Server) Report(id string, fn func(rep sim.Report) error) error {
-	s.mu.Lock()
-	r := s.runs[id]
-	s.mu.Unlock()
-	if r == nil {
-		return &Error{Status: 404, Msg: fmt.Sprintf("service: unknown run %q", id)}
-	}
-	r.mu.Lock()
-	state, rep := r.state, r.report
+	rec := r.recordLocked()
+	rec.Events = append([]Event(nil), r.events...)
+	rec.Spec = r.spec
+	rec.Report = r.report
 	r.mu.Unlock()
-	if !state.Terminal() {
-		return &Error{Status: 409, Msg: fmt.Sprintf("service: run %s is %s; report not ready", id, state)}
+
+	if rec.Report != nil {
+		rec.Renders = renderAll(*rec.Report)
 	}
-	if rep == nil {
-		return &Error{Status: 409, Msg: fmt.Sprintf("service: run %s (%s) produced no report: %s", id, state, r.errMsg)}
+	if rs := s.tsdb.Lookup(r.id); rs != nil {
+		rec.Telemetry = rs.Snapshot()
 	}
-	return fn(*rep)
+
+	s.mu.Lock()
+	r.mu.Lock()
+	rec.CacheHits = r.hits
+	r.mu.Unlock()
+	if s.runs[r.id] == r {
+		delete(s.runs, r.id)
+		if s.byHash[r.hash] == r {
+			delete(s.byHash, r.hash)
+		}
+		for i, cur := range s.order {
+			if cur == r {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	putErr := s.store.Put(rec)
+	s.mu.Unlock()
+	_ = putErr
+
+	// Only done runs are worth durable bytes: failures and
+	// cancellations are not reusable results, and archiving them would
+	// shadow (by spec hash) a later successful run of the same spec
+	// written by another process sharing the directory.
+	if s.cfg.Archive != nil && rec.State == StateDone {
+		if err := s.cfg.Archive.Put(rec); err != nil {
+			s.mu.Lock()
+			s.archiveErrs++
+			s.mu.Unlock()
+		}
+	}
 }
 
-// List returns the run views in submission order, filtered by state
-// and/or spec hash when non-empty (the /v1/runs listing; no report or
-// spec payloads — fetch a single run for those).
-func (s *Server) List(state, hash string) []RunView {
-	s.mu.Lock()
-	order := append([]*run(nil), s.order...)
-	s.mu.Unlock()
-	// s.order is eviction (recency-of-use) order; the listing promises
-	// submission order, which the immutable seq preserves.
-	sort.Slice(order, func(i, j int) bool { return order[i].seq < order[j].seq })
-	out := make([]RunView, 0, len(order))
-	for _, r := range order {
-		r.mu.Lock()
-		v := r.viewLocked(false, false)
-		r.mu.Unlock()
-		if state != "" && string(v.State) != state {
-			continue
+// renderAll renders the report through every registered sink at default
+// options — the forms a Record serves after the live Report is gone
+// (and the only forms the archive can persist at all).
+func renderAll(rep sim.Report) map[string][]byte {
+	out := map[string][]byte{}
+	for _, name := range sim.Sinks.Names() {
+		var buf bytes.Buffer
+		if err := sim.Export(&buf, name, rep, sim.SinkOptions{}); err == nil {
+			out[name] = buf.Bytes()
 		}
-		if hash != "" && !strings.HasPrefix(v.SpecHash, hash) {
-			continue
-		}
-		out = append(out, v)
 	}
 	return out
 }
 
-// Cancel cancels a run: a queued run transitions immediately, a running
-// one has its context cancelled and transitions when the engine unwinds
-// (bounded-step checks keep that prompt). Cancelling a terminal run is
-// a no-op; the returned view reports the state reached.
+// Get returns one run's view (withReport controls the heavy payload),
+// resolving live runs first, then the store tiers.
+func (s *Server) Get(id string, withReport bool) (RunView, error) {
+	s.mu.Lock()
+	r := s.runs[id]
+	s.mu.Unlock()
+	if r != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.viewLocked(withReport, true), nil
+	}
+	if rec, ok := s.storeRecord(id); ok {
+		return viewFromRecord(rec, withReport, true), nil
+	}
+	return RunView{}, &Error{Status: 404, Msg: fmt.Sprintf("service: unknown run %q", id)}
+}
+
+// Report hands the run's sim.Report to fn while the run is terminal —
+// the in-process bridge to the report payload. Runs that only exist as
+// archive records (completed by an earlier process) carry no live
+// Report; use RenderReport for those.
+func (s *Server) Report(id string, fn func(rep sim.Report) error) error {
+	s.mu.Lock()
+	r := s.runs[id]
+	s.mu.Unlock()
+	if r != nil {
+		r.mu.Lock()
+		state, rep, errMsg := r.state, r.report, r.errMsg
+		r.mu.Unlock()
+		if !state.Terminal() {
+			return &Error{Status: 409, Msg: fmt.Sprintf("service: run %s is %s; report not ready", id, state)}
+		}
+		if rep == nil {
+			return &Error{Status: 409, Msg: fmt.Sprintf("service: run %s (%s) produced no report: %s", id, state, errMsg)}
+		}
+		return fn(*rep)
+	}
+	rec, ok := s.storeRecord(id)
+	if !ok {
+		return &Error{Status: 404, Msg: fmt.Sprintf("service: unknown run %q", id)}
+	}
+	if rec.Report == nil {
+		return &Error{Status: 409, Msg: fmt.Sprintf("service: run %s (%s) has no report in this process", id, rec.State)}
+	}
+	return fn(*rec.Report)
+}
+
+// RenderReport writes the run's report in the named sink format — the
+// report endpoint's engine. Runs with a live Report render on demand
+// with the requested options; archive-only records serve the rendering
+// captured at completion (default options), so a restarted daemon still
+// answers byte-identically for the formats it stored.
+func (s *Server) RenderReport(id, format string, opt sim.SinkOptions, w io.Writer) error {
+	if _, err := sim.Sinks.Lookup(format); err != nil {
+		return &Error{Status: 400, Msg: err.Error()}
+	}
+	err := s.Report(id, func(rep sim.Report) error {
+		return sim.Export(w, format, rep, opt)
+	})
+	var apiErr *Error
+	if err == nil || !errors.As(err, &apiErr) || apiErr.Status != 409 {
+		return err
+	}
+	// No live report — fall back to the stored rendering.
+	rec, ok := s.storeRecord(id)
+	if !ok {
+		return err
+	}
+	b, ok := rec.Renders[format]
+	if !ok {
+		return &Error{Status: 409, Msg: fmt.Sprintf("service: run %s (%s) stored no %s rendering", id, rec.State, format)}
+	}
+	_, werr := w.Write(b)
+	return werr
+}
+
+// List returns the run views matching the filter in submission order
+// across every tier — live runs, the hot tier and the archive — plus
+// the cursor of the next page ("" when exhausted). Ids are unique
+// across tiers (the archive seeds the id sequence at boot), with the
+// freshest tier winning when a record exists in several.
+func (s *Server) List(f ListFilter) ([]RunView, string, error) {
+	// Stores are asked for everything matching (no cursor/limit):
+	// paging must happen once, over the merged set, or page boundaries
+	// would drift between tiers.
+	base := f
+	base.Cursor, base.Limit = "", 0
+
+	seen := map[string]bool{}
+	var records []Record
+	s.mu.Lock()
+	for _, r := range s.order {
+		r.mu.Lock()
+		rec := r.recordLocked()
+		r.mu.Unlock()
+		records = append(records, rec)
+		seen[rec.ID] = true
+	}
+	s.mu.Unlock()
+
+	hot, _, err := s.store.List(base)
+	if err != nil {
+		return nil, "", err
+	}
+	for _, rec := range hot {
+		if !seen[rec.ID] {
+			records = append(records, rec)
+			seen[rec.ID] = true
+		}
+	}
+	if s.cfg.Archive != nil {
+		arch, _, err := s.cfg.Archive.List(base)
+		if err != nil {
+			return nil, "", err
+		}
+		for _, rec := range arch {
+			if !seen[rec.ID] {
+				records = append(records, rec)
+				seen[rec.ID] = true
+			}
+		}
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Seq < records[j].Seq })
+	page, next, err := pageRecords(records, f)
+	if err != nil {
+		return nil, "", err
+	}
+	views := make([]RunView, 0, len(page))
+	for _, rec := range page {
+		views = append(views, viewFromRecord(rec, false, false))
+	}
+	return views, next, nil
+}
+
+// Cancel is CancelAs with operator rights (trusted in-process callers).
 func (s *Server) Cancel(id string) (RunView, error) {
+	return s.CancelAs(TenantConfig{Admin: true}, id)
+}
+
+// CancelAs cancels a run on behalf of a tenant: a queued run
+// transitions immediately, a running one has its context cancelled and
+// transitions when the engine unwinds (bounded-step checks keep that
+// prompt). Cancelling a terminal run is a no-op; the returned view
+// reports the state reached. With auth enabled, a tenant may cancel
+// only its own runs unless marked admin.
+func (s *Server) CancelAs(tenant TenantConfig, id string) (RunView, error) {
 	s.mu.Lock()
 	r := s.runs[id]
 	s.mu.Unlock()
 	if r == nil {
+		if rec, ok := s.storeRecord(id); ok {
+			if err := cancelAllowed(s.cfg.Auth, tenant, rec.Tenant); err != nil {
+				return RunView{}, err
+			}
+			// Already terminal: cancelling is a no-op.
+			return viewFromRecord(rec, false, false), nil
+		}
 		return RunView{}, &Error{Status: 404, Msg: fmt.Sprintf("service: unknown run %q", id)}
 	}
+	if err := cancelAllowed(s.cfg.Auth, tenant, r.tenant); err != nil {
+		return RunView{}, err
+	}
 	r.cancel()
+	retired := false
 	r.mu.Lock()
 	if r.state == StateQueued {
 		r.state = StateCancelled
 		r.finished = time.Now()
 		r.errMsg = context.Canceled.Error()
 		r.appendEventLocked("cancelled", Event{Error: r.errMsg})
+		retired = true
 	}
 	v := r.viewLocked(false, false)
 	r.mu.Unlock()
+	if retired {
+		// The worker that later pops this run sees it non-queued and
+		// skips it, so this is the only retire.
+		s.retire(r)
+	}
 	return v, nil
+}
+
+// cancelAllowed is the cancellation ownership check.
+func cancelAllowed(auth *Auth, tenant TenantConfig, owner string) error {
+	if auth == nil || tenant.Admin || tenant.Name == "" || tenant.Name == owner {
+		return nil
+	}
+	return &Error{Status: 403, Msg: "service: run belongs to another tenant"}
 }
 
 // Follow replays a run's event log from the start and then follows live
 // appends, invoking fn per event in order, until the run is terminal
-// and fully delivered, fn errors, or ctx ends — the SSE loop.
+// and fully delivered, fn errors, or ctx ends — the SSE loop. Stored
+// (terminal) runs replay their archived log and return.
 func (s *Server) Follow(ctx context.Context, id string, fn func(Event) error) error {
 	s.mu.Lock()
 	r := s.runs[id]
 	s.mu.Unlock()
 	if r == nil {
-		return &Error{Status: 404, Msg: fmt.Sprintf("service: unknown run %q", id)}
+		rec, ok := s.storeRecord(id)
+		if !ok {
+			return &Error{Status: 404, Msg: fmt.Sprintf("service: unknown run %q", id)}
+		}
+		for _, e := range rec.Events {
+			if err := fn(e); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	stop := context.AfterFunc(ctx, func() {
 		r.mu.Lock()
@@ -466,7 +771,7 @@ func (s *Server) execute(r *run) {
 	r.mu.Lock()
 	if r.state != StateQueued {
 		r.mu.Unlock()
-		return // cancelled while queued
+		return // cancelled while queued (that path retires the run)
 	}
 	r.state = StateRunning
 	r.started = time.Now()
@@ -513,6 +818,7 @@ func (s *Server) execute(r *run) {
 		}
 	}
 	r.mu.Unlock()
+	s.retire(r)
 }
 
 // progressFn adapts finished-cell callbacks into run events.
@@ -576,10 +882,12 @@ func (s *Server) observeFn(r *run) sim.Observer {
 
 // Shutdown drains the server: submissions are refused, queued runs are
 // cancelled (they never started; re-submitting later re-executes), and
-// the workers finish their in-flight runs. If ctx ends first, the
-// in-flight runs are hard-cancelled through their contexts and Shutdown
-// still waits for the pool to unwind (no goroutine outlives it) before
-// returning ctx's error.
+// the workers finish their in-flight runs — whose results land in the
+// store tiers, so an archive-backed daemon hands its successor
+// everything that completed. If ctx ends first, the in-flight runs are
+// hard-cancelled through their contexts and Shutdown still waits for
+// the pool to unwind (no goroutine outlives it) before returning ctx's
+// error. The archive is closed last.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.draining {
@@ -599,14 +907,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	sort.Slice(queued, func(i, j int) bool { return queued[i].seq < queued[j].seq })
 	for _, r := range queued {
 		r.cancel()
+		retired := false
 		r.mu.Lock()
 		if r.state == StateQueued {
 			r.state = StateCancelled
 			r.finished = time.Now()
 			r.errMsg = "service: shut down before the run started"
 			r.appendEventLocked("cancelled", Event{Error: r.errMsg})
+			retired = true
 		}
 		r.mu.Unlock()
+		if retired {
+			s.retire(r)
+		}
 	}
 
 	done := make(chan struct{})
@@ -614,14 +927,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.baseCancel()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if s.cfg.Archive != nil {
+		if cerr := s.cfg.Archive.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // snapshot reads the run's mutable fields under its lock.
@@ -635,6 +954,9 @@ func (r *run) snapshot() RunView {
 type Error struct {
 	Status int
 	Msg    string
+	// RetryAfter, when non-zero, is surfaced as a Retry-After header on
+	// 429 responses.
+	RetryAfter time.Duration
 }
 
 func (e *Error) Error() string { return e.Msg }

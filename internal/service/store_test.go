@@ -1,0 +1,129 @@
+package service_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/service/storetest"
+)
+
+// TestMemStoreConformance runs the cross-backend suite on the hot tier.
+func TestMemStoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T, opt storetest.Options) service.RunStore {
+		return service.NewMemStore(opt.MaxRecords, opt.OnEvict)
+	})
+}
+
+// TestFSStoreConformance runs the same suite on the filesystem archive:
+// identical semantics, durable medium.
+func TestFSStoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T, opt storetest.Options) service.RunStore {
+		st, err := service.OpenFSStore(t.TempDir(), service.FSOptions{
+			MaxRecords: opt.MaxRecords,
+			OnEvict:    opt.OnEvict,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	})
+}
+
+// TestFSStoreReopen pins the durable half the suite cannot see: records
+// put by one store are indexed and served by a fresh store over the
+// same directory — the daemon-restart contract.
+func TestFSStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	first, err := service.OpenFSStore(dir, service.FSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := storetest.SampleRecord(t, "reopen", 41)
+	if err := first.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := service.OpenFSStore(dir, service.FSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped := second.Skipped(); len(skipped) != 0 {
+		t.Fatalf("reopen skipped files: %v", skipped)
+	}
+	got, ok, err := second.Get(rec.ID)
+	if err != nil || !ok {
+		t.Fatalf("Get after reopen = ok:%v err:%v", ok, err)
+	}
+	if got.SpecHash != rec.SpecHash || got.State != rec.State || got.CacheHits != rec.CacheHits {
+		t.Errorf("reopened record drifted: %+v", got)
+	}
+	if string(got.Renders["json"]) != string(rec.Renders["json"]) {
+		t.Errorf("reopened render = %q, want %q", got.Renders["json"], rec.Renders["json"])
+	}
+	if max, _ := second.MaxSeq(); max != rec.Seq {
+		t.Errorf("reopened MaxSeq = %d, want %d", max, rec.Seq)
+	}
+}
+
+// TestFSStoreCorruptFileSkipped pins the archive's damage tolerance:
+// truncated or tampered envelopes are skipped with a reason at open,
+// never fatal, and the rest of the archive still serves.
+func TestFSStoreCorruptFileSkipped(t *testing.T) {
+	dir := t.TempDir()
+	st, err := service.OpenFSStore(dir, service.FSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := storetest.SampleRecord(t, "survivor", 0)
+	if err := st.Put(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := storetest.SampleRecord(t, "corrupted", 1)
+	if err := st.Put(bad); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Truncate the second envelope mid-file and drop a non-envelope
+	// stray in the directory.
+	path := filepath.Join(dir, bad.SpecHash+".json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.json"), []byte("not an envelope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := service.OpenFSStore(dir, service.FSOptions{})
+	if err != nil {
+		t.Fatalf("open with corrupt files failed: %v", err)
+	}
+	skipped := reopened.Skipped()
+	if len(skipped) != 2 {
+		t.Fatalf("skipped = %v, want the truncated envelope and the stray file", skipped)
+	}
+	for _, s := range skipped {
+		if !strings.Contains(s, ":") {
+			t.Errorf("skip entry %q carries no reason", s)
+		}
+	}
+	if _, ok, _ := reopened.Get(good.ID); !ok {
+		t.Error("intact record lost to a sibling's corruption")
+	}
+	if _, ok, _ := reopened.Get(bad.ID); ok {
+		t.Error("truncated record served anyway")
+	}
+	if n, _ := reopened.Len(); n != 1 {
+		t.Errorf("Len = %d, want 1", n)
+	}
+}

@@ -18,6 +18,8 @@ type RunView struct {
 	Mode     sim.Mode `json:"mode"`
 	State    State    `json:"state"`
 	Error    string   `json:"error,omitempty"`
+	// Tenant is the submitting tenant's name (empty on open daemons).
+	Tenant string `json:"tenant,omitempty"`
 	// Spec is the normalized spec the run executes. Only the single-run
 	// GET carries it: cell-list specs can be megabytes, and a listing
 	// of a thousand runs must not amplify every submitted byte back out
@@ -59,6 +61,7 @@ func (r *run) viewLocked(withReport, withSpec bool) RunView {
 		Mode:        r.spec.Mode,
 		State:       r.state,
 		Error:       r.errMsg,
+		Tenant:      r.tenant,
 		CacheHits:   r.hits,
 		CellsDone:   r.done,
 		CellsTotal:  r.total,
@@ -89,6 +92,54 @@ func (r *run) viewLocked(withReport, withSpec bool) RunView {
 			}
 		}
 		v.Report = json.RawMessage(r.reportJSON)
+	}
+	return v
+}
+
+// viewFromRecord renders a stored (terminal) run the same way
+// viewLocked renders a live one, so clients cannot tell which tier
+// answered. The report payload comes from the stored json rendering
+// when present, else is rendered from the hot tier's live Report.
+func viewFromRecord(rec Record, withReport, withSpec bool) RunView {
+	v := RunView{
+		ID:          rec.ID,
+		SpecHash:    rec.SpecHash,
+		Name:        rec.Name,
+		Mode:        rec.Mode,
+		State:       rec.State,
+		Error:       rec.Error,
+		Tenant:      rec.Tenant,
+		CacheHits:   rec.CacheHits,
+		CellsDone:   rec.CellsDone,
+		CellsTotal:  rec.CellsTotal,
+		SubmittedAt: rec.Submitted,
+	}
+	if withSpec {
+		sp := rec.Spec
+		v.Spec = &sp
+	}
+	if !rec.Started.IsZero() {
+		t := rec.Started
+		v.StartedAt = &t
+		end := rec.Finished
+		if end.IsZero() {
+			end = rec.Started
+		}
+		v.ElapsedMS = float64(end.Sub(rec.Started).Microseconds()) / 1000
+	}
+	if !rec.Finished.IsZero() {
+		t := rec.Finished
+		v.FinishedAt = &t
+	}
+	if withReport {
+		if b, ok := rec.Renders["json"]; ok {
+			v.Report = json.RawMessage(b)
+		} else if rec.Report != nil {
+			var buf bytes.Buffer
+			if err := sim.Export(&buf, "json", *rec.Report, sim.SinkOptions{}); err == nil {
+				v.Report = json.RawMessage(buf.Bytes())
+			}
+		}
 	}
 	return v
 }

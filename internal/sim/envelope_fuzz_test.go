@@ -1,0 +1,78 @@
+package sim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fuzzSpec is the valid spec the seed envelopes wrap.
+func fuzzSpec() sim.RunSpec {
+	return sim.RunSpec{
+		Name:         "fuzz-envelope",
+		Workload:     sim.WorkloadSpec{Kind: "smalljob", Seed: 42, DurationSec: 3600},
+		Racks:        1,
+		Policies:     []string{"SHUT"},
+		CapFractions: []float64{0.6},
+	}.Normalize()
+}
+
+// FuzzEnvelopeDecode pins the archive decoder's hostile-input contract
+// (seed corpus inline plus the checked-in files under testdata/fuzz/):
+// corrupt, truncated or tampered envelopes return an error — never a
+// panic, and never a silently misread record — while anything accepted
+// must hold a verified seal and re-encode losslessly.
+func FuzzEnvelopeDecode(f *testing.F) {
+	env, err := sim.NewEnvelope(fuzzSpec())
+	if err != nil {
+		f.Fatal(err)
+	}
+	env.Renders = map[string][]byte{"json": []byte(`{"ok":true}`)}
+	env.Meta = []byte(`{"id":"r000001","seq":0,"state":"done"}`)
+	var valid bytes.Buffer
+	if err := env.Encode(&valid); err != nil {
+		f.Fatal(err)
+	}
+	seeds := [][]byte{
+		valid.Bytes(),
+		valid.Bytes()[:valid.Len()/2], // truncated mid-object
+		bytes.Replace(valid.Bytes(), []byte(`"SHUT"`), []byte(`"DVFS"`), 1), // edited spec, stale seal
+		bytes.Replace(valid.Bytes(), []byte(`"version": 1`), []byte(`"version": 99`), 1),
+		[]byte(``),
+		[]byte(`{}`),
+		[]byte(`null`),
+		[]byte(`{"version":1,"spec_hash":"","spec":{}}`),
+		[]byte(`{"version":1,"spec_hash":"deadbeef","spec":{"workload":{"kind":"smalljob"}}}`),
+		[]byte(`[1,2,3]`),
+		[]byte("\x00\x01\x02"),
+		[]byte(`{"version":1,"spec_hash":` + "\x00" + `}`),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := sim.DecodeEnvelope(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: exactly what corrupt input should get
+		}
+		// Accepted envelopes hold a verified seal: the spec re-hashes
+		// to the claimed address...
+		hash, herr := sim.SpecHash(got.Spec)
+		if herr != nil || hash != got.SpecHash {
+			t.Fatalf("accepted envelope fails its own seal: hash=%q err=%v claimed=%q", hash, herr, got.SpecHash)
+		}
+		// ...and re-encoding round-trips to an equally valid envelope.
+		var buf bytes.Buffer
+		if err := got.Encode(&buf); err != nil {
+			t.Fatalf("accepted envelope does not re-encode: %v", err)
+		}
+		again, err := sim.DecodeEnvelope(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded envelope does not decode: %v", err)
+		}
+		if again.SpecHash != got.SpecHash || again.Version != got.Version {
+			t.Fatalf("round trip drifted: %q/%d vs %q/%d", again.SpecHash, again.Version, got.SpecHash, got.Version)
+		}
+	})
+}

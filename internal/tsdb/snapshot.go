@@ -1,0 +1,136 @@
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SeriesSnapshot is the serializable form of one series' level pyramid:
+// every retained point per level (oldest first), the in-flight cascade
+// aggregates, and the monotonicity watermark. It is exactly the state a
+// Restore needs to continue appending where the snapshot left off.
+type SeriesSnapshot struct {
+	Name string `json:"name"`
+	// Levels holds each ring's live points, level 0 first, oldest point
+	// first within a level.
+	Levels [][]Point `json:"levels"`
+	// Pending carries the partial cascade batch per level (zero-Count
+	// entries are idle).
+	Pending []Point `json:"pending,omitempty"`
+	LastT   int64   `json:"last_t"`
+	Any     bool    `json:"any"`
+}
+
+// Snapshot is the serializable form of one run's whole series set — the
+// payload the service's durable run archive stores next to a report so
+// downsampled telemetry survives daemon restarts. Series are sorted by
+// name, so encoding a snapshot is deterministic.
+type Snapshot struct {
+	Options Options          `json:"options"`
+	Series  []SeriesSnapshot `json:"series"`
+	Dropped []string         `json:"dropped,omitempty"`
+}
+
+// Snapshot captures the run's current state. The snapshot shares
+// nothing with the live run (points are copied), so it stays valid
+// however the run is appended to afterwards.
+func (r *Run) Snapshot() *Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	snap := &Snapshot{Options: r.opt}
+	for _, name := range r.seriesNamesLocked() {
+		s := r.series[name]
+		ss := SeriesSnapshot{
+			Name:    name,
+			Levels:  make([][]Point, len(s.levels)),
+			Pending: append([]Point(nil), s.pending...),
+			LastT:   s.lastT,
+			Any:     s.any,
+		}
+		for i := range s.levels {
+			lv := &s.levels[i]
+			pts := make([]Point, lv.n)
+			for j := 0; j < lv.n; j++ {
+				pts[j] = lv.at(j)
+			}
+			ss.Levels[i] = pts
+		}
+		snap.Series = append(snap.Series, ss)
+	}
+	for name := range r.dropped {
+		snap.Dropped = append(snap.Dropped, name)
+	}
+	sort.Strings(snap.Dropped)
+	return snap
+}
+
+// Restore rebuilds a live Run from the snapshot: ring contents, cascade
+// state and watermarks land exactly where Snapshot captured them, so
+// queries answer identically and later appends continue the cascade
+// seamlessly. Snapshots from decoded JSON may be hostile or truncated;
+// Restore validates shape and returns errors, never panics. Points
+// beyond a level's ring capacity keep only the newest (the ring's own
+// overwrite rule).
+func (s *Snapshot) Restore() (*Run, error) {
+	if s == nil {
+		return nil, fmt.Errorf("tsdb: nil snapshot")
+	}
+	opt := s.Options.withDefaults()
+	run := &Run{opt: opt, series: map[string]*series{}}
+	for i, ss := range s.Series {
+		if ss.Name == "" {
+			return nil, fmt.Errorf("tsdb: snapshot series %d has no name", i)
+		}
+		if run.series[ss.Name] != nil {
+			return nil, fmt.Errorf("tsdb: snapshot repeats series %q", ss.Name)
+		}
+		if len(ss.Levels) > opt.Levels {
+			return nil, fmt.Errorf("tsdb: series %q snapshots %d levels, store holds %d",
+				ss.Name, len(ss.Levels), opt.Levels)
+		}
+		if len(ss.Pending) > opt.Levels {
+			return nil, fmt.Errorf("tsdb: series %q snapshots %d pending batches, store holds %d levels",
+				ss.Name, len(ss.Pending), opt.Levels)
+		}
+		sr := newSeries(opt)
+		for l, pts := range ss.Levels {
+			for _, p := range pts {
+				sr.levels[l].push(p)
+			}
+		}
+		copy(sr.pending, ss.Pending)
+		sr.lastT, sr.any = ss.LastT, ss.Any
+		run.series[ss.Name] = sr
+	}
+	for _, name := range s.Dropped {
+		if run.dropped == nil {
+			run.dropped = map[string]bool{}
+		}
+		run.dropped[name] = true
+	}
+	return run, nil
+}
+
+// Restore installs a run restored from the snapshot under the given id,
+// replacing any prior entry — the store-level hook the service uses
+// when an archived run's telemetry is queried after a restart.
+func (st *Store) Restore(id string, snap *Snapshot) (*Run, error) {
+	r, err := snap.Restore()
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.runs[id] = r
+	return r, nil
+}
+
+// seriesNamesLocked returns the sorted series names; r.mu must be held.
+func (r *Run) seriesNamesLocked() []string {
+	out := make([]string, 0, len(r.series))
+	for name := range r.series {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
