@@ -367,6 +367,63 @@ func BenchmarkEventEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineStep measures the event queue's steady-state cycle —
+// the At/Cancel/Step trio every simulated event pays. A pool of
+// self-rescheduling handlers keeps the heap at constant depth, and each
+// iteration also schedules-and-cancels one event so tombstone purging
+// is part of the measured cost.
+func BenchmarkEngineStep(b *testing.B) {
+	e := simengine.New(0)
+	const pool = 512
+	var tick func(now simengine.Time)
+	tick = func(now simengine.Time) {
+		if _, err := e.After(pool, tick); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < pool; i++ {
+		if _, err := e.At(int64(i), tick); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := e.After(pool/2, tick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Cancel(id)
+		if !e.Step() {
+			b.Fatal("engine drained")
+		}
+	}
+}
+
+// BenchmarkSchedulePass measures the controller's scheduling hot path
+// end to end: one capped SHUT scenario on the bench slice, whose cost
+// is dominated by EASY-backfill passes (allocation probes, the shadow
+// window, power projections) rather than event dispatch.
+func BenchmarkSchedulePass(b *testing.B) {
+	s := replay.Scenario{
+		Name:        "bench-pass",
+		Workload:    trace.Config{Kind: trace.MedianJob, Seed: 3},
+		Policy:      core.PolicyShut,
+		CapFraction: 0.5,
+		ScaleRacks:  benchRacks,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := replay.Run(s)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		if res.Summary.JobsCompleted == 0 {
+			b.Fatal("scenario completed no jobs")
+		}
+	}
+}
+
 func BenchmarkTraceGenerate(b *testing.B) {
 	cfg := trace.Config{Kind: trace.MedianJob, Seed: 1, Cores: 5760}
 	for i := 0; i < b.N; i++ {

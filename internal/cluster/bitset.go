@@ -1,0 +1,28 @@
+package cluster
+
+import "math/bits"
+
+// bitset is a fixed-capacity bit vector over node IDs. The cluster
+// maintains one per allocation class (partially-free busy nodes, idle
+// nodes) so allocation probes walk only candidate nodes instead of the
+// whole machine; iteration is in ascending ID order, matching ForEach.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)   { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// forEach calls fn for every set bit in ascending order; fn returning
+// false stops the walk. fn must not mutate the bitset.
+func (b bitset) forEach(fn func(i int) bool) {
+	for w, word := range b {
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			if !fn(i) {
+				return
+			}
+			word &= word - 1
+		}
+	}
+}

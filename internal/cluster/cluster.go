@@ -34,6 +34,12 @@ type Cluster struct {
 	reservedOff  int               // nodes flagged by switch-off reservations
 	reservedDraw float64           // sum over reserved nodes of draw-down
 	maxPowerOnce power.Watts
+
+	// Allocation candidate indexes, maintained by transition: busy nodes
+	// with at least one free core, and idle nodes. Allocation probes walk
+	// these instead of scanning every node.
+	partialBusy bitset
+	idleSet     bitset
 }
 
 // New builds a cluster with every node powered on and idle.
@@ -57,9 +63,12 @@ func New(topo Topology, profile *power.Profile, overhead Overhead) (*Cluster, er
 		offChassisCount: make([]int, topo.Racks),
 		fullOffRack:     make([]bool, topo.Racks),
 		coresByFreq:     make(map[dvfs.Freq]int),
+		partialBusy:     newBitset(topo.Nodes()),
+		idleSet:         newBitset(topo.Nodes()),
 	}
 	for i := range c.nodes {
 		c.nodes[i].state = StateIdle
+		c.idleSet.set(i)
 	}
 	c.counts[StateIdle] = topo.Nodes()
 	c.nodeWatts = float64(profile.Idle()) * float64(topo.Nodes())
@@ -119,6 +128,8 @@ func (c *Cluster) transition(id NodeID, st NodeState, f dvfs.Freq, usedCores int
 	n := &c.nodes[id]
 	before := c.draw(n)
 	wasOff := n.state == StateOff
+	wasIdle := n.state == StateIdle
+	wasPartialBusy := n.state == StateBusy && n.usedCores < c.topo.CoresPerNode
 
 	// Core accounting keyed by node frequency.
 	if n.state == StateBusy {
@@ -136,6 +147,20 @@ func (c *Cluster) transition(id NodeID, st NodeState, f dvfs.Freq, usedCores int
 	if st == StateBusy {
 		c.coresByFreq[f] += usedCores
 		c.busyCores += usedCores
+	}
+	if isIdle := st == StateIdle; isIdle != wasIdle {
+		if isIdle {
+			c.idleSet.set(int(id))
+		} else {
+			c.idleSet.clear(int(id))
+		}
+	}
+	if isPartialBusy := st == StateBusy && usedCores < c.topo.CoresPerNode; isPartialBusy != wasPartialBusy {
+		if isPartialBusy {
+			c.partialBusy.set(int(id))
+		} else {
+			c.partialBusy.clear(int(id))
+		}
 	}
 	c.nodeWatts += c.draw(n) - before
 	if n.reserved {
@@ -447,6 +472,27 @@ func (c *Cluster) BonusWatts() power.Watts {
 		float64(c.profile.Down())*float64(c.topo.NodesPerChassis))
 	w += float64(c.nFullOffRacks) * c.overhead.RackWatts
 	return power.Watts(w)
+}
+
+// ForEachBusyFree calls fn in ascending ID order for every busy node
+// with at least one free core, passing the free-core count. fn
+// returning false stops the walk; fn must not mutate the cluster.
+// This walks the maintained candidate index, so a full machine costs
+// nothing to scan — the allocation hot path of the scheduling pass.
+func (c *Cluster) ForEachBusyFree(fn func(id NodeID, free int) bool) {
+	per := c.topo.CoresPerNode
+	c.partialBusy.forEach(func(i int) bool {
+		return fn(NodeID(i), per-c.nodes[i].usedCores)
+	})
+}
+
+// ForEachIdle calls fn in ascending ID order for every idle node (all
+// cores free). fn returning false stops the walk; fn must not mutate
+// the cluster.
+func (c *Cluster) ForEachIdle(fn func(id NodeID) bool) {
+	c.idleSet.forEach(func(i int) bool {
+		return fn(NodeID(i))
+	})
 }
 
 // ForEach calls fn for every node in ID order; fn returning false stops the

@@ -22,9 +22,12 @@ func SelectFreq(pm PolicyModel, admit func(dvfs.Freq) bool) (dvfs.Freq, bool) {
 	if pm.Policy == PolicyNone {
 		return pm.Ladder.Max(), true
 	}
-	for _, f := range pm.Ladder.Descending() {
-		if admit(f) {
-			return f, true
+	// Descending index walk, not Ladder.Descending(): this probe runs
+	// per backfill candidate and the reversed-copy allocation dominated
+	// the scheduler's heap churn.
+	for i := len(pm.Ladder) - 1; i >= 0; i-- {
+		if admit(pm.Ladder[i]) {
+			return pm.Ladder[i], true
 		}
 		if !pm.Policy.CanScale() {
 			break // SHUT/IDLE probe only the nominal frequency

@@ -1,0 +1,36 @@
+package power
+
+import "repro/internal/dvfs"
+
+// ProjectionMemo caches budget→frequency projection results within a
+// scheduling pass. The power-aware launch check projects "what is the
+// highest frequency the survivors can run at under this future budget"
+// for every probe, and a pass probes up to its backfill depth of jobs
+// against the same handful of reservation budgets — the projection is a
+// pure function of (budget, survivor statistics), so the controller
+// keys the memo by budget watts and invalidates it whenever the
+// survivor set (reservation flags) changes. The zero value is ready to
+// use.
+type ProjectionMemo struct {
+	m map[Watts]dvfs.Freq
+}
+
+// Get returns the cached frequency for a budget, if present.
+func (pm *ProjectionMemo) Get(w Watts) (dvfs.Freq, bool) {
+	f, ok := pm.m[w]
+	return f, ok
+}
+
+// Put stores the frequency projected for a budget.
+func (pm *ProjectionMemo) Put(w Watts, f dvfs.Freq) {
+	if pm.m == nil {
+		pm.m = make(map[Watts]dvfs.Freq, 4)
+	}
+	pm.m[w] = f
+}
+
+// Invalidate drops every cached projection (the keyed entries stay
+// allocated for reuse).
+func (pm *ProjectionMemo) Invalidate() {
+	clear(pm.m)
+}

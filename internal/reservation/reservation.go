@@ -50,6 +50,10 @@ type Book struct {
 	nextID int
 	caps   []PowerCap
 	offs   []SwitchOff
+	// offSets[i] is the node-membership lookup of offs[i]: a dense
+	// []bool indexed by NodeID, so the per-probe NodeBlocked check is
+	// O(windows) instead of O(windows x group size).
+	offSets [][]bool
 }
 
 // NewBook returns an empty reservation book.
@@ -85,6 +89,19 @@ func (b *Book) AddSwitchOff(start, end int64, nodes []cluster.NodeID) (int, erro
 	cp := make([]cluster.NodeID, len(nodes))
 	copy(cp, nodes)
 	b.offs = append(b.offs, SwitchOff{ID: id, Start: start, End: end, Nodes: cp})
+	maxID := cluster.NodeID(0)
+	for _, n := range cp {
+		if n > maxID {
+			maxID = n
+		}
+	}
+	set := make([]bool, int(maxID)+1)
+	for _, n := range cp {
+		if n >= 0 {
+			set[n] = true
+		}
+	}
+	b.offSets = append(b.offSets, set)
 	return id, nil
 }
 
@@ -118,6 +135,7 @@ func (b *Book) Remove(id int) {
 	for i, o := range b.offs {
 		if o.ID == id {
 			b.offs = append(b.offs[:i], b.offs[i+1:]...)
+			b.offSets = append(b.offSets[:i], b.offSets[i+1:]...)
 			return
 		}
 	}
@@ -213,20 +231,60 @@ func (b *Book) SwitchOffs() []SwitchOff {
 // pure drain behaviour visible in the paper's Figures 6/7 (utilization
 // stays high until the window, then the group powers down sharply).
 func (b *Book) NodeBlocked(id cluster.NodeID, from, to int64, lead int64) bool {
-	for _, o := range b.offs {
+	for i := range b.offs {
+		o := &b.offs[i]
 		if o.Start >= to || o.End <= from {
 			continue // job span does not touch the window
 		}
 		if from < o.Start-lead {
 			continue // reservation not yet blocking allocations
 		}
-		for _, n := range o.Nodes {
-			if n == id {
-				return true
-			}
+		set := b.offSets[i]
+		if int(id) >= 0 && int(id) < len(set) && set[id] {
+			return true
 		}
 	}
 	return false
+}
+
+// offPhase classifies instant t against a switch-off window's blocking
+// behaviour: 0 before the lead-in (never blocks), 1 inside the lead-in
+// [Start-lead, Start) (blocking depends on the probe's span), 2 while
+// the window is active (members always block overlapping spans), 3
+// after the window (never blocks again).
+func offPhase(o *SwitchOff, t, lead int64) int {
+	switch {
+	case t < o.Start-lead:
+		return 0
+	case t < o.Start:
+		return 1
+	case t < o.End:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// OffsPhaseStable reports whether every switch-off reservation gives
+// the same NodeBlocked verdicts at probe times t0 and t1 (t0 <= t1)
+// for any fixed job span length: each window must sit in the same
+// phase at both instants, and the lead-in phase — where the verdict
+// depends on how far the probe instant is from the window start — only
+// qualifies when the instants coincide. The controller's scheduling-
+// pass memo uses this to prove a re-run would see identical node
+// eligibility.
+func (b *Book) OffsPhaseStable(t0, t1, lead int64) bool {
+	for i := range b.offs {
+		o := &b.offs[i]
+		p0 := offPhase(o, t0, lead)
+		if p0 != offPhase(o, t1, lead) {
+			return false
+		}
+		if p0 == 1 && t0 != t1 {
+			return false
+		}
+	}
+	return true
 }
 
 // Boundaries returns every distinct Start/End instant of all reservations

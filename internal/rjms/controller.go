@@ -30,8 +30,8 @@ type Controller struct {
 
 	pending   []*job.Job
 	running   map[job.ID]*job.Job
-	nodeJobs  []map[job.ID]dvfs.Freq // per-node running jobs and their frequencies
-	runStates map[job.ID]*runState   // progress accounting for dynamic DVFS
+	nodeJobs  [][]nodeJobEntry      // per-node running jobs and their frequencies (SoA, swap-removal)
+	runStates map[job.ID]runState   // progress accounting for dynamic DVFS (value map, no per-job alloc)
 
 	fairshare *sched.Fairshare
 	weights   sched.MultifactorWeights
@@ -49,10 +49,26 @@ type Controller struct {
 	// surfaces it.
 	loadErr error
 
-	// Cached projection inputs for optimalFutureFreq.
+	// Cached projection inputs for optimalFutureFreq, plus the keyed
+	// budget→frequency memo built on them. Both are invalidated
+	// together whenever the reservation flags (the survivor set)
+	// change.
 	survivorFresh    bool
 	survivorCount    int
 	survivorOverhead power.Watts
+	futureFreqMemo   power.ProjectionMemo
+
+	// Scheduling-pass memo: when the previous pass committed nothing,
+	// the frontier it saw is recorded and later passes are skipped
+	// outright while nothing that could change the outcome has moved —
+	// no job started or finished, no cap boundary or reservation phase
+	// crossed, and every submission since needs at least as many cores
+	// as the smallest request the memoized pass refused (the same
+	// within-pass pruning rule, carried across passes). Restricted to
+	// FCFS ordering (time-independent) and exact power bookkeeping.
+	passMemoValid   bool
+	passMemoNow     int64
+	passMemoMinFail int
 
 	// estimator is non-nil in measurement-based capping mode: active-cap
 	// checks use its guarded estimate instead of the exact bookkeeping.
@@ -70,6 +86,21 @@ type Controller struct {
 	allocBuf []job.Alloc        // allocation probe candidates
 	nodeBuf  []cluster.NodeID   // node list of the current probe
 	orderer  sched.Orderer      // priority-ordered pending queue
+
+	// Pre-bound probe closures with their parameter fields. plan() runs
+	// up to BackfillDepth times per event; literal closures there would
+	// escape to the heap on every probe (they dominated the sweep's
+	// allocation profile), so the closures are built once in New and
+	// read the plan* fields the current probe sets.
+	planNow    int64
+	planEndMax int64
+	planJob    *job.Job
+	planCapNow power.Cap
+	planNodes  []cluster.NodeID
+	eligibleFn func(cluster.NodeID) bool
+	admitFn    func(dvfs.Freq) bool
+	reservedFn func(cluster.NodeID) bool
+	passFn     simengine.Handler
 }
 
 // New builds a controller at virtual time 0.
@@ -93,8 +124,8 @@ func New(cfg Config) (*Controller, error) {
 		eng:        simengine.New(0),
 		book:       reservation.NewBook(),
 		running:    map[job.ID]*job.Job{},
-		runStates:  map[job.ID]*runState{},
-		nodeJobs:   make([]map[job.ID]dvfs.Freq, cfg.Topology.Nodes()),
+		runStates:  map[job.ID]runState{},
+		nodeJobs:   make([][]nodeJobEntry, cfg.Topology.Nodes()),
 		fairshare:  sched.NewFairshare(cfg.FairshareHalfLife),
 		weights:    sched.DefaultMultifactor(cfg.Topology.Cores()),
 		offPending: map[cluster.NodeID]bool{},
@@ -112,6 +143,35 @@ func New(cfg Config) (*Controller, error) {
 		est.Sample(clus.Power())
 	}
 	c.rec = metrics.NewRecorder(0, clus.Power(), 0)
+	c.eligibleFn = func(id cluster.NodeID) bool {
+		return !c.book.NodeBlocked(id, c.planNow, c.planEndMax, c.cfg.ReservationLead)
+	}
+	c.reservedFn = clus.Reserved
+	c.admitFn = func(f dvfs.Freq) bool {
+		now, j := c.planNow, c.planJob
+		end := now + j.ScaledWalltime(c.pm.Deg, f)
+		// Active cap: checked against the observed draw (Algorithm 2;
+		// exact bookkeeping, or the guarded measurement estimate).
+		if c.planCapNow.IsSet() && !c.planCapNow.Allows(c.observedPower()+c.clus.OccupyDelta(c.planNodes, f)) {
+			return false
+		}
+		// A future window the job's walltime crosses caps the launch
+		// frequency at the window's "optimal CPU frequency" (Section
+		// IV-B): the highest rung at which every surviving node could
+		// run busy within the budget. Jobs still launch — the paper's
+		// Figure 6 shows the system "preparing itself" by running at
+		// 2.0 GHz ahead of the reservation, not by idling.
+		if fut := c.book.MinFutureCapOver(now, end, c.cfg.CapPlanningHorizon); fut.IsSet() {
+			if f > c.optimalFutureFreq(fut) {
+				return false
+			}
+		}
+		return true
+	}
+	c.passFn = func(t int64) {
+		c.passQueued = false
+		c.pass(t)
+	}
 	return c, nil
 }
 
@@ -250,6 +310,7 @@ func (c *Controller) ReservePowerCapID(start, end int64, budget power.Cap) (int,
 	if err != nil {
 		return 0, core.OfflinePlan{}, err
 	}
+	c.invalidatePassMemo()
 	eligible := func(id cluster.NodeID) bool { return !c.clus.Reserved(id) }
 	plan := core.PlanOffline(c.clus, c.pm, budget, !c.cfg.ScatteredShutdown, eligible)
 	if c.cfg.Policy == core.PolicyIdle {
@@ -266,6 +327,7 @@ func (c *Controller) ReservePowerCapID(start, end int64, budget power.Cap) (int,
 			}
 		}
 		c.survivorFresh = false
+		c.futureFreqMemo.Invalidate()
 		offNodes := append([]cluster.NodeID(nil), plan.OffNodes...)
 		if _, err := c.eng.At(start, func(now int64) { c.windowOpen(offNodes, now) }); err != nil {
 			return resID, plan, err
@@ -431,22 +493,30 @@ func (c *Controller) requestPass(now int64) {
 		return
 	}
 	c.passQueued = true
-	if _, err := c.eng.At(now, func(t int64) {
-		c.passQueued = false
-		c.pass(t)
-	}); err != nil {
+	if _, err := c.eng.At(now, c.passFn); err != nil {
 		panic(fmt.Sprintf("rjms: pass scheduling: %v", err))
 	}
 }
 
+// invalidatePassMemo drops the committed-nothing pass memo; called by
+// every event that moves the scheduling frontier.
+func (c *Controller) invalidatePassMemo() { c.passMemoValid = false }
+
 func (c *Controller) submit(j *job.Job, now int64) {
 	j.State = job.StatePending
 	c.pending = append(c.pending, j)
+	// A submission needing fewer cores than the smallest request the
+	// memoized pass refused could launch — anything wider is pruned by
+	// the same rule the pass itself applies, so the memo holds.
+	if c.passMemoValid && j.Cores < c.passMemoMinFail {
+		c.invalidatePassMemo()
+	}
 	c.rec.NoteSubmit()
 	c.requestPass(now)
 }
 
 func (c *Controller) capBoundary(now int64) {
+	c.invalidatePassMemo()
 	if c.cfg.DynamicDVFS && c.cfg.Policy.CanScale() {
 		c.throttleRunning(now)
 	}
@@ -458,6 +528,7 @@ func (c *Controller) capBoundary(now int64) {
 
 // capEnded fires when a powercap window closes.
 func (c *Controller) capEnded(now int64) {
+	c.invalidatePassMemo()
 	if c.cfg.DynamicDVFS && c.cfg.Policy.CanScale() {
 		c.boostRunning(now)
 	}
@@ -466,6 +537,7 @@ func (c *Controller) capEnded(now int64) {
 
 // windowOpen powers down the reserved group; busy nodes drain first.
 func (c *Controller) windowOpen(nodes []cluster.NodeID, now int64) {
+	c.invalidatePassMemo()
 	for _, id := range nodes {
 		switch c.clus.State(id) {
 		case cluster.StateIdle:
@@ -483,12 +555,14 @@ func (c *Controller) windowOpen(nodes []cluster.NodeID, now int64) {
 // windowClose powers the group back on and releases the reservation
 // flags.
 func (c *Controller) windowClose(nodes []cluster.NodeID, now int64) {
+	c.invalidatePassMemo()
 	for _, id := range nodes {
 		delete(c.offPending, id)
 		_ = c.clus.PowerOn(id)
 		_ = c.clus.SetReserved(id, false)
 	}
 	c.survivorFresh = false
+	c.futureFreqMemo.Invalidate()
 	c.noteState(now)
 	c.requestPass(now)
 }
@@ -497,15 +571,24 @@ func (c *Controller) finish(j *job.Job, now int64, killed bool) {
 	if j.State != job.StateRunning {
 		return
 	}
+	c.invalidatePassMemo()
+	c.viewRemove(c.viewKey(j))
 	for _, a := range j.Allocs {
 		nj := c.nodeJobs[a.Node]
-		delete(nj, j.ID)
 		rem := dvfs.Freq(0)
-		for _, f := range nj {
-			if f > rem {
-				rem = f
+		for k := 0; k < len(nj); {
+			if nj[k].id == j.ID {
+				last := len(nj) - 1
+				nj[k] = nj[last]
+				nj = nj[:last]
+				continue
 			}
+			if nj[k].f > rem {
+				rem = nj[k].f
+			}
+			k++
 		}
+		c.nodeJobs[a.Node] = nj
 		if err := c.clus.Vacate(a.Node, a.Cores, rem); err != nil {
 			panic(fmt.Sprintf("rjms: vacate inconsistency for job %d node %d: %v", j.ID, a.Node, err))
 		}
@@ -522,7 +605,7 @@ func (c *Controller) finish(j *job.Job, now int64, killed bool) {
 		j.State = job.StateCompleted
 	}
 	j.EndTime = now
-	if rs := c.runStates[j.ID]; rs != nil {
+	if rs, ok := c.runStates[j.ID]; ok {
 		c.eng.Cancel(rs.endEv)
 		delete(c.runStates, j.ID)
 	}
@@ -610,10 +693,7 @@ func (c *Controller) plan(j *job.Job, now int64) (pl *planned, allocFail bool) {
 		return nil, true
 	}
 	wallMax := j.ScaledWalltime(c.pm.Deg, c.pm.Ladder.Min())
-	endMax := now + wallMax
-	eligible := func(id cluster.NodeID) bool {
-		return !c.book.NodeBlocked(id, now, endMax, c.cfg.ReservationLead)
-	}
+	c.planNow, c.planEndMax = now, now+wallMax
 	var (
 		allocs []job.Alloc
 		found  bool
@@ -621,13 +701,13 @@ func (c *Controller) plan(j *job.Job, now int64) (pl *planned, allocFail bool) {
 	if c.clus.ReservedCount() > 0 {
 		// Pack nodes earmarked for switch-off first: work there drains
 		// away before the window, saving the survivors' budget.
-		allocs, found = sched.AllocateInto(c.allocBuf, c.clus, j.Cores, eligible, c.clus.Reserved)
+		allocs, found = sched.AllocateInto(c.allocBuf, c.clus, j.Cores, c.eligibleFn, c.reservedFn)
 		c.allocBuf = allocs[:0] // keep the grown probe buffer
 	} else if c.cfg.CompactPlacement {
-		allocs = sched.AllocateCompact(c.clus, j.Cores, eligible)
+		allocs = sched.AllocateCompact(c.clus, j.Cores, c.eligibleFn)
 		found = allocs != nil
 	} else {
-		allocs, found = sched.AllocateInto(c.allocBuf, c.clus, j.Cores, eligible, nil)
+		allocs, found = sched.AllocateInto(c.allocBuf, c.clus, j.Cores, c.eligibleFn, nil)
 		c.allocBuf = allocs[:0]
 	}
 	if !found {
@@ -638,27 +718,10 @@ func (c *Controller) plan(j *job.Job, now int64) (pl *planned, allocFail bool) {
 		nodes = append(nodes, a.Node)
 	}
 	c.nodeBuf = nodes[:0] // same backing array; only alive within this call
-	capNow := c.book.CapAt(now)
-	f, ok := core.SelectFreq(c.pm, func(f dvfs.Freq) bool {
-		end := now + j.ScaledWalltime(c.pm.Deg, f)
-		// Active cap: checked against the observed draw (Algorithm 2;
-		// exact bookkeeping, or the guarded measurement estimate).
-		if capNow.IsSet() && !capNow.Allows(c.observedPower()+c.clus.OccupyDelta(nodes, f)) {
-			return false
-		}
-		// A future window the job's walltime crosses caps the launch
-		// frequency at the window's "optimal CPU frequency" (Section
-		// IV-B): the highest rung at which every surviving node could
-		// run busy within the budget. Jobs still launch — the paper's
-		// Figure 6 shows the system "preparing itself" by running at
-		// 2.0 GHz ahead of the reservation, not by idling.
-		if fut := c.book.MinFutureCapOver(now, end, c.cfg.CapPlanningHorizon); fut.IsSet() {
-			if f > c.optimalFutureFreq(fut) {
-				return false
-			}
-		}
-		return true
-	})
+	c.planJob = j
+	c.planNodes = nodes
+	c.planCapNow = c.book.CapAt(now)
+	f, ok := core.SelectFreq(c.pm, c.admitFn)
 	if !ok {
 		return nil, false
 	}
@@ -667,20 +730,19 @@ func (c *Controller) plan(j *job.Job, now int64) (pl *planned, allocFail bool) {
 }
 
 func (c *Controller) commit(j *job.Job, pl *planned, now int64) {
+	c.invalidatePassMemo()
 	for _, a := range pl.allocs {
 		if err := c.clus.Occupy(a.Node, a.Cores, pl.freq); err != nil {
 			panic(fmt.Sprintf("rjms: occupy inconsistency for job %d: %v", j.ID, err))
 		}
-		if c.nodeJobs[a.Node] == nil {
-			c.nodeJobs[a.Node] = map[job.ID]dvfs.Freq{}
-		}
-		c.nodeJobs[a.Node][j.ID] = pl.freq
+		c.nodeJobs[a.Node] = append(c.nodeJobs[a.Node], nodeJobEntry{id: j.ID, f: pl.freq})
 	}
 	j.State = job.StateRunning
 	j.Freq = pl.freq
 	j.StartTime = now
 	j.Allocs = pl.allocs
 	c.running[j.ID] = j
+	c.viewInsert(c.viewKey(j))
 	c.rec.NoteLaunch(pl.freq, now-j.Submit)
 
 	runFor := j.ScaledRuntime(c.pm.Deg, pl.freq)
@@ -688,33 +750,58 @@ func (c *Controller) commit(j *job.Job, pl *planned, now int64) {
 	if err != nil {
 		panic(fmt.Sprintf("rjms: end scheduling for job %d: %v", j.ID, err))
 	}
-	c.runStates[j.ID] = &runState{endEv: ev, remainingNominal: float64(j.Runtime), freqSince: now}
+	c.runStates[j.ID] = runState{endEv: ev, remainingNominal: float64(j.Runtime), freqSince: now}
 	c.noteState(now)
 }
 
-// runningView rebuilds the backfill view of the running set, sorted by
-// ascending expected end — the order ShadowTimeSorted consumes. The
-// buffer is reused across passes. Sorting by (end, cores) makes the
-// view deterministic despite the map iteration: entries equal in both
-// keys are indistinguishable to every consumer (ShadowTime accumulates
-// cores until the threshold, FreeCoresAt sums), so replays stay
-// bit-identical.
-func (c *Controller) runningView() []sched.RunningJob {
-	out := c.viewBuf[:0]
-	for _, j := range c.running {
-		out = append(out, sched.RunningJob{
-			Cores:       j.Cores,
-			ExpectedEnd: j.StartTime + j.ScaledWalltime(c.pm.Deg, j.Freq),
-		})
+// viewKey is a running job's entry in the backfill view: its core count
+// and the time the scheduler must assume it ends (start + walltime
+// scaled by the frequency it currently runs at).
+func (c *Controller) viewKey(j *job.Job) sched.RunningJob {
+	return sched.RunningJob{
+		Cores:       j.Cores,
+		ExpectedEnd: j.StartTime + j.ScaledWalltime(c.pm.Deg, j.Freq),
 	}
-	sort.Slice(out, func(i, k int) bool {
-		if out[i].ExpectedEnd != out[k].ExpectedEnd {
-			return out[i].ExpectedEnd < out[k].ExpectedEnd
-		}
-		return out[i].Cores < out[k].Cores
-	})
-	c.viewBuf = out
-	return out
+}
+
+func viewLess(a, b sched.RunningJob) bool {
+	if a.ExpectedEnd != b.ExpectedEnd {
+		return a.ExpectedEnd < b.ExpectedEnd
+	}
+	return a.Cores < b.Cores
+}
+
+// viewInsert adds one entry to the persistent (end, cores)-sorted
+// running view at its binary-search position.
+func (c *Controller) viewInsert(r sched.RunningJob) {
+	v := c.viewBuf
+	i := sort.Search(len(v), func(k int) bool { return viewLess(r, v[k]) })
+	v = append(v, sched.RunningJob{})
+	copy(v[i+1:], v[i:])
+	v[i] = r
+	c.viewBuf = v
+}
+
+// viewRemove deletes one entry equal to r from the sorted view. Equal
+// (end, cores) keys are indistinguishable to every consumer
+// (ShadowTime accumulates cores until the threshold, FreeCoresAt
+// sums), so removing any of them keeps replays bit-identical.
+func (c *Controller) viewRemove(r sched.RunningJob) {
+	v := c.viewBuf
+	i := sort.Search(len(v), func(k int) bool { return !viewLess(v[k], r) })
+	if i >= len(v) || v[i] != r {
+		panic(fmt.Sprintf("rjms: running view out of sync: missing entry %+v", r))
+	}
+	copy(v[i:], v[i+1:])
+	c.viewBuf = v[:len(v)-1]
+}
+
+// runningView returns the backfill view of the running set, sorted by
+// ascending (expected end, cores) — the order ShadowTimeSorted
+// consumes. The view is maintained incrementally on job start, finish
+// and re-clock instead of being rebuilt and re-sorted every pass.
+func (c *Controller) runningView() []sched.RunningJob {
+	return c.viewBuf
 }
 
 // pass runs one EASY-backfill scheduling cycle. Within one pass,
@@ -726,6 +813,20 @@ func (c *Controller) runningView() []sched.RunningJob {
 func (c *Controller) pass(now int64) {
 	if len(c.pending) == 0 {
 		return
+	}
+	if c.passMemoValid {
+		// The previous pass committed nothing and nothing that could
+		// change its outcome has happened since: same cluster and cap
+		// state (any commit/finish/re-clock/boundary invalidates), every
+		// newer submission at least as wide as the smallest refused
+		// request (pruned by the pass's own rule), FCFS order
+		// time-independent, and every switch-off reservation in the same
+		// blocking phase — so a re-run would provably refuse everything
+		// again. Skip it.
+		if c.book.OffsPhaseStable(c.passMemoNow, now, c.cfg.ReservationLead) {
+			return
+		}
+		c.invalidatePassMemo()
 	}
 	order := c.pending
 	if c.cfg.Priority != sched.FCFS {
@@ -809,6 +910,21 @@ func (c *Controller) pass(now int64) {
 			}
 		}
 		c.pending = kept
+		return
+	}
+	// Nothing launched: memoize the refusal so the next pass can skip
+	// the whole probe cycle unless the frontier moves. Only sound when
+	// the queue order cannot change with time (FCFS) and the power
+	// checks use the exact bookkeeping (a measurement estimator's
+	// guarded estimate drifts between samples).
+	if c.cfg.Priority == sched.FCFS && c.estimator == nil {
+		mf := minAllocFail
+		if minPowerFail < mf {
+			mf = minPowerFail
+		}
+		c.passMemoValid = true
+		c.passMemoNow = now
+		c.passMemoMinFail = mf
 	}
 }
 
@@ -820,15 +936,27 @@ func (c *Controller) pass(now int64) {
 // as the policy allows and the active-cap check takes over once the
 // window opens.
 func (c *Controller) optimalFutureFreq(budget power.Cap) dvfs.Freq {
+	// The projection is a pure function of (budget, survivor set); a
+	// pass probes it for every backfill candidate against the same few
+	// reservation budgets, so the keyed memo answers all but the first.
+	// Invalidated together with the survivor stats.
+	w := budget.Watts()
+	if f, ok := c.futureFreqMemo.Get(w); ok {
+		return f
+	}
 	c.ensureSurvivorStats()
 	prof := c.clus.Profile()
-	for _, f := range c.pm.Ladder.Descending() {
+	out := c.pm.Ladder.Min()
+	for i := len(c.pm.Ladder) - 1; i >= 0; i-- {
+		f := c.pm.Ladder[i]
 		projected := power.Watts(float64(c.survivorCount)*float64(prof.Busy(f))) + c.survivorOverhead
 		if budget.Allows(projected) {
-			return f
+			out = f
+			break
 		}
 	}
-	return c.pm.Ladder.Min()
+	c.futureFreqMemo.Put(w, out)
+	return out
 }
 
 // ensureSurvivorStats caches the survivor count and the shared-equipment

@@ -32,13 +32,22 @@ type runState struct {
 	freqSince        int64   // when the current frequency took effect
 }
 
+// nodeJobEntry is one running job hosted on a node and the frequency it
+// runs at — the per-node slice replaces a map so re-clock and vacate walk
+// a handful of contiguous entries instead of hashing.
+type nodeJobEntry struct {
+	id job.ID
+	f  dvfs.Freq
+}
+
 // reclock moves a running job to frequency f at time now, updating the
 // job's nodes, its remaining-work accounting and its completion event.
 func (c *Controller) reclock(j *job.Job, now int64, f dvfs.Freq) {
-	rs := c.runStates[j.ID]
-	if rs == nil || j.State != job.StateRunning || f == j.Freq {
+	rs, ok := c.runStates[j.ID]
+	if !ok || j.State != job.StateRunning || f == j.Freq {
 		return
 	}
+	c.invalidatePassMemo()
 	// Consume the progress made at the old frequency.
 	elapsed := now - rs.freqSince
 	if elapsed > 0 {
@@ -48,16 +57,22 @@ func (c *Controller) reclock(j *job.Job, now int64, f dvfs.Freq) {
 		}
 	}
 	rs.freqSince = now
+	// The backfill view keys on the walltime scaled by the job's current
+	// frequency — move the entry to its new position.
+	c.viewRemove(c.viewKey(j))
 	j.Freq = f
+	c.viewInsert(c.viewKey(j))
 
 	// Re-derive each hosting node's frequency.
 	for _, a := range j.Allocs {
 		nj := c.nodeJobs[a.Node]
-		nj[j.ID] = f
 		max := dvfs.Freq(0)
-		for _, jf := range nj {
-			if jf > max {
-				max = jf
+		for k := range nj {
+			if nj[k].id == j.ID {
+				nj[k].f = f
+			}
+			if nj[k].f > max {
+				max = nj[k].f
 			}
 		}
 		if err := c.clus.SetFreq(a.Node, max); err != nil {
@@ -74,6 +89,7 @@ func (c *Controller) reclock(j *job.Job, now int64, f dvfs.Freq) {
 		panic(fmt.Sprintf("rjms: reclock end scheduling for job %d: %v", j.ID, err))
 	}
 	rs.endEv = ev
+	c.runStates[j.ID] = rs
 	c.rec.NoteRescale()
 	c.noteState(now)
 }
@@ -176,9 +192,9 @@ func (c *Controller) upliftDelta(j *job.Job, f dvfs.Freq) (d power.Watts) {
 			continue
 		}
 		maxOther := dvfs.Freq(0)
-		for id, jf := range c.nodeJobs[a.Node] {
-			if id != j.ID && jf > maxOther {
-				maxOther = jf
+		for _, e := range c.nodeJobs[a.Node] {
+			if e.id != j.ID && e.f > maxOther {
+				maxOther = e.f
 			}
 		}
 		newF := f

@@ -48,37 +48,46 @@ func AllocateInto(dst []job.Alloc, c *cluster.Cluster, cores int, eligible, pref
 	need := cores
 	allocs = dst[:0]
 
-	take := func(st cluster.NodeState, preferred bool) {
-		c.ForEach(func(n cluster.NodeInfo) bool {
-			if need <= 0 {
-				return false
-			}
-			if n.State != st {
-				return true
-			}
-			if prefer != nil && prefer(n.ID) != preferred {
-				return true
-			}
-			free := c.FreeCores(n.ID)
-			if free <= 0 || !ok(n.ID) {
-				return true
-			}
-			grab := free
-			if grab > need {
-				grab = need
-			}
-			allocs = append(allocs, job.Alloc{Node: n.ID, Cores: grab})
-			need -= grab
+	grabNode := func(id cluster.NodeID, free int, preferred bool) bool {
+		if need <= 0 {
+			return false
+		}
+		if prefer != nil && prefer(id) != preferred {
 			return true
+		}
+		if !ok(id) {
+			return true
+		}
+		grab := free
+		if grab > need {
+			grab = need
+		}
+		allocs = append(allocs, job.Alloc{Node: id, Cores: grab})
+		need -= grab
+		return true
+	}
+	// The cluster's candidate indexes (busy-with-free-cores, idle) walk
+	// in ascending ID order, exactly the nodes the old full scan kept:
+	// full busy nodes were skipped (free <= 0) and off nodes never
+	// qualify for either state.
+	perNode := c.Topology().CoresPerNode
+	takeBusy := func(preferred bool) {
+		c.ForEachBusyFree(func(id cluster.NodeID, free int) bool {
+			return grabNode(id, free, preferred)
+		})
+	}
+	takeIdle := func(preferred bool) {
+		c.ForEachIdle(func(id cluster.NodeID) bool {
+			return grabNode(id, perNode, preferred)
 		})
 	}
 	if prefer != nil {
-		take(cluster.StateBusy, true)
-		take(cluster.StateIdle, true)
+		takeBusy(true)
+		takeIdle(true)
 	}
-	take(cluster.StateBusy, false)
+	takeBusy(false)
 	if need > 0 {
-		take(cluster.StateIdle, false)
+		takeIdle(false)
 	}
 	return allocs, need <= 0
 }

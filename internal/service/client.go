@@ -139,6 +139,41 @@ func (c *Client) List(ctx context.Context, f ListFilter) ([]RunView, string, err
 	return resp.Runs, resp.NextCursor, nil
 }
 
+// SeriesQuery parameterizes a Series call; the zero value asks for the
+// full raw series. Times are simulated seconds, Res the coarsest
+// acceptable seconds-per-point.
+type SeriesQuery struct {
+	From int64
+	To   int64
+	Res  int64
+}
+
+// Series fetches one metric's points from a run's telemetry
+// (/v1/runs/{id}/series). An empty metric name enumerates the run's
+// recorded metrics instead of returning points.
+func (c *Client) Series(ctx context.Context, id, metric string, sq SeriesQuery) (SeriesResponse, error) {
+	q := url.Values{}
+	if metric != "" {
+		q.Set("metric", metric)
+	}
+	if sq.From != 0 {
+		q.Set("from", strconv.FormatInt(sq.From, 10))
+	}
+	if sq.To != 0 {
+		q.Set("to", strconv.FormatInt(sq.To, 10))
+	}
+	if sq.Res != 0 {
+		q.Set("res", strconv.FormatInt(sq.Res, 10))
+	}
+	path := "/v1/runs/" + id + "/series"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var resp SeriesResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &resp)
+	return resp, err
+}
+
 // Cancel cancels a run.
 func (c *Client) Cancel(ctx context.Context, id string) (RunView, error) {
 	var v RunView

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 
@@ -41,6 +42,8 @@ func requestTenant(r *http.Request) TenantConfig {
 //	DELETE /v1/runs/{id}            cancel
 //	GET    /v1/runs/{id}/report     sink-rendered report (?format=json|csv|ascii)
 //	GET    /v1/runs/{id}/metrics    telemetry (?series=,&from=,&to=,&res=)
+//	GET    /v1/runs/{id}/series     one metric's points (?metric=&res=&from=&to=;
+//	                                no params enumerates the recorded metrics)
 //	GET    /v1/runs/{id}/events     progress stream (SSE)
 //	GET    /v1/stats                server counters
 //	GET    /healthz                 liveness
@@ -49,6 +52,9 @@ func requestTenant(r *http.Request) TenantConfig {
 // "Authorization: Bearer <token>" header naming a configured tenant;
 // failures are 401 with a WWW-Authenticate challenge. Liveness stays
 // open so load balancers and restart scripts need no credentials.
+// Listings are tenant-scoped: non-admin tokens see only their own runs
+// and get 403 for any other ?tenant= (admins may name any tenant, or
+// ?tenant=all for every run).
 //
 // Paths are routed by hand (no 1.22 mux patterns — the module targets
 // go 1.21).
@@ -106,6 +112,10 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, err)
 			return
 		}
+		if err := scopeListFilter(&f, s.cfg.Auth, requestTenant(r)); err != nil {
+			writeErr(w, err)
+			return
+		}
 		views, next, err := s.List(f)
 		if err != nil {
 			writeErr(w, err)
@@ -114,6 +124,33 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, 200, listResponse{Runs: views, NextCursor: next})
 	default:
 		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+	}
+}
+
+// scopeListFilter applies tenant visibility to a listing. On an
+// authenticated daemon a non-admin caller sees only its own runs: the
+// default listing is scoped to the caller's tenant, naming the own
+// tenant explicitly is a no-op, and asking for any other tenant — or
+// the "all" pseudo-tenant — is a 403, not an empty result (silent
+// emptiness would make a typoed tenant name indistinguishable from an
+// idle one). Admin tokens keep the old semantics: any tenant filter,
+// and "all" (or none) lists every run. Open daemons are unscoped.
+func scopeListFilter(f *ListFilter, auth *Auth, tenant TenantConfig) error {
+	if auth == nil {
+		return nil
+	}
+	if tenant.Admin {
+		if f.Tenant == "all" {
+			f.Tenant = ""
+		}
+		return nil
+	}
+	switch f.Tenant {
+	case "", tenant.Name:
+		f.Tenant = tenant.Name
+		return nil
+	default:
+		return &Error{Status: 403, Msg: "service: listing other tenants' runs requires an admin token"}
 	}
 }
 
@@ -161,6 +198,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.handleReport(w, r, id)
 	case "metrics":
 		s.handleMetrics(w, r, id)
+	case "series":
+		s.handleSeries(w, r, id)
 	case "events":
 		s.handleEvents(w, r, id)
 	default:
@@ -242,6 +281,41 @@ type seriesResult struct {
 	Points      []tsdb.Point `json:"points"`
 }
 
+// runSeries resolves a run's telemetry wherever it lives: the hot tier,
+// or — for runs evicted from it (or completed by an earlier process) —
+// the archived snapshot, restored into the live store on first query.
+func (s *Server) runSeries(id string) (*tsdb.Run, error) {
+	rs := s.tsdb.Lookup(id)
+	if rs == nil {
+		if rec, ok := s.storeRecord(id); ok && rec.Telemetry != nil {
+			var err error
+			if rs, err = s.tsdb.Restore(id, rec.Telemetry); err != nil {
+				return nil, &Error{Status: 500, Msg: fmt.Sprintf("restoring archived telemetry: %v", err)}
+			}
+		}
+	}
+	if rs == nil {
+		return nil, &Error{Status: 404, Msg: fmt.Sprintf("run %s recorded no telemetry", id)}
+	}
+	return rs, nil
+}
+
+// timeRangeParams parses the shared from/to/res query parameters; any
+// malformed value is a 400.
+func timeRangeParams(q url.Values) (from, to, res int64, err error) {
+	for _, p := range []struct {
+		name string
+		dst  *int64
+	}{{"from", &from}, {"to", &to}, {"res", &res}} {
+		v, perr := int64Param(p.name, q.Get(p.name))
+		if perr != nil {
+			return 0, 0, 0, perr
+		}
+		*p.dst = v
+	}
+	return from, to, res, nil
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, id string) {
 	if r.Method != http.MethodGet {
 		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
@@ -251,21 +325,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, id string
 		writeErr(w, err)
 		return
 	}
-	rs := s.tsdb.Lookup(id)
-	if rs == nil {
-		// Runs evicted from the hot tier (or completed by an earlier
-		// process) keep their telemetry as an archived snapshot —
-		// restore it into the live store on first query.
-		if rec, ok := s.storeRecord(id); ok && rec.Telemetry != nil {
-			var err error
-			if rs, err = s.tsdb.Restore(id, rec.Telemetry); err != nil {
-				writeErr(w, &Error{Status: 500, Msg: fmt.Sprintf("restoring archived telemetry: %v", err)})
-				return
-			}
-		}
-	}
-	if rs == nil {
-		writeErr(w, &Error{Status: 404, Msg: fmt.Sprintf("run %s recorded no telemetry", id)})
+	rs, err := s.runSeries(id)
+	if err != nil {
+		writeErr(w, err)
 		return
 	}
 	q := r.URL.Query()
@@ -277,17 +339,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, id string
 		writeJSON(w, 200, resp)
 		return
 	}
-	var from, to, res int64
-	for _, p := range []struct {
-		name string
-		dst  *int64
-	}{{"from", &from}, {"to", &to}, {"res", &res}} {
-		v, err := int64Param(p.name, q.Get(p.name))
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
-		*p.dst = v
+	from, to, res, err := timeRangeParams(q)
+	if err != nil {
+		writeErr(w, err)
+		return
 	}
 	for _, name := range strings.Split(names, ",") {
 		name = strings.TrimSpace(name)
@@ -299,6 +354,71 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, id string
 		resp.Series = append(resp.Series, seriesResult{Name: name, RawPerPoint: per, Points: pts})
 	}
 	writeJSON(w, 200, resp)
+}
+
+// SeriesResponse is the wire form of /v1/runs/{id}/series — the
+// single-metric counterpart of the metrics endpoint, shaped for
+// dashboard panels: one query, one metric, one points array. Without
+// ?metric= it enumerates what the run recorded.
+type SeriesResponse struct {
+	Run string `json:"run"`
+	// Metrics enumerates the run's recorded series names (discovery
+	// mode, no ?metric= given).
+	Metrics []string `json:"metrics,omitempty"`
+	// Metric echoes the queried series name.
+	Metric string `json:"metric,omitempty"`
+	// RawPerPoint is the downsampling factor of the level that answered
+	// (1 = raw samples).
+	RawPerPoint int          `json:"raw_per_point,omitempty"`
+	Points      []tsdb.Point `json:"points,omitempty"`
+	// DroppedSeries names series the per-run cap refused (telemetry is
+	// partial; raise -tsdb-series / tsdb.Options.MaxSeriesPerRun).
+	DroppedSeries []string `json:"dropped_series,omitempty"`
+}
+
+// handleSeries serves GET /v1/runs/{id}/series?metric=&res=&from=&to=.
+// It answers from wherever the run's telemetry lives — the live store
+// for in-flight runs, the hot tier for recent ones, or the archive
+// snapshot restored on first touch — so a dashboard needs no knowledge
+// of the run's lifecycle stage. Malformed res/from/to are 400s; an
+// unknown metric is a 404 naming the miss.
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+		return
+	}
+	if _, err := s.Get(id, false); err != nil {
+		writeErr(w, err)
+		return
+	}
+	rs, err := s.runSeries(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	q := r.URL.Query()
+	metric := q.Get("metric")
+	if metric == "" {
+		writeJSON(w, 200, SeriesResponse{Run: id, Metrics: rs.Series(), DroppedSeries: rs.Dropped()})
+		return
+	}
+	from, to, res, err := timeRangeParams(q)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	pts, per, err := rs.Query(metric, from, to, res)
+	if err != nil {
+		writeErr(w, &Error{Status: 404, Msg: err.Error()})
+		return
+	}
+	writeJSON(w, 200, SeriesResponse{
+		Run:           id,
+		Metric:        metric,
+		RawPerPoint:   per,
+		Points:        pts,
+		DroppedSeries: rs.Dropped(),
+	})
 }
 
 // handleEvents streams the run's progress log as server-sent events:

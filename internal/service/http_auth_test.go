@@ -308,3 +308,85 @@ func TestListPaginationHTTP(t *testing.T) {
 		}
 	}
 }
+
+// TestListTenantScoping pins the listing's visibility rules on an
+// authenticated daemon: non-admin tokens see their own tenant only —
+// by default and by explicit name — and get a 403 (not an empty page)
+// for any other tenant or the "all" pseudo-tenant; admin tokens keep
+// the unscoped semantics.
+func TestListTenantScoping(t *testing.T) {
+	_, base := newAuthServer(t)
+	ctx := context.Background()
+	alice := authClient(base, "tok-alice")
+	bob := authClient(base, "tok-bob")
+	ops := authClient(base, "tok-ops")
+
+	va, _, err := alice.Submit(ctx, fastSpec("scope-alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Wait(ctx, va.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	vb, _, err := bob.Submit(ctx, fastSpec("scope-bob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob.Wait(ctx, vb.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	onlyTenant := func(runs []service.RunView, tenant string) bool {
+		for _, r := range runs {
+			if r.Tenant != tenant {
+				return false
+			}
+		}
+		return true
+	}
+	hasRun := func(runs []service.RunView, id string) bool {
+		for _, r := range runs {
+			if r.ID == id {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Default and explicit-own listings are scoped to the caller.
+	for _, f := range []service.ListFilter{{}, {Tenant: "alice"}} {
+		runs, _, err := alice.List(ctx, f)
+		if err != nil {
+			t.Fatalf("alice list %+v: %v", f, err)
+		}
+		if !onlyTenant(runs, "alice") || !hasRun(runs, va.ID) || hasRun(runs, vb.ID) {
+			t.Errorf("alice list %+v leaked: %+v", f, runs)
+		}
+	}
+
+	// Any other tenant — or "all" — is refused outright.
+	for _, tn := range []string{"bob", "all", "nosuch"} {
+		_, _, err := alice.List(ctx, service.ListFilter{Tenant: tn})
+		if apiErr, ok := err.(*service.Error); !ok || apiErr.Status != 403 {
+			t.Errorf("alice list tenant=%q error = %v, want 403", tn, err)
+		}
+	}
+
+	// Admin: unscoped by default and via "all", narrowable to anyone.
+	for _, f := range []service.ListFilter{{}, {Tenant: "all"}} {
+		runs, _, err := ops.List(ctx, f)
+		if err != nil {
+			t.Fatalf("ops list %+v: %v", f, err)
+		}
+		if !hasRun(runs, va.ID) || !hasRun(runs, vb.ID) {
+			t.Errorf("ops list %+v missing runs: %+v", f, runs)
+		}
+	}
+	runs, _, err := ops.List(ctx, service.ListFilter{Tenant: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !onlyTenant(runs, "alice") || !hasRun(runs, va.ID) {
+		t.Errorf("ops tenant filter = %+v", runs)
+	}
+}

@@ -1,0 +1,169 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestSeriesEndpointLive pins the single-metric telemetry endpoint
+// against the in-process tsdb query it fronts: identical points, the
+// same downsampling verdict, discovery without parameters, and typed
+// failures for unknown metrics and malformed time parameters.
+func TestSeriesEndpointLive(t *testing.T) {
+	s, c := newTestServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+
+	v, _, err := c.Submit(ctx, fastSpec("series-live"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err = c.Wait(ctx, v.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	rs := s.TSDB().Lookup(v.ID)
+	if rs == nil {
+		t.Fatal("run recorded no telemetry")
+	}
+
+	// Discovery: no ?metric= enumerates what the run recorded.
+	enum, err := c.Series(ctx, v.ID, "", service.SeriesQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(enum.Metrics, rs.Series()) {
+		t.Errorf("enumerated metrics = %v, store has %v", enum.Metrics, rs.Series())
+	}
+	if enum.Metric != "" || len(enum.Points) != 0 {
+		t.Errorf("discovery response carries points: %+v", enum)
+	}
+
+	// Point-identity against the in-process query, raw and coarsened
+	// and windowed.
+	for _, q := range []service.SeriesQuery{
+		{},
+		{Res: 600},
+		{From: 600, To: 1800},
+	} {
+		got, err := c.Series(ctx, v.ID, "power", q)
+		if err != nil {
+			t.Fatalf("series %+v: %v", q, err)
+		}
+		want, per, err := rs.Query("power", q.From, q.To, q.Res)
+		if err != nil {
+			t.Fatalf("tsdb query %+v: %v", q, err)
+		}
+		if got.RawPerPoint != per {
+			t.Errorf("query %+v raw_per_point = %d, want %d", q, got.RawPerPoint, per)
+		}
+		if !reflect.DeepEqual(got.Points, want) {
+			t.Errorf("query %+v points differ from in-process query (%d vs %d points)",
+				q, len(got.Points), len(want))
+		}
+	}
+
+	// An unknown metric is a 404, not an empty series.
+	_, err = c.Series(ctx, v.ID, "no-such-metric", service.SeriesQuery{})
+	if apiErr, ok := err.(*service.Error); !ok || apiErr.Status != 404 {
+		t.Errorf("unknown metric error = %v, want 404", err)
+	}
+	// So is an unknown run.
+	if _, err := c.Series(ctx, "nope", "power", service.SeriesQuery{}); err == nil {
+		t.Error("series of unknown run succeeded")
+	}
+
+	// Malformed time parameters are 400s, never silent zeros.
+	for _, bad := range []string{"res=300s", "from=abc", "to=1.5"} {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/runs/%s/series?metric=power&%s", c.Base, v.ID, bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("series with %q status = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestSeriesArchiveRestoredAfterRestart pins the lifecycle half of the
+// endpoint: a run completed by one daemon process serves the identical
+// series from a fresh process over the same archive — the snapshot is
+// restored into the live store on first query.
+func TestSeriesArchiveRestoredAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	st, err := service.OpenFSStore(dir, service.FSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := service.New(service.Config{Workers: 1, Archive: st})
+	ts1 := httptest.NewServer(s1.Handler())
+	c1 := service.NewClient(ts1.URL)
+	c1.PollInterval = 20 * time.Millisecond
+
+	v, _, err := c1.Submit(ctx, fastSpec("series-restart"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err = c1.Wait(ctx, v.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	rs := s1.TSDB().Lookup(v.ID)
+	if rs == nil {
+		t.Fatal("run recorded no telemetry")
+	}
+	wantPts, wantPer, err := rs.Query("power", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMetrics := rs.Series()
+
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := s1.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	ts1.Close()
+
+	// A fresh process over the same archive directory: no live runs, no
+	// hot telemetry — everything must come back from the snapshot.
+	st2, err := service.OpenFSStore(dir, service.FSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := service.New(service.Config{Workers: 1, Archive: st2})
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s2.Shutdown(sctx)
+		ts2.Close()
+	})
+	c2 := service.NewClient(ts2.URL)
+
+	enum, err := c2.Series(ctx, v.ID, "", service.SeriesQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(enum.Metrics, wantMetrics) {
+		t.Errorf("restored metrics = %v, want %v", enum.Metrics, wantMetrics)
+	}
+	got, err := c2.Series(ctx, v.ID, "power", service.SeriesQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RawPerPoint != wantPer {
+		t.Errorf("restored raw_per_point = %d, want %d", got.RawPerPoint, wantPer)
+	}
+	if !reflect.DeepEqual(got.Points, wantPts) {
+		t.Errorf("restored points differ from the pre-restart query (%d vs %d points)",
+			len(got.Points), len(wantPts))
+	}
+}

@@ -389,7 +389,9 @@ func TestShutdownDrains(t *testing.T) {
 	s, c := newTestServer(t, service.Config{Workers: 1})
 	ctx := context.Background()
 
-	running, _, err := c.Submit(ctx, fastSpec("drain-running"))
+	// Occupy the single worker with a run long enough to still be in
+	// flight when Shutdown fires, so the second submission stays queued.
+	running, _, err := c.Submit(ctx, longSpec())
 	if err != nil {
 		t.Fatal(err)
 	}

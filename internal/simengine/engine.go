@@ -6,10 +6,20 @@
 // which gives the deterministic tie-breaking the replay methodology of
 // Section VII-B relies on ("as the replay is deterministic, we can compare
 // the different replays").
+//
+// The pending set is a 4-ary implicit heap ordered by (time, seq) plus a
+// same-timestamp FIFO lane: events scheduled at the current clock value
+// bypass the heap entirely (the dominant pattern in the RJMS hot path —
+// handlers chaining same-time follow-ups) and fire in append order after
+// every heap event carrying that timestamp. That order is exactly the
+// global (time, seq) order, because a heap event at the current time was
+// necessarily scheduled before the clock reached it and therefore holds a
+// smaller seq than any lane event. Fired events return to a free list and
+// Cancel is a tombstone checked against a per-slot generation counter, so
+// the steady state allocates nothing and cancellation is O(1).
 package simengine
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -22,40 +32,15 @@ type Handler func(now Time)
 type event struct {
 	at       Time
 	seq      uint64 // FIFO tie-break for equal timestamps
+	gen      uint64 // incremented on recycle; stale EventIDs no-op
 	fn       Handler
 	canceled bool
-	index    int // heap index, -1 when popped
 }
 
-// EventID allows cancelling a scheduled event.
-type EventID struct{ ev *event }
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index, h[j].index = i, j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// EventID allows cancelling a scheduled event. The zero value is inert.
+type EventID struct {
+	ev  *event
+	gen uint64
 }
 
 // Engine owns the virtual clock and the pending event set. It is not safe
@@ -63,7 +48,11 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	heap    []*event // 4-ary implicit heap on (at, seq)
+	lane    []*event // FIFO lane of events with at == now
+	laneOff int      // index of the lane head
+	free    []*event // recycled event slots
+	pending int      // live (scheduled, unfired, uncancelled) events
 	running bool
 	stopped bool
 	fired   uint64
@@ -81,15 +70,114 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns how many events are scheduled and not yet fired or
-// cancelled.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.canceled {
-			n++
-		}
+// cancelled. The count is maintained live — tombstoned cancellations
+// still occupying the heap do not inflate it.
+func (e *Engine) Pending() int { return e.pending }
+
+// less orders events by (time, seq) — the global deterministic firing
+// order.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return n
+	return a.seq < b.seq
+}
+
+// heapPush appends ev and sifts it up the 4-ary heap.
+func (e *Engine) heapPush(ev *event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(ev, e.heap[p]) {
+			break
+		}
+		e.heap[i] = e.heap[p]
+		i = p
+	}
+	e.heap[i] = ev
+}
+
+// heapPop removes and returns the minimum event.
+func (e *Engine) heapPop() *event {
+	top := e.heap[0]
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	if n == 0 {
+		return top
+	}
+	// Sift the displaced last element down from the root.
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if less(e.heap[j], e.heap[m]) {
+				m = j
+			}
+		}
+		if !less(e.heap[m], last) {
+			break
+		}
+		e.heap[i] = e.heap[m]
+		i = m
+	}
+	e.heap[i] = last
+	return top
+}
+
+// recycle returns a popped event slot to the free list. The generation
+// bump invalidates every outstanding EventID pointing at the slot, so
+// it happens before the handler runs — a handler rescheduling into the
+// slot it is firing from is safe.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.canceled = false
+	e.free = append(e.free, ev)
+}
+
+// next returns the globally next event without removing it, or nil.
+// The lane holds equal-timestamp events in seq order, so its head is
+// the lane minimum; comparing it against the heap top by (at, seq)
+// yields the global minimum.
+func (e *Engine) next() *event {
+	var h *event
+	if len(e.heap) > 0 {
+		h = e.heap[0]
+	}
+	if e.laneOff >= len(e.lane) {
+		return h
+	}
+	l := e.lane[e.laneOff]
+	if h != nil && less(h, l) {
+		return h
+	}
+	return l
+}
+
+// pop removes the event next() returned. ev tells pop which structure
+// it came from.
+func (e *Engine) pop(ev *event) {
+	if e.laneOff < len(e.lane) && e.lane[e.laneOff] == ev {
+		e.lane[e.laneOff] = nil
+		e.laneOff++
+		if e.laneOff == len(e.lane) {
+			e.lane = e.lane[:0]
+			e.laneOff = 0
+		}
+		return
+	}
+	e.heapPop()
 }
 
 // At schedules fn at absolute time at. Scheduling in the past (before the
@@ -102,10 +190,30 @@ func (e *Engine) At(at Time, fn Handler) (EventID, error) {
 	if at < e.now {
 		return EventID{}, fmt.Errorf("simengine: schedule at t=%d before now t=%d", at, e.now)
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.events, ev)
-	return EventID{ev: ev}, nil
+	e.pending++
+	if at == e.now && (e.laneOff >= len(e.lane) || e.lane[len(e.lane)-1].at == at) {
+		// Same-time events fire after every pending heap event at this
+		// timestamp (all scheduled earlier, so smaller seq) in append
+		// order — global (time, seq) order without touching the heap.
+		// The lane stays single-timestamped: if a backwards horizon
+		// left stale lane entries, new events take the heap instead.
+		e.lane = append(e.lane, ev)
+	} else {
+		e.heapPush(ev)
+	}
+	return EventID{ev: ev, gen: ev.gen}, nil
 }
 
 // After schedules fn d seconds from now; d must be >= 0.
@@ -117,11 +225,15 @@ func (e *Engine) After(d int64, fn Handler) (EventID, error) {
 }
 
 // Cancel prevents a scheduled event from firing. Cancelling an already
-// fired or already cancelled event is a harmless no-op.
+// fired or already cancelled event is a harmless no-op (the generation
+// check catches IDs whose slot has been recycled). The tombstoned slot
+// is reclaimed when the queue reaches its timestamp.
 func (e *Engine) Cancel(id EventID) {
-	if id.ev != nil {
-		id.ev.canceled = true
+	if id.ev == nil || id.ev.gen != id.gen || id.ev.canceled {
+		return
 	}
+	id.ev.canceled = true
+	e.pending--
 }
 
 // Stop makes Run return after the currently executing handler.
@@ -139,20 +251,27 @@ func (e *Engine) Run(horizon Time) error {
 	e.stopped = false
 	defer func() { e.running = false }()
 
-	for len(e.events) > 0 && !e.stopped {
-		ev := e.events[0]
+	for !e.stopped {
+		ev := e.next()
+		if ev == nil {
+			break
+		}
 		if ev.canceled {
-			heap.Pop(&e.events)
+			e.pop(ev)
+			e.recycle(ev)
 			continue
 		}
 		if horizon >= 0 && ev.at > horizon {
 			e.now = horizon
 			return nil
 		}
-		heap.Pop(&e.events)
+		e.pop(ev)
 		e.now = ev.at
 		e.fired++
-		ev.fn(e.now)
+		e.pending--
+		fn := ev.fn
+		e.recycle(ev)
+		fn(e.now)
 	}
 	if horizon >= 0 && e.now < horizon {
 		e.now = horizon
@@ -163,15 +282,22 @@ func (e *Engine) Run(horizon Time) error {
 // Step fires exactly the next pending event (if any) and reports whether
 // one fired.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
+	for {
+		ev := e.next()
+		if ev == nil {
+			return false
+		}
+		e.pop(ev)
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn(e.now)
+		e.pending--
+		fn := ev.fn
+		e.recycle(ev)
+		fn(e.now)
 		return true
 	}
-	return false
 }

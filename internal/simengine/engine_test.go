@@ -246,3 +246,133 @@ func TestFiringOrderProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPendingExactUnderCancel pins the live counter: tombstoned
+// cancellations must not inflate Pending even while their slots still
+// sit in the queue.
+func TestPendingExactUnderCancel(t *testing.T) {
+	e := New(0)
+	ids := make([]EventID, 10)
+	for i := range ids {
+		id, err := e.At(Time(i+1), func(Time) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", e.Pending())
+	}
+	for _, id := range ids[:4] {
+		e.Cancel(id)
+	}
+	e.Cancel(ids[0]) // double cancel must not double-decrement
+	if e.Pending() != 6 {
+		t.Fatalf("Pending after cancels = %d, want 6", e.Pending())
+	}
+	if !e.Step() {
+		t.Fatal("Step found nothing")
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending after step = %d, want 5", e.Pending())
+	}
+	if err := e.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", e.Pending())
+	}
+	if e.Fired() != 6 {
+		t.Fatalf("Fired = %d, want 6", e.Fired())
+	}
+}
+
+// TestStaleCancelAfterRecycle pins the generation check: an EventID
+// whose slot has fired and been reused must not cancel the new tenant.
+func TestStaleCancelAfterRecycle(t *testing.T) {
+	e := New(0)
+	stale, err := e.At(1, func(Time) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	// The slot is free; the next At reuses it.
+	fired := false
+	if _, err := e.At(2, func(Time) { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	e.Cancel(stale) // stale generation: must be a no-op
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 (stale cancel hit the new event)", e.Pending())
+	}
+	if err := e.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("recycled slot's event was cancelled by a stale id")
+	}
+}
+
+// TestSameTimeLaneOrder pins the heap/lane merge rule: events scheduled
+// for time T before the clock reaches T fire before events scheduled at
+// T from within T's handlers, and both groups fire in scheduling order.
+func TestSameTimeLaneOrder(t *testing.T) {
+	e := New(0)
+	var got []int
+	rec := func(i int) Handler { return func(Time) { got = append(got, i) } }
+	if _, err := e.At(5, func(Time) {
+		got = append(got, 0)
+		// Chained same-time events: must fire after every pre-scheduled
+		// t=5 event, in this order.
+		if _, err := e.After(0, rec(3)); err != nil {
+			t.Error(err)
+		}
+		if _, err := e.After(0, rec(4)); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.At(5, rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.At(5, rec(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSteadyStateAllocFree pins the free-list promise: once warmed up,
+// the schedule/fire cycle allocates nothing.
+func TestSteadyStateAllocFree(t *testing.T) {
+	e := New(0)
+	fn := func(Time) {}
+	for i := 0; i < 64; i++ { // warm the free list and heap capacity
+		if _, err := e.After(1, fn); err != nil {
+			t.Fatal(err)
+		}
+		e.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := e.After(1, fn); err != nil {
+			t.Fatal(err)
+		}
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state schedule+fire allocates %.1f times per op, want 0", allocs)
+	}
+}
