@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,8 +60,26 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		archiveDir   = fs.String("archive-dir", "", "directory for the durable run archive (empty = in-memory only; results do not survive restarts)")
 		archiveMax   = fs.Int("archive-max", 0, "archived run records before the oldest are pruned (0 = unbounded)")
 		tokensFile   = fs.String("tokens-file", "", `JSON tenant/token file enabling bearer-token auth and per-tenant quotas ({"tenants":[{"name":...,"token":...,"max_queued":...,"rate_per_min":...}]})`)
+
+		gateway   = fs.Bool("gateway", false, "run as a fleet gateway: route submissions to joined workers instead of executing locally")
+		lease     = fs.Duration("lease", 15*time.Second, "gateway worker-lease TTL; a worker silent past it is dead and its runs requeue")
+		join      = fs.String("join", "", "gateway URL to join as a worker (this daemon executes runs the gateway routes to it)")
+		name      = fs.String("name", "", "stable worker name for fleet membership (default: the advertised address)")
+		advertise = fs.String("advertise", "", "base URL the gateway should dial this worker at (default: derived from -listen)")
+		heartbeat = fs.Duration("heartbeat", 0, "worker heartbeat cadence (default: a third of the gateway's lease TTL)")
+		joinToken = fs.String("join-token", "", "bearer token for the gateway's fleet endpoints (admin token when the gateway authenticates)")
 	)
 	fs.Parse(args)
+
+	if *gateway && *join != "" {
+		return errors.New("simd: -gateway and -join are mutually exclusive")
+	}
+	if *gateway {
+		return runGateway(out, ready, gatewayFlags{
+			listen: *listen, dispatchers: *workers, queueDepth: *queueDepth,
+			lease: *lease, drainSecs: *drainSecs, tokensFile: *tokensFile,
+		})
+	}
 
 	cfg := service.Config{
 		Workers:      *workers,
@@ -116,6 +135,23 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		ready <- ln.Addr().String()
 	}
 
+	if *join != "" {
+		addr := advertiseURL(*advertise, ln.Addr().String())
+		workerName := *name
+		if workerName == "" {
+			workerName = addr
+		}
+		fm := &service.FleetMember{
+			Gateway:   *join,
+			Name:      workerName,
+			Advertise: addr,
+			Token:     *joinToken,
+			Interval:  *heartbeat,
+		}
+		fmt.Fprintf(out, "simd joining fleet %s as %s (%s)\n", *join, workerName, addr)
+		go func() { _ = fm.Run(ctx) }()
+	}
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
@@ -148,4 +184,105 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	fmt.Fprintf(out, "simd drained: %d runs served, %d executions, %d cache hits\n",
 		st.Runs, st.Executions, st.CacheHits)
 	return nil
+}
+
+// gatewayFlags carries the subset of flags the gateway mode consumes.
+type gatewayFlags struct {
+	listen      string
+	dispatchers int
+	queueDepth  int
+	lease       time.Duration
+	drainSecs   int64
+	tokensFile  string
+}
+
+// runGateway serves the fleet gateway: same /v1 surface, no local
+// execution — submissions route to joined workers by rendezvous hashing
+// on the spec hash, and a worker whose lease lapses has its in-flight
+// runs requeued elsewhere.
+func runGateway(out io.Writer, ready chan<- string, gf gatewayFlags) error {
+	cfg := service.GatewayConfig{
+		Dispatchers: gf.dispatchers,
+		QueueDepth:  gf.queueDepth,
+		LeaseTTL:    gf.lease,
+	}
+	if gf.tokensFile != "" {
+		tenants, err := service.LoadTokens(gf.tokensFile)
+		if err != nil {
+			return fmt.Errorf("loading tokens: %w", err)
+		}
+		auth, err := service.NewAuth(tenants)
+		if err != nil {
+			return err
+		}
+		cfg.Auth = auth
+		fmt.Fprintf(out, "simd: auth enabled for %d tenants\n", len(tenants))
+	}
+	gw := service.NewGateway(cfg)
+
+	ln, err := net.Listen("tcp", gf.listen)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(out, "simd gateway listening on %s (lease %s, queue %d)\n", ln.Addr(), cfg.LeaseTTL, gf.queueDepth)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(out, "simd gateway draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Duration(gf.drainSecs)*time.Second)
+	defer cancel()
+	gwDone := make(chan error, 1)
+	go func() { gwDone <- gw.Shutdown(drainCtx) }()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		<-gwDone
+		return err
+	}
+	if err := <-gwDone; err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	st := gw.Stats(context.Background()).Gateway
+	fmt.Fprintf(out, "simd gateway drained: %d runs routed, %d cache hits, %d requeues\n",
+		st.Runs, st.CacheHits, st.Requeues)
+	return nil
+}
+
+// advertiseURL resolves the worker address the gateway dials: the
+// explicit -advertise when given, else the bound listen address with
+// unspecified hosts (":8080", "0.0.0.0", "[::]") rewritten to loopback
+// — the single-machine default; multi-host fleets must advertise a
+// reachable name explicitly.
+func advertiseURL(advertise, bound string) string {
+	if advertise != "" {
+		if !strings.Contains(advertise, "://") {
+			return "http://" + advertise
+		}
+		return advertise
+	}
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return "http://" + bound
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }

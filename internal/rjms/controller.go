@@ -30,8 +30,8 @@ type Controller struct {
 
 	pending   []*job.Job
 	running   map[job.ID]*job.Job
-	nodeJobs  [][]nodeJobEntry      // per-node running jobs and their frequencies (SoA, swap-removal)
-	runStates map[job.ID]runState   // progress accounting for dynamic DVFS (value map, no per-job alloc)
+	nodeJobs  [][]nodeJobEntry    // per-node running jobs and their frequencies (SoA, swap-removal)
+	runStates map[job.ID]runState // progress accounting for dynamic DVFS (value map, no per-job alloc)
 
 	fairshare *sched.Fairshare
 	weights   sched.MultifactorWeights

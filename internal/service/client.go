@@ -174,6 +174,14 @@ func (c *Client) Series(ctx context.Context, id, metric string, sq SeriesQuery) 
 	return resp, err
 }
 
+// Stats fetches the daemon's /v1/stats counters (the fleet gateway
+// aggregates member stats through this).
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
 // Cancel cancels a run.
 func (c *Client) Cancel(ctx context.Context, id string) (RunView, error) {
 	var v RunView

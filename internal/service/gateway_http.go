@@ -1,0 +1,357 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Handler returns the gateway's HTTP API — the daemon /v1 surface plus
+// the fleet endpoints:
+//
+//	POST   /v1/runs                 submit (routed to a worker)
+//	GET    /v1/runs                 list routed runs (daemon filters)
+//	GET    /v1/runs/{id}            status (+ report), proxied live
+//	DELETE /v1/runs/{id}            cancel, proxied to the worker
+//	GET    /v1/runs/{id}/report     proxied report rendering
+//	GET    /v1/runs/{id}/metrics    proxied telemetry
+//	GET    /v1/runs/{id}/series     proxied single-metric query
+//	GET    /v1/runs/{id}/events     proxied SSE progress stream
+//	GET    /v1/stats                fleet-wide stats (gateway + members)
+//	GET    /v1/fleet                member table
+//	POST   /v1/fleet/join           worker registration {name, url}
+//	POST   /v1/fleet/heartbeat      lease renewal {name}
+//	GET    /healthz                 liveness
+//
+// Clients cannot tell a gateway from a daemon on the /v1/runs surface:
+// ids, errors, tenancy and cache-hit semantics match. With Auth
+// configured the same bearer rules apply, and the fleet endpoints
+// additionally require an admin token — workers join with operator
+// credentials, tenants never see the member table.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/runs", g.handleRuns)
+	mux.HandleFunc("/v1/runs/", g.handleRun)
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, 200, g.Stats(r.Context()))
+	})
+	mux.HandleFunc("/v1/fleet", g.adminOnly(g.handleFleet))
+	mux.HandleFunc("/v1/fleet/join", g.adminOnly(g.handleJoin))
+	mux.HandleFunc("/v1/fleet/heartbeat", g.adminOnly(g.handleHeartbeat))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, 200, map[string]string{"status": "ok"})
+	})
+	if g.cfg.Auth == nil {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		tc, err := g.cfg.Auth.Authenticate(r.Header.Get("Authorization"))
+		if err != nil {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="simd"`)
+			writeErr(w, err)
+			return
+		}
+		mux.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantKey, tc)))
+	})
+}
+
+// adminOnly gates fleet management behind operator tokens on
+// authenticated gateways.
+func (g *Gateway) adminOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if g.cfg.Auth != nil && !requestTenant(r).Admin {
+			writeErr(w, &Error{Status: 403, Msg: "gateway: fleet endpoints require an admin token"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (g *Gateway) handleRuns(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		spec, err := sim.DecodeJSON(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+		if err != nil {
+			writeErr(w, &Error{Status: 400, Msg: err.Error()})
+			return
+		}
+		v, hit, err := g.SubmitAs(requestTenant(r), spec)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		status := http.StatusCreated
+		if hit {
+			status = http.StatusOK
+		}
+		writeJSON(w, status, submitResponse{Run: v, CacheHit: hit})
+	case http.MethodGet:
+		q := r.URL.Query()
+		tenant := requestTenant(r)
+		if err := checkTenantScope(q.Get("tenant"), g.cfg.Auth, tenant); err != nil {
+			writeErr(w, err)
+			return
+		}
+		f, err := ParseListFilter(q)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		applyTenantScope(&f, g.cfg.Auth, tenant)
+		views, next, err := g.List(f)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, 200, listResponse{Runs: views, NextCursor: next})
+	default:
+		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+	}
+}
+
+func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/runs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		writeErr(w, &Error{Status: 404, Msg: "missing run id"})
+		return
+	}
+	switch sub {
+	case "":
+		switch r.Method {
+		case http.MethodGet:
+			v, err := g.GetAs(requestTenant(r), id, r.URL.Query().Get("report") != "0")
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			writeJSON(w, 200, v)
+		case http.MethodDelete:
+			v, err := g.CancelAs(requestTenant(r), id)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			writeJSON(w, 200, v)
+		default:
+			writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+		}
+	case "report", "metrics", "series", "events":
+		if r.Method != http.MethodGet {
+			writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+			return
+		}
+		g.proxySubresource(w, r, id, sub)
+	default:
+		writeErr(w, &Error{Status: 404, Msg: fmt.Sprintf("unknown resource %q", sub)})
+	}
+}
+
+// proxySubresource forwards a per-run read to the assigned worker,
+// translating the run id both ways. Unassigned runs answer from
+// gateway state (a queued run has no report, telemetry or events yet);
+// a worker that fails mid-proxy is declared dead — the client retries
+// and finds the run requeued.
+func (g *Gateway) proxySubresource(w http.ResponseWriter, r *http.Request, id, sub string) {
+	gr, err := g.lookup(requestTenant(r), id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	m, workerRunID, local := g.assignment(gr)
+	if m == nil || workerRunID == "" {
+		switch sub {
+		case "report":
+			writeErr(w, &Error{Status: 409, Msg: fmt.Sprintf("service: run %s is %s; report not ready", id, local.State)})
+		case "events":
+			g.localEvents(w, local)
+		default:
+			writeErr(w, &Error{Status: 404, Msg: fmt.Sprintf("run %s recorded no telemetry", id)})
+		}
+		return
+	}
+
+	path := "/v1/runs/" + workerRunID + "/" + sub
+	if raw := r.URL.RawQuery; raw != "" {
+		path += "?" + raw
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, m.client.Base+path, nil)
+	if err != nil {
+		writeErr(w, &Error{Status: 500, Msg: err.Error()})
+		return
+	}
+	resp, err := m.client.http().Do(req)
+	if err != nil {
+		if g.baseCtx.Err() == nil && r.Context().Err() == nil {
+			g.markDead(m.name)
+		}
+		writeErr(w, &Error{Status: 503, Msg: fmt.Sprintf("gateway: worker %s unreachable; run requeued", m.name)})
+		return
+	}
+	defer resp.Body.Close()
+
+	switch sub {
+	case "metrics", "series":
+		// Small JSON bodies naming the worker's run id — rewrite it.
+		g.patchRunField(w, resp, gr.id)
+	default:
+		// report: opaque rendering; events: SSE stream. Neither carries
+		// run ids — relay verbatim, flushing per chunk so live event
+		// streams stay live.
+		copyResponse(w, resp)
+	}
+}
+
+// patchRunField relays a JSON response, rewriting its "run" field into
+// the gateway's id namespace.
+func (g *Gateway) patchRunField(w http.ResponseWriter, resp *http.Response, gwID string) {
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxSpecBytes))
+	if err != nil {
+		writeErr(w, &Error{Status: 502, Msg: fmt.Sprintf("gateway: reading worker response: %v", err)})
+		return
+	}
+	if resp.StatusCode >= 400 {
+		relayBody(w, resp.StatusCode, resp.Header.Get("Content-Type"), body)
+		return
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		relayBody(w, resp.StatusCode, resp.Header.Get("Content-Type"), body)
+		return
+	}
+	if _, ok := m["run"]; ok {
+		m["run"] = gwID
+	}
+	writeJSON(w, resp.StatusCode, m)
+}
+
+func relayBody(w http.ResponseWriter, status int, contentType string, body []byte) {
+	if contentType != "" {
+		w.Header().Set("Content-Type", contentType)
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// copyResponse relays status, content type and body, flushing as bytes
+// arrive (SSE streams must not buffer).
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "" {
+		w.Header().Set("Cache-Control", cc)
+	}
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// localEvents streams the events a gateway-held run has: the queued
+// marker, plus the terminal marker for runs that ended without ever
+// reaching a worker.
+func (g *Gateway) localEvents(w http.ResponseWriter, v RunView) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, &Error{Status: 500, Msg: "streaming unsupported by this connection"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(200)
+	events := []Event{{Seq: 0, Type: "queued"}}
+	if v.Terminal() {
+		events = append(events, Event{Seq: 1, Type: string(v.State), Error: v.Error})
+	}
+	for _, e := range events {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, b)
+	}
+	flusher.Flush()
+}
+
+// joinRequest is the POST /v1/fleet/join body.
+type joinRequest struct {
+	// Name is the worker's stable identity (rendezvous hashing keys on
+	// it — renaming a worker moves its cache affinity).
+	Name string `json:"name"`
+	// URL is the worker's advertised base address, reachable from the
+	// gateway.
+	URL string `json:"url"`
+}
+
+// joinResponse tells the worker its heartbeat deadline.
+type joinResponse struct {
+	// LeaseTTL is the Go duration string the worker must heartbeat
+	// within.
+	LeaseTTL string `json:"lease_ttl"`
+}
+
+func (g *Gateway) handleJoin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+		return
+	}
+	var req joinRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeErr(w, &Error{Status: 400, Msg: fmt.Sprintf("gateway: bad join body: %v", err)})
+		return
+	}
+	ttl, err := g.Register(req.Name, req.URL)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, 200, joinResponse{LeaseTTL: ttl.String()})
+}
+
+func (g *Gateway) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+		return
+	}
+	var req joinRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeErr(w, &Error{Status: 400, Msg: fmt.Sprintf("gateway: bad heartbeat body: %v", err)})
+		return
+	}
+	if err := g.Heartbeat(req.Name); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, 200, map[string]string{"status": "ok"})
+}
+
+func (g *Gateway) handleFleet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+		return
+	}
+	writeJSON(w, 200, g.Fleet())
+}

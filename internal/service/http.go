@@ -107,15 +107,22 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, status, submitResponse{Run: v, CacheHit: hit})
 	case http.MethodGet:
-		f, err := ParseListFilter(r.URL.Query())
+		q := r.URL.Query()
+		// Authorization before parameter validation: an unauthorized
+		// cross-tenant probe must get its 403 even when it also carries
+		// a malformed cursor — a 400 first would let an attacker use
+		// validation ordering to learn which tenants exist to be denied.
+		tenant := requestTenant(r)
+		if err := checkTenantScope(q.Get("tenant"), s.cfg.Auth, tenant); err != nil {
+			writeErr(w, err)
+			return
+		}
+		f, err := ParseListFilter(q)
 		if err != nil {
 			writeErr(w, err)
 			return
 		}
-		if err := scopeListFilter(&f, s.cfg.Auth, requestTenant(r)); err != nil {
-			writeErr(w, err)
-			return
-		}
+		applyTenantScope(&f, s.cfg.Auth, tenant)
 		views, next, err := s.List(f)
 		if err != nil {
 			writeErr(w, err)
@@ -127,31 +134,40 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// scopeListFilter applies tenant visibility to a listing. On an
-// authenticated daemon a non-admin caller sees only its own runs: the
-// default listing is scoped to the caller's tenant, naming the own
-// tenant explicitly is a no-op, and asking for any other tenant — or
-// the "all" pseudo-tenant — is a 403, not an empty result (silent
-// emptiness would make a typoed tenant name indistinguishable from an
-// idle one). Admin tokens keep the old semantics: any tenant filter,
-// and "all" (or none) lists every run. Open daemons are unscoped.
-func scopeListFilter(f *ListFilter, auth *Auth, tenant TenantConfig) error {
-	if auth == nil {
+// checkTenantScope decides whether the caller may list the requested
+// tenant at all — run before any parameter parsing. On an authenticated
+// daemon a non-admin caller may name only itself (or nothing); any
+// other tenant — or the "all" pseudo-tenant — is a 403, not an empty
+// result (silent emptiness would make a typoed tenant name
+// indistinguishable from an idle one). Admins may name anyone; open
+// daemons are unscoped.
+func checkTenantScope(requested string, auth *Auth, tenant TenantConfig) error {
+	if auth == nil || tenant.Admin {
 		return nil
+	}
+	switch requested {
+	case "", tenant.Name:
+		return nil
+	default:
+		return &Error{Status: 403, Msg: "service: listing other tenants' runs requires an admin token"}
+	}
+}
+
+// applyTenantScope pins the validated filter to the caller's
+// visibility: non-admin listings are always scoped to the caller's
+// tenant, and an admin's "all" pseudo-tenant clears the filter.
+// checkTenantScope must have passed first.
+func applyTenantScope(f *ListFilter, auth *Auth, tenant TenantConfig) {
+	if auth == nil {
+		return
 	}
 	if tenant.Admin {
 		if f.Tenant == "all" {
 			f.Tenant = ""
 		}
-		return nil
+		return
 	}
-	switch f.Tenant {
-	case "", tenant.Name:
-		f.Tenant = tenant.Name
-		return nil
-	default:
-		return &Error{Status: 403, Msg: "service: listing other tenants' runs requires an admin token"}
-	}
+	f.Tenant = tenant.Name
 }
 
 // submitResponse wraps a submission's run with the dedup verdict.
@@ -178,7 +194,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	case "":
 		switch r.Method {
 		case http.MethodGet:
-			v, err := s.Get(id, r.URL.Query().Get("report") != "0")
+			v, err := s.GetAs(requestTenant(r), id, r.URL.Query().Get("report") != "0")
 			if err != nil {
 				writeErr(w, err)
 				return
@@ -214,6 +230,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request, id string) {
 	if r.Method != http.MethodGet {
 		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+		return
+	}
+	// Ownership first: a foreign tenant's probe answers the unknown-run
+	// 404 before any report machinery runs.
+	if _, err := s.GetAs(requestTenant(r), id, false); err != nil {
+		writeErr(w, err)
 		return
 	}
 	q := r.URL.Query()
@@ -285,19 +307,52 @@ type seriesResult struct {
 // or — for runs evicted from it (or completed by an earlier process) —
 // the archived snapshot, restored into the live store on first query.
 func (s *Server) runSeries(id string) (*tsdb.Run, error) {
-	rs := s.tsdb.Lookup(id)
-	if rs == nil {
-		if rec, ok := s.storeRecord(id); ok && rec.Telemetry != nil {
-			var err error
-			if rs, err = s.tsdb.Restore(id, rec.Telemetry); err != nil {
+	for {
+		if rs := s.tsdb.Lookup(id); rs != nil {
+			return rs, nil
+		}
+		// Single-flight the archive restore: concurrent first queries for
+		// an evicted run would each deserialize the snapshot and race
+		// tsdb.Restore (last install wins, earlier handles orphaned).
+		// One caller claims the id; the rest wait and re-Lookup.
+		s.restoreMu.Lock()
+		if ch, ok := s.restoring[id]; ok {
+			s.restoreMu.Unlock()
+			<-ch
+			continue
+		}
+		ch := make(chan struct{})
+		s.restoring[id] = ch
+		s.restoreMu.Unlock()
+
+		rs, err := func() (*tsdb.Run, error) {
+			defer func() {
+				s.restoreMu.Lock()
+				delete(s.restoring, id)
+				close(ch)
+				s.restoreMu.Unlock()
+			}()
+			if rs := s.tsdb.Lookup(id); rs != nil {
+				return rs, nil
+			}
+			rec, ok := s.storeRecord(id)
+			if !ok || rec.Telemetry == nil {
+				return nil, nil
+			}
+			rs, err := s.tsdb.Restore(id, rec.Telemetry)
+			if err != nil {
 				return nil, &Error{Status: 500, Msg: fmt.Sprintf("restoring archived telemetry: %v", err)}
 			}
+			return rs, nil
+		}()
+		if err != nil {
+			return nil, err
 		}
+		if rs == nil {
+			return nil, &Error{Status: 404, Msg: fmt.Sprintf("run %s recorded no telemetry", id)}
+		}
+		return rs, nil
 	}
-	if rs == nil {
-		return nil, &Error{Status: 404, Msg: fmt.Sprintf("run %s recorded no telemetry", id)}
-	}
-	return rs, nil
 }
 
 // timeRangeParams parses the shared from/to/res query parameters; any
@@ -321,7 +376,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, id string
 		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
 		return
 	}
-	if _, err := s.Get(id, false); err != nil {
+	if _, err := s.GetAs(requestTenant(r), id, false); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -387,7 +442,7 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request, id string)
 		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
 		return
 	}
-	if _, err := s.Get(id, false); err != nil {
+	if _, err := s.GetAs(requestTenant(r), id, false); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -435,7 +490,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, id string)
 		writeErr(w, &Error{Status: 500, Msg: "streaming unsupported by this connection"})
 		return
 	}
-	if _, err := s.Get(id, false); err != nil {
+	if _, err := s.GetAs(requestTenant(r), id, false); err != nil {
 		writeErr(w, err)
 		return
 	}

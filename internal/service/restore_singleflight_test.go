@@ -1,0 +1,121 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+// blockingArchive wraps a MemStore so Get parks until the test releases
+// the gate — a stand-in for a slow archive read, wide enough to pile
+// concurrent first queries onto one evicted run.
+type blockingArchive struct {
+	*MemStore
+	gate    chan struct{} // closed to release parked Gets
+	entered chan struct{} // one send per Get that reaches the archive
+
+	mu   sync.Mutex
+	gets int
+}
+
+func (b *blockingArchive) Get(id string) (Record, bool, error) {
+	b.mu.Lock()
+	b.gets++
+	b.mu.Unlock()
+	b.entered <- struct{}{}
+	<-b.gate
+	return b.MemStore.Get(id)
+}
+
+// TestRunSeriesRestoreSingleFlight pins the restore path's concurrency
+// contract: N concurrent first queries for a run whose telemetry lives
+// only in the archive perform exactly one archive read and one
+// tsdb.Restore, and every caller gets the same installed *tsdb.Run —
+// no duplicated deserialization, no later restore replacing an earlier
+// caller's handle.
+func TestRunSeriesRestoreSingleFlight(t *testing.T) {
+	// A snapshot worth restoring.
+	src := tsdb.New(tsdb.Options{})
+	run := src.Run("seed")
+	for i := int64(0); i < 10; i++ {
+		if err := run.Append("power", i*60, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := run.Snapshot()
+
+	arch := &blockingArchive{
+		MemStore: NewMemStore(0, nil),
+		gate:     make(chan struct{}),
+		entered:  make(chan struct{}, 16),
+	}
+	const id = "r000001"
+	if err := arch.MemStore.Put(Record{ID: id, SpecHash: "sf-hash", State: StateDone, Telemetry: snap}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{Workers: 1, Archive: arch})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	const callers = 4
+	type result struct {
+		rs  *tsdb.Run
+		err error
+	}
+	results := make(chan result, callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			rs, err := s.runSeries(id)
+			results <- result{rs, err}
+		}()
+	}
+
+	// Exactly one caller reaches the archive; the rest park on the
+	// single-flight channel. Give the losers a beat to arrive before
+	// releasing, so a buggy implementation would have every chance to
+	// duplicate the read.
+	select {
+	case <-arch.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no caller reached the archive")
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(arch.gate)
+
+	var first *tsdb.Run
+	for i := 0; i < callers; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("runSeries: %v", r.err)
+		}
+		if first == nil {
+			first = r.rs
+		} else if r.rs != first {
+			t.Fatalf("caller %d got a different *tsdb.Run — a duplicate restore replaced the installed run", i)
+		}
+	}
+
+	arch.mu.Lock()
+	gets := arch.gets
+	arch.mu.Unlock()
+	if gets != 1 {
+		t.Errorf("archive reads = %d, want exactly 1", gets)
+	}
+
+	// Once restored, further queries answer from the live store.
+	if rs, err := s.runSeries(id); err != nil || rs != first {
+		t.Errorf("post-restore query: rs=%p err=%v, want the cached run %p", rs, err, first)
+	}
+	arch.mu.Lock()
+	if arch.gets != 1 {
+		t.Errorf("post-restore archive reads = %d, want still 1", arch.gets)
+	}
+	arch.mu.Unlock()
+}

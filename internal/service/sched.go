@@ -1,0 +1,183 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Scheduler errors. Enqueue classifies them so the HTTP layer can map a
+// full queue to 503 without string matching.
+var (
+	// ErrQueueFull means the backlog bound is hit; the caller should
+	// refuse the submission rather than buffer without bound.
+	ErrQueueFull = errors.New("service: scheduler queue full")
+	// ErrSchedulerClosed means Shutdown already stopped intake.
+	ErrSchedulerClosed = errors.New("service: scheduler closed")
+)
+
+// Scheduler is the dispatch seam between the service's submission path
+// and wherever work actually executes. The server enqueues each fresh
+// run id exactly once; the backend calls its executor once per accepted
+// id, in FIFO order, on a bounded number of slots. Two backends ship —
+// the in-process pool the single daemon runs on (NewPoolScheduler) and
+// the retrying dispatcher the fleet gateway routes through
+// (NewRetryScheduler) — and both must pass the schedtest conformance
+// suite (internal/service/schedtest), the same way RunStore backends
+// share storetest.
+//
+// Executors are handed opaque ids, not run state: cancellation is the
+// executor's concern (executing a cancelled id must be a cheap no-op),
+// which keeps the scheduler free of run lifecycle knowledge.
+type Scheduler interface {
+	// Enqueue accepts one id for execution. ErrQueueFull when the
+	// backlog bound is hit, ErrSchedulerClosed after Shutdown.
+	Enqueue(id string) error
+	// Queued reports the accepted-but-not-yet-executing backlog.
+	Queued() int
+	// Shutdown stops intake and waits for the backlog and in-flight
+	// executions to drain. When ctx ends first it returns ctx.Err()
+	// while the backend keeps draining in the background — callers that
+	// hard-cancel their executors may call Shutdown again to wait for
+	// the unwound slots.
+	Shutdown(ctx context.Context) error
+}
+
+// fifoScheduler is the shared FIFO core: a mutex/cond guarded list
+// drained by a fixed pool of slot goroutines. The retry flavor
+// re-enqueues ids whose executor errored after a delay (retries bypass
+// the depth bound — they are work already accepted, not new intake).
+type fifoScheduler struct {
+	exec  func(id string) error
+	depth int
+	// retryDelay > 0 turns executor errors into delayed re-enqueues;
+	// 0 makes errors final (the executor records failures itself).
+	retryDelay time.Duration
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	list   []string
+	closed bool
+
+	wg     sync.WaitGroup // slot goroutines
+	timers sync.WaitGroup // pending retry re-enqueues
+}
+
+// NewPoolScheduler is the in-process backend: a bounded FIFO queue
+// drained by `workers` slots calling exec directly. Executor errors are
+// final — a run that fails records its failure on itself, and retrying
+// locally would re-run identical physics to an identical failure.
+func NewPoolScheduler(workers, depth int, exec func(id string) error) Scheduler {
+	return newFIFO(workers, depth, 0, exec)
+}
+
+// NewRetryScheduler is the distributed backend the fleet gateway
+// dispatches through: exec routes an id to a remote worker, and a
+// dispatch error (no live workers, a worker that died mid-handoff)
+// re-enqueues the id after delay, indefinitely — queued work survives
+// empty-fleet windows and worker churn. Permanent verdicts are the
+// executor's job: it returns nil for ids that no longer need dispatch
+// (cancelled, already assigned, refused by a healthy worker).
+func NewRetryScheduler(workers, depth int, delay time.Duration, exec func(id string) error) Scheduler {
+	if delay <= 0 {
+		delay = 250 * time.Millisecond
+	}
+	return newFIFO(workers, depth, delay, exec)
+}
+
+func newFIFO(workers, depth int, retryDelay time.Duration, exec func(id string) error) *fifoScheduler {
+	if workers <= 0 {
+		workers = 1
+	}
+	if depth <= 0 {
+		depth = 256
+	}
+	f := &fifoScheduler{exec: exec, depth: depth, retryDelay: retryDelay}
+	f.cond = sync.NewCond(&f.mu)
+	for w := 0; w < workers; w++ {
+		f.wg.Add(1)
+		go f.slot()
+	}
+	return f
+}
+
+func (f *fifoScheduler) slot() {
+	defer f.wg.Done()
+	for {
+		f.mu.Lock()
+		for len(f.list) == 0 && !f.closed {
+			f.cond.Wait()
+		}
+		if len(f.list) == 0 {
+			// closed and drained — the slot retires. Pending retry
+			// timers drop their ids on close, so no append races this
+			// exit.
+			f.mu.Unlock()
+			return
+		}
+		id := f.list[0]
+		f.list = f.list[1:]
+		f.mu.Unlock()
+
+		err := f.exec(id)
+		if err != nil && f.retryDelay > 0 {
+			f.timers.Add(1)
+			go func(id string) {
+				defer f.timers.Done()
+				time.Sleep(f.retryDelay)
+				f.mu.Lock()
+				if !f.closed {
+					f.list = append(f.list, id)
+					f.cond.Broadcast()
+				}
+				f.mu.Unlock()
+			}(id)
+		}
+	}
+}
+
+// Enqueue accepts one id; ErrQueueFull past the depth bound.
+func (f *fifoScheduler) Enqueue(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrSchedulerClosed
+	}
+	if len(f.list) >= f.depth {
+		return ErrQueueFull
+	}
+	f.list = append(f.list, id)
+	f.cond.Broadcast()
+	return nil
+}
+
+// Queued reports the waiting backlog.
+func (f *fifoScheduler) Queued() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.list)
+}
+
+// Shutdown stops intake and waits for the backlog, in-flight executions
+// and pending retry timers to settle; on ctx expiry it returns ctx.Err()
+// and may be called again to keep waiting.
+func (f *fifoScheduler) Shutdown(ctx context.Context) error {
+	f.mu.Lock()
+	f.closed = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		f.timers.Wait()
+		f.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,92 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/service/schedtest"
+)
+
+// Both scheduler backends pass the one conformance suite — the seam the
+// single daemon and the fleet gateway share.
+func TestPoolSchedulerConformance(t *testing.T) {
+	schedtest.Run(t, service.NewPoolScheduler)
+}
+
+func TestRetrySchedulerConformance(t *testing.T) {
+	schedtest.Run(t, func(workers, depth int, exec func(id string) error) service.Scheduler {
+		return service.NewRetryScheduler(workers, depth, 2*time.Millisecond, exec)
+	})
+}
+
+// TestRetrySchedulerRequeuesOnError pins the fleet robustness contract:
+// a failing dispatch is retried until it sticks, so queued work
+// survives windows with no live workers.
+func TestRetrySchedulerRequeuesOnError(t *testing.T) {
+	var (
+		mu       sync.Mutex
+		attempts int
+	)
+	done := make(chan struct{})
+	s := service.NewRetryScheduler(1, 8, time.Millisecond, func(id string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		attempts++
+		if attempts < 3 {
+			return errors.New("no live workers")
+		}
+		close(done)
+		return nil
+	})
+	if err := s.Enqueue("flaky"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("dispatch never succeeded")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (two retries, then success)", attempts)
+	}
+}
+
+// TestPoolSchedulerErrorIsFinal: the in-process backend never retries —
+// a failed run records its own failure, and re-running identical
+// physics reproduces it.
+func TestPoolSchedulerErrorIsFinal(t *testing.T) {
+	var (
+		mu       sync.Mutex
+		attempts int
+	)
+	s := service.NewPoolScheduler(1, 8, func(id string) error {
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		return errors.New("boom")
+	})
+	if err := s.Enqueue("once"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want exactly 1", attempts)
+	}
+}

@@ -1,0 +1,212 @@
+// Package schedtest is the conformance suite every service.Scheduler
+// backend must pass — the scheduler counterpart of storetest. It pins
+// the dispatch contract the server and the fleet gateway both build on:
+// every accepted id executes exactly once (when the executor succeeds),
+// in FIFO order, on at most the configured number of slots; a full
+// backlog refuses with ErrQueueFull; Shutdown drains what was accepted
+// and refuses what comes after.
+//
+// Wire a backend in with a two-line test:
+//
+//	func TestPoolSchedulerConformance(t *testing.T) {
+//		schedtest.Run(t, service.NewPoolScheduler)
+//	}
+package schedtest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Factory builds the scheduler under test with the given slot count,
+// backlog bound and executor.
+type Factory func(workers, depth int, exec func(id string) error) service.Scheduler
+
+// Run exercises the full conformance suite against the factory.
+func Run(t *testing.T, factory Factory) {
+	t.Helper()
+	t.Run("ExactlyOnceFIFO", func(t *testing.T) { exactlyOnceFIFO(t, factory) })
+	t.Run("ConcurrencyBound", func(t *testing.T) { concurrencyBound(t, factory) })
+	t.Run("QueueFull", func(t *testing.T) { queueFull(t, factory) })
+	t.Run("ShutdownDrains", func(t *testing.T) { shutdownDrains(t, factory) })
+	t.Run("EnqueueAfterShutdown", func(t *testing.T) { enqueueAfterShutdown(t, factory) })
+}
+
+// exactlyOnceFIFO: one slot, N ids — each executes once, in enqueue
+// order.
+func exactlyOnceFIFO(t *testing.T, factory Factory) {
+	var (
+		mu  sync.Mutex
+		got []string
+	)
+	s := factory(1, 64, func(id string) error {
+		mu.Lock()
+		got = append(got, id)
+		mu.Unlock()
+		return nil
+	})
+	var want []string
+	for i := 0; i < 16; i++ {
+		id := fmt.Sprintf("t%02d", i)
+		want = append(want, id)
+		if err := s.Enqueue(id); err != nil {
+			t.Fatalf("enqueue %s: %v", id, err)
+		}
+	}
+	if err := s.Shutdown(testCtx(t)); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("executed %v, want FIFO %v", got, want)
+	}
+}
+
+// concurrencyBound: never more than `workers` executors in flight.
+func concurrencyBound(t *testing.T, factory Factory) {
+	const workers, tasks = 3, 12
+	var (
+		mu       sync.Mutex
+		inflight int
+		peak     int
+		ran      int
+	)
+	s := factory(workers, tasks, func(id string) error {
+		mu.Lock()
+		inflight++
+		if inflight > peak {
+			peak = inflight
+		}
+		mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+		mu.Lock()
+		inflight--
+		ran++
+		mu.Unlock()
+		return nil
+	})
+	for i := 0; i < tasks; i++ {
+		if err := s.Enqueue(fmt.Sprintf("c%02d", i)); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	if err := s.Shutdown(testCtx(t)); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran != tasks {
+		t.Errorf("executed %d tasks, want %d", ran, tasks)
+	}
+	if peak > workers {
+		t.Errorf("peak concurrency %d exceeded %d slots", peak, workers)
+	}
+}
+
+// queueFull: with every slot blocked and the backlog at depth, the next
+// enqueue refuses with ErrQueueFull — and everything accepted still
+// executes once the slots free up.
+func queueFull(t *testing.T, factory Factory) {
+	gate := make(chan struct{})
+	started := make(chan string, 8)
+	var (
+		mu  sync.Mutex
+		ran []string
+	)
+	s := factory(1, 2, func(id string) error {
+		started <- id
+		<-gate
+		mu.Lock()
+		ran = append(ran, id)
+		mu.Unlock()
+		return nil
+	})
+	// "a" occupies the slot (wait for it to leave the backlog), then
+	// "b","c" fill the depth-2 backlog.
+	if err := s.Enqueue("a"); err != nil {
+		t.Fatalf("enqueue a: %v", err)
+	}
+	select {
+	case <-started: // "a" is in flight; the backlog is empty
+	case <-time.After(5 * time.Second):
+		t.Fatal("executor never started")
+	}
+	for _, id := range []string{"b", "c"} {
+		if err := s.Enqueue(id); err != nil {
+			t.Fatalf("enqueue %s: %v", id, err)
+		}
+	}
+	if err := s.Enqueue("d"); !errors.Is(err, service.ErrQueueFull) {
+		t.Errorf("enqueue past depth = %v, want ErrQueueFull", err)
+	}
+	if q := s.Queued(); q != 2 {
+		t.Errorf("Queued() = %d, want 2", q)
+	}
+	close(gate)
+	for i := 0; i < 2; i++ {
+		<-started
+	}
+	if err := s.Shutdown(testCtx(t)); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if fmt.Sprint(ran) != fmt.Sprint([]string{"a", "b", "c"}) {
+		t.Errorf("executed %v, want [a b c]", ran)
+	}
+}
+
+// shutdownDrains: ids accepted before Shutdown all execute; Shutdown
+// returns only after they have.
+func shutdownDrains(t *testing.T, factory Factory) {
+	var (
+		mu  sync.Mutex
+		ran int
+	)
+	s := factory(2, 64, func(id string) error {
+		time.Sleep(2 * time.Millisecond)
+		mu.Lock()
+		ran++
+		mu.Unlock()
+		return nil
+	})
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := s.Enqueue(fmt.Sprintf("d%02d", i)); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	if err := s.Shutdown(testCtx(t)); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran != n {
+		t.Errorf("shutdown returned with %d/%d executed", ran, n)
+	}
+}
+
+// enqueueAfterShutdown: intake is closed for good.
+func enqueueAfterShutdown(t *testing.T, factory Factory) {
+	s := factory(1, 4, func(id string) error { return nil })
+	if err := s.Shutdown(testCtx(t)); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := s.Enqueue("late"); !errors.Is(err, service.ErrSchedulerClosed) {
+		t.Errorf("enqueue after shutdown = %v, want ErrSchedulerClosed", err)
+	}
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}

@@ -221,18 +221,26 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
+	// sched dispatches queued run ids onto execution slots — the
+	// in-process FIFO pool by default (see Scheduler for the seam the
+	// fleet gateway shares).
+	sched Scheduler
+
 	mu          sync.Mutex
 	runs        map[string]*run // live (non-terminal) runs only
 	order       []*run          // live submission order
 	byHash      map[string]*run // live dedupe index
-	queue       chan *run
 	draining    bool
 	nextSeq     int
 	executions  int
 	cacheHits   int
 	archiveErrs int
 
-	wg sync.WaitGroup
+	// restoring single-flights archived-telemetry restores per run id:
+	// concurrent first queries for an evicted run wait on the winner's
+	// channel instead of racing duplicate tsdb.Restore work.
+	restoreMu sync.Mutex
+	restoring map[string]chan struct{}
 }
 
 // New builds a server and starts its worker pool. With an archive
@@ -248,7 +256,7 @@ func New(cfg Config) *Server {
 		baseCancel: cancel,
 		runs:       map[string]*run{},
 		byHash:     map[string]*run{},
-		queue:      make(chan *run, cfg.QueueDepth),
+		restoring:  map[string]chan struct{}{},
 	}
 	// Hot-tier eviction drops the run's live telemetry with it; the
 	// archived copy keeps a snapshot for later restore.
@@ -258,16 +266,22 @@ func New(cfg Config) *Server {
 			s.nextSeq = max + 1
 		}
 	}
-	for w := 0; w < cfg.Workers; w++ {
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			for r := range s.queue {
-				s.execute(r)
-			}
-		}()
-	}
+	s.sched = NewPoolScheduler(cfg.Workers, cfg.QueueDepth, s.executeID)
 	return s
+}
+
+// executeID is the scheduler's executor: resolve the id to its live run
+// and execute it. Ids whose runs were cancelled while queued (or
+// already retired) are cheap no-ops — the scheduler stays free of run
+// lifecycle knowledge.
+func (s *Server) executeID(id string) error {
+	s.mu.Lock()
+	r := s.runs[id]
+	s.mu.Unlock()
+	if r != nil {
+		s.execute(r)
+	}
+	return nil
 }
 
 // TSDB exposes the telemetry store (the metrics endpoint reads it).
@@ -413,15 +427,23 @@ func (s *Server) SubmitAs(tenant TenantConfig, spec sim.RunSpec) (RunView, bool,
 	r.appendEventLocked("queued", Event{})
 	v := r.viewLocked(false, false)
 	r.mu.Unlock()
-	select {
-	case s.queue <- r:
-	default:
-		cancel()
-		return RunView{}, false, &Error{Status: 503, Msg: fmt.Sprintf("service: queue full (%d pending)", s.cfg.QueueDepth)}
-	}
+	// Register before enqueueing: a scheduler slot resolves the id
+	// through s.runs, and s.mu (held here) keeps it from looking before
+	// the maps are consistent. A refused enqueue unwinds the
+	// registration — the run was never accepted.
 	s.runs[r.id] = r
 	s.order = append(s.order, r)
 	s.byHash[hash] = r
+	if err := s.sched.Enqueue(r.id); err != nil {
+		delete(s.runs, r.id)
+		delete(s.byHash, hash)
+		s.order = s.order[:len(s.order)-1]
+		cancel()
+		if errors.Is(err, ErrQueueFull) {
+			return RunView{}, false, &Error{Status: 503, Msg: fmt.Sprintf("service: queue full (%d pending)", s.cfg.QueueDepth)}
+		}
+		return RunView{}, false, &Error{Status: 503, Msg: err.Error()}
+	}
 	return v, false, nil
 }
 
@@ -522,20 +544,52 @@ func renderAll(rep sim.Report) map[string][]byte {
 }
 
 // Get returns one run's view (withReport controls the heavy payload),
-// resolving live runs first, then the store tiers.
+// resolving live runs first, then the store tiers. Trusted in-process
+// callers only — HTTP reads go through GetAs.
 func (s *Server) Get(id string, withReport bool) (RunView, error) {
+	return s.GetAs(TenantConfig{Admin: true}, id, withReport)
+}
+
+// GetAs is Get with the caller's tenancy applied: on an authenticated
+// daemon a non-admin tenant resolves only its own runs, and anyone
+// else's run answers the exact 404 an id that never existed answers —
+// a 403 would confirm the id is taken, handing a tenant walking the
+// sequential id space an existence oracle.
+func (s *Server) GetAs(tenant TenantConfig, id string, withReport bool) (RunView, error) {
 	s.mu.Lock()
 	r := s.runs[id]
 	s.mu.Unlock()
 	if r != nil {
 		r.mu.Lock()
 		defer r.mu.Unlock()
+		if err := readAllowed(s.cfg.Auth, tenant, r.tenant, id); err != nil {
+			return RunView{}, err
+		}
 		return r.viewLocked(withReport, true), nil
 	}
 	if rec, ok := s.storeRecord(id); ok {
+		if err := readAllowed(s.cfg.Auth, tenant, rec.Tenant, id); err != nil {
+			return RunView{}, err
+		}
 		return viewFromRecord(rec, withReport, true), nil
 	}
-	return RunView{}, &Error{Status: 404, Msg: fmt.Sprintf("service: unknown run %q", id)}
+	return RunView{}, errUnknownRun(id)
+}
+
+// errUnknownRun is THE not-found answer for a run id: foreign-tenant
+// reads reuse it verbatim so the two cases are indistinguishable.
+func errUnknownRun(id string) *Error {
+	return &Error{Status: 404, Msg: fmt.Sprintf("service: unknown run %q", id)}
+}
+
+// readAllowed is the per-run read ownership check: open daemons,
+// admins, trusted in-process callers (empty tenant name) and owners
+// pass; every other tenant gets the unknown-run 404.
+func readAllowed(auth *Auth, tenant TenantConfig, owner, id string) error {
+	if auth == nil || tenant.Admin || tenant.Name == "" || tenant.Name == owner {
+		return nil
+	}
+	return errUnknownRun(id)
 }
 
 // Report hands the run's sim.Report to fn while the run is terminal —
@@ -901,7 +955,6 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			queued = append(queued, r)
 		}
 	}
-	close(s.queue)
 	s.mu.Unlock()
 
 	sort.Slice(queued, func(i, j int) bool { return queued[i].seq < queued[j].seq })
@@ -922,18 +975,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 
-	done := make(chan struct{})
-	go func() {
-		s.wg.Wait()
-		close(done)
-	}()
+	// The scheduler drains the in-flight runs (the cancelled queued ones
+	// pop as no-ops). If ctx ends first, hard-cancel every run context
+	// and wait again — the engine unwinds promptly, so no goroutine
+	// outlives Shutdown.
 	var err error
-	select {
-	case <-done:
-	case <-ctx.Done():
+	if err = s.sched.Shutdown(ctx); err != nil {
 		s.baseCancel()
-		<-done
-		err = ctx.Err()
+		_ = s.sched.Shutdown(context.Background())
 	}
 	if s.cfg.Archive != nil {
 		if cerr := s.cfg.Archive.Close(); cerr != nil && err == nil {
