@@ -40,6 +40,13 @@
 //	powersched -federate -members 2,3 -division prorata,demand -cap 0.5
 //	powersched -spec run.json
 //	powersched -remote http://localhost:8080 -policy MIX -cap 0.4
+//	powersched -twin examples/specs/twin_demo.json
+//
+// With -twin the file is a twin.Spec instead: the member clusters run
+// as a live digital twin — a signal-driven site budget redistributed at
+// every epoch boundary — and each boundary prints one status line.
+// This is the in-process demo of the subsystem simd serves over
+// /v1/twin.
 //
 // With -remote the built RunSpec is submitted to a running simd daemon
 // instead of executing in-process: the client polls for the report and
@@ -49,7 +56,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -63,6 +72,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/slurmconf"
+	"repro/internal/twin"
 )
 
 func main() {
@@ -105,8 +115,13 @@ func run(args []string, out io.Writer) error {
 		specPath  = fs.String("spec", "", "load the run description from this sim.RunSpec JSON file instead of the scenario flags")
 		dumpSpec  = fs.String("dumpspec", "", "write the run description as a sim.RunSpec JSON file and exit (start of a scenario library)")
 		remote    = fs.String("remote", "", "submit the run to a simd daemon at this base URL (http://host:port) instead of executing locally")
+		twinPath  = fs.String("twin", "", "run this twin.Spec JSON file as an in-process live digital twin and print one status line per epoch")
 	)
 	fs.Parse(args)
+
+	if *twinPath != "" {
+		return runTwin(*twinPath, out)
+	}
 
 	var spec sim.RunSpec
 	if *specPath != "" {
@@ -432,6 +447,48 @@ func runRemote(base string, spec sim.RunSpec, width, height int, csvOut, jsonOut
 		service.Export{Path: jsonOut, Format: "json", Label: "summary JSON"},
 		service.Export{Path: csvOut, Format: "csv", Label: "time series CSV"},
 	)
+}
+
+// runTwin is the in-process digital-twin demo: load a twin.Spec, run
+// the session to its horizon (paced only if the spec says so), print
+// one line per epoch boundary and a per-member summary at the end. The
+// same spec started through simd's POST /v1/twin streams the identical
+// telemetry into the series API.
+func runTwin(path string, out io.Writer) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var spec twin.Spec
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+
+	session, err := twin.New(spec, twin.Config{OnEpoch: func(st twin.Status) {
+		fmt.Fprintf(out, "  t=%6d  signal=%.3f  budget=%10.4g W  draw=%10.4g W  caps:",
+			st.VirtualTime, st.SignalValue, st.BudgetW, st.PowerW)
+		for _, m := range st.Members {
+			fmt.Fprintf(out, " %s=%.4g", m.Name, m.CapW)
+		}
+		fmt.Fprintln(out)
+	}})
+	if err != nil {
+		return err
+	}
+	st := session.Status()
+	fmt.Fprintf(out, "twin %s: %d members, %ds epochs to horizon %ds (real-time ratio %g)\n",
+		spec.Name, len(st.Members), st.EpochSec, st.HorizonSec, st.RealTimeRatio)
+	if err := session.Run(context.Background()); err != nil {
+		return err
+	}
+	final := session.Status()
+	fmt.Fprintf(out, "\n%-24s %12s %12s %8s %8s\n", "member", "final cap W", "max power W", "pending", "running")
+	for _, m := range final.Members {
+		fmt.Fprintf(out, "%-24s %12.4g %12.4g %8d %8d\n", m.Name, m.CapW, m.MaxPowerW, m.PendingCores, m.RunningJobs)
+	}
+	return nil
 }
 
 // windowLabel reconstructs the -window flag spelling of a spec window.

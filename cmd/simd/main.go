@@ -59,6 +59,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		drainSecs    = fs.Int64("drain-timeout", 60, "seconds to wait for in-flight runs on shutdown before hard-cancelling them")
 		archiveDir   = fs.String("archive-dir", "", "directory for the durable run archive (empty = in-memory only; results do not survive restarts)")
 		archiveMax   = fs.Int("archive-max", 0, "archived run records before the oldest are pruned (0 = unbounded)")
+		archiveAge   = fs.Duration("archive-max-age", 0, "archived run records older than this are pruned at boot and on store (0 = keep forever)")
 		tokensFile   = fs.String("tokens-file", "", `JSON tenant/token file enabling bearer-token auth and per-tenant quotas ({"tenants":[{"name":...,"token":...,"max_queued":...,"rate_per_min":...}]})`)
 
 		gateway   = fs.Bool("gateway", false, "run as a fleet gateway: route submissions to joined workers instead of executing locally")
@@ -89,7 +90,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		TSDB:         tsdb.Options{PointsPerLevel: *points, Levels: *levels, MaxSeriesPerRun: *maxSeries},
 	}
 	if *archiveDir != "" {
-		fsStore, err := service.OpenFSStore(*archiveDir, service.FSOptions{MaxRecords: *archiveMax})
+		fsStore, err := service.OpenFSStore(*archiveDir, service.FSOptions{MaxRecords: *archiveMax, MaxAge: *archiveAge})
 		if err != nil {
 			return fmt.Errorf("opening archive: %w", err)
 		}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/replay"
 	"repro/internal/reservation"
 	"repro/internal/rjms"
+	"repro/internal/signal"
 )
 
 // MemberResult is the per-cluster outcome of a federation run.
@@ -50,6 +51,10 @@ type MemberResult struct {
 // EpochShares records the division chosen at one epoch boundary.
 type EpochShares struct {
 	T int64
+	// BudgetW is the effective global budget divided at this boundary —
+	// constant without a budget signal, the signal-scaled value with
+	// one.
+	BudgetW power.Watts
 	// CapW is each member's budget after the redistribution, in member
 	// order.
 	CapW []power.Watts
@@ -64,7 +69,9 @@ type EpochShares struct {
 type GlobalSample struct {
 	T     int64
 	Power power.Watts
-	Cap   power.Watts // the global budget (constant over the run)
+	// Cap is the effective global budget at T: constant without a
+	// budget signal, the epoch-held signal value with one.
+	Cap power.Watts
 }
 
 // Result is the outcome of one federation run.
@@ -157,7 +164,26 @@ func RunContext(ctx context.Context, fs replay.FederationScenario, observe Obser
 		members = append(members, m)
 		sumMax += m.maxPower
 	}
-	global := power.Watts(fs.GlobalCapFraction * float64(sumMax))
+	base := power.Watts(fs.GlobalCapFraction * float64(sumMax))
+	sig, err := signal.Build(fs.BudgetSignal)
+	if err != nil {
+		res.Err = fmt.Errorf("federation: budget signal: %w", err)
+		return res
+	}
+	// budgetAt is the effective site budget at an epoch boundary: the
+	// cap-fraction base scaled by the signal, clamped into [0, sumMax].
+	// Without a signal it is the constant base.
+	budgetAt := func(t int64) power.Watts {
+		b := power.Watts(float64(base) * sig.At(t))
+		if b < 0 {
+			b = 0
+		}
+		if b > sumMax {
+			b = sumMax
+		}
+		return b
+	}
+	global := budgetAt(0)
 	res.GlobalBudgetW = global
 
 	// Initial division: both policies start pro-rata — with no demand
@@ -187,6 +213,13 @@ func RunContext(ctx context.Context, fs replay.FederationScenario, observe Obser
 	// so every member engine keeps its single-goroutine contract and
 	// the whole run is a deterministic function of the scenario.
 	epoch := fs.Epoch()
+	if epoch <= 0 {
+		// Epoch() defaults a zero EpochSec and Validate rejects negative
+		// ones, so this only trips on a future change — but a
+		// non-positive epoch would loop forever below, so fail loudly.
+		res.Err = fmt.Errorf("federation: epoch must be a positive duration, got %d", epoch)
+		return res
+	}
 	for t := epoch; t < duration; t += epoch {
 		if err := ctx.Err(); err != nil {
 			res.Err = err
@@ -198,8 +231,9 @@ func RunContext(ctx context.Context, fs replay.FederationScenario, observe Obser
 				return res
 			}
 		}
+		global = budgetAt(t)
 		shares := divide(fs.Division, global, members)
-		rec := EpochShares{T: t, CapW: make([]power.Watts, len(members)), PendingCores: make([]int, len(members))}
+		rec := EpochShares{T: t, BudgetW: global, CapW: make([]power.Watts, len(members)), PendingCores: make([]int, len(members))}
 		for i, m := range members {
 			rec.PendingCores[i] = m.ctl.PendingCores()
 			rec.CapW[i] = shares[i]
@@ -255,18 +289,45 @@ func proRataShare(global, maxPower, sumMax power.Watts) power.Watts {
 // members.
 const DemandReserveFraction = 0.5
 
-// divide computes every member's budget for the next epoch. It returns
-// shares in member order; their sum never exceeds the global budget
-// (up to float rounding).
+// MemberState is the per-member input of Divide: everything a division
+// policy reads about one cluster at an epoch boundary.
+type MemberState struct {
+	// MaxPower is the member's maximum draw (its waterfill weight and
+	// share ceiling).
+	MaxPower power.Watts
+	// Draw is the member's observed draw at the boundary (its share
+	// floor — a cap below the draw would be unenforceable).
+	Draw power.Watts
+	// PendingCores is the member's queued demand.
+	PendingCores int
+}
+
+// divide adapts the broker's member bookkeeping onto Divide.
 func divide(div replay.Division, global power.Watts, members []*member) []power.Watts {
-	shares := make([]power.Watts, len(members))
+	states := make([]MemberState, len(members))
+	for i, m := range members {
+		states[i] = MemberState{
+			MaxPower:     m.maxPower,
+			Draw:         m.ctl.Cluster().Power(),
+			PendingCores: m.ctl.PendingCores(),
+		}
+	}
+	return Divide(div, global, states)
+}
+
+// Divide computes every member's budget for the next epoch. It returns
+// shares in member order; their sum never exceeds the global budget
+// (up to float rounding). Exported so the twin's live broker divides
+// with exactly the batch broker's arithmetic.
+func Divide(div replay.Division, global power.Watts, states []MemberState) []power.Watts {
+	shares := make([]power.Watts, len(states))
 	var sumMax power.Watts
-	for _, m := range members {
-		sumMax += m.maxPower
+	for _, s := range states {
+		sumMax += s.MaxPower
 	}
 	if div == replay.DivideProRata {
-		for i, m := range members {
-			shares[i] = proRataShare(global, m.maxPower, sumMax)
+		for i, s := range states {
+			shares[i] = proRataShare(global, s.MaxPower, sumMax)
 		}
 		return shares
 	}
@@ -282,22 +343,20 @@ func divide(div replay.Division, global power.Watts, members []*member) []power.
 	// once every backlogged member is saturated (or when nobody
 	// queues) spreads pro-rata over the whole fleet, so the shares
 	// always sum to the global budget.
-	draw := make([]power.Watts, len(members))
-	reserve := make([]power.Watts, len(members))
-	maxima := make([]power.Watts, len(members))
-	backlogged := make([]bool, len(members))
+	reserve := make([]power.Watts, len(states))
+	maxima := make([]power.Watts, len(states))
+	backlogged := make([]bool, len(states))
 	var floorSum power.Watts
 	anyBacklog := false
-	for i, m := range members {
-		draw[i] = m.ctl.Cluster().Power()
-		reserve[i] = power.Watts(DemandReserveFraction * float64(proRataShare(global, m.maxPower, sumMax)))
-		if reserve[i] < draw[i] {
-			reserve[i] = draw[i]
+	for i, s := range states {
+		reserve[i] = power.Watts(DemandReserveFraction * float64(proRataShare(global, s.MaxPower, sumMax)))
+		if reserve[i] < s.Draw {
+			reserve[i] = s.Draw
 		}
-		maxima[i] = m.maxPower
-		shares[i] = draw[i]
-		floorSum += draw[i]
-		if m.ctl.PendingCores() > 0 {
+		maxima[i] = s.MaxPower
+		shares[i] = s.Draw
+		floorSum += s.Draw
+		if s.PendingCores > 0 {
 			backlogged[i] = true
 			anyBacklog = true
 		}
@@ -311,16 +370,16 @@ func divide(div replay.Division, global power.Watts, members []*member) []power.
 	}
 	// Stage 1: lift everyone toward the reserve floor, so idle members
 	// keep launch headroom for work arriving mid-epoch.
-	slack = waterfill(shares, slack, reserve, func(i int) bool { return true }, members)
+	slack = waterfill(shares, slack, reserve, func(i int) bool { return true }, states)
 	// Stage 2: the backlogged members split the real surplus.
 	if anyBacklog && slack > 0 {
-		slack = waterfill(shares, slack, maxima, func(i int) bool { return backlogged[i] }, members)
+		slack = waterfill(shares, slack, maxima, func(i int) bool { return backlogged[i] }, states)
 	}
 	// Stage 3: residue spreads by machine size over everyone, capped at
 	// the machine maximum; anything still left (whole fleet saturated)
 	// is surplus the site simply does not spend.
 	if slack > 0 {
-		slack = waterfill(shares, slack, maxima, func(i int) bool { return true }, members)
+		slack = waterfill(shares, slack, maxima, func(i int) bool { return true }, states)
 	}
 	return shares
 }
@@ -330,16 +389,16 @@ func divide(div replay.Division, global power.Watts, members []*member) []power.
 // the overflow until nothing moves. It mutates shares and returns the
 // undistributed remainder. Iteration is in member order throughout, so
 // the float arithmetic is reproducible.
-func waterfill(shares []power.Watts, amount power.Watts, ceiling []power.Watts, eligible func(int) bool, members []*member) power.Watts {
-	active := make([]bool, len(members))
-	for i := range members {
+func waterfill(shares []power.Watts, amount power.Watts, ceiling []power.Watts, eligible func(int) bool, states []MemberState) power.Watts {
+	active := make([]bool, len(states))
+	for i := range states {
 		active[i] = eligible(i) && shares[i] < ceiling[i]
 	}
 	for amount > 1e-9 {
 		var weight power.Watts
-		for i, m := range members {
+		for i, s := range states {
 			if active[i] {
-				weight += m.maxPower
+				weight += s.MaxPower
 			}
 		}
 		if weight == 0 {
@@ -347,11 +406,11 @@ func waterfill(shares []power.Watts, amount power.Watts, ceiling []power.Watts, 
 		}
 		moved := false
 		remaining := amount
-		for i, m := range members {
+		for i, s := range states {
 			if !active[i] {
 				continue
 			}
-			give := power.Watts(float64(remaining) * float64(m.maxPower) / float64(weight))
+			give := power.Watts(float64(remaining) * float64(s.MaxPower) / float64(weight))
 			if room := ceiling[i] - shares[i]; give >= room {
 				give = room
 				active[i] = false
@@ -403,9 +462,22 @@ func aggregate(res *Result) {
 			n = len(m.Samples)
 		}
 	}
+	// The effective budget holds from one epoch boundary to the next:
+	// GlobalBudgetW until the first recorded boundary, then each
+	// boundary's BudgetW. Samples arrive in time order, so one cursor
+	// over the epoch records prices every sample.
+	ep := 0
+	capAt := func(t int64) power.Watts {
+		for ep < len(res.Epochs) && res.Epochs[ep].T <= t {
+			ep++
+		}
+		if ep == 0 {
+			return res.GlobalBudgetW
+		}
+		return res.Epochs[ep-1].BudgetW
+	}
 	for k := 0; k < n; k++ {
 		var g GlobalSample
-		g.Cap = res.GlobalBudgetW
 		ok := false
 		for _, m := range res.Members {
 			if k < len(m.Samples) {
@@ -415,6 +487,7 @@ func aggregate(res *Result) {
 			}
 		}
 		if ok {
+			g.Cap = capAt(g.T)
 			res.Global = append(res.Global, g)
 			if g.Power > res.PeakGlobalW {
 				res.PeakGlobalW = g.Power

@@ -242,6 +242,16 @@ func (k *Checker) checkNodes(now int64, jobs []*job.Job) {
 		if want := perNode[n.ID]; want != n.UsedCores {
 			k.violatef(now, "node %d bookkeeping %d cores, running jobs hold %d", n.ID, n.UsedCores, want)
 		}
+		// Failure injection (the twin's kill path): a failed node must
+		// be off and hold nothing — its jobs were killed and requeued.
+		if k.ctl.NodeFailed(n.ID) {
+			if n.State != cluster.StateOff {
+				k.violatef(now, "failed node %d is %v, want off", n.ID, n.State)
+			}
+			if n.UsedCores != 0 {
+				k.violatef(now, "failed node %d holds %d cores", n.ID, n.UsedCores)
+			}
+		}
 		return len(k.errs) < maxViolations
 	})
 }

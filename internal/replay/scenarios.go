@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/registry"
+	"repro/internal/signal"
 	"repro/internal/trace"
 )
 
@@ -161,6 +162,11 @@ type FederationScenario struct {
 	// DurationSec bounds the replayed interval; 0 means the longest
 	// member workload duration.
 	DurationSec int64
+	// BudgetSignal, when non-nil, scales the global budget over time: at
+	// every epoch boundary the broker multiplies the cap-fraction base
+	// by the signal's value at that instant (clamped into [0, summed
+	// member maxima]). Nil means the constant budget.
+	BudgetSignal *signal.Spec
 }
 
 // DefaultFederationEpoch is the redistribution period used when
@@ -208,6 +214,11 @@ func (f FederationScenario) Validate() error {
 	}
 	if f.EpochSec < 0 {
 		return fmt.Errorf("replay: federation %q negative epoch %d", f.Name, f.EpochSec)
+	}
+	if f.BudgetSignal != nil {
+		if err := f.BudgetSignal.Validate(); err != nil {
+			return fmt.Errorf("replay: federation %q budget signal: %w", f.Name, err)
+		}
 	}
 	return nil
 }

@@ -40,6 +40,13 @@ type Controller struct {
 	// switch-off window opened; they power down as their jobs drain.
 	offPending map[cluster.NodeID]bool
 
+	// failed holds nodes taken out by an injected failure (FailNode);
+	// they stay off — windowClose must not power them back on — until
+	// RepairNode returns them. requeueSeq numbers the fresh IDs of
+	// requeued victim clones deterministically.
+	failed     map[cluster.NodeID]bool
+	requeueSeq int64
+
 	horizon    int64
 	sampling   bool
 	passQueued bool
@@ -129,6 +136,7 @@ func New(cfg Config) (*Controller, error) {
 		fairshare:  sched.NewFairshare(cfg.FairshareHalfLife),
 		weights:    sched.DefaultMultifactor(cfg.Topology.Cores()),
 		offPending: map[cluster.NodeID]bool{},
+		failed:     map[cluster.NodeID]bool{},
 	}
 	if cfg.MeasuredPowerNoise > 0 {
 		sensor, err := powerlog.NewSensor(cfg.MeasuredPowerSeed, cfg.MeasuredPowerNoise, 0)
@@ -425,6 +433,99 @@ func (c *Controller) AdjustPowerCap(id int, budget power.Cap) error {
 	return nil
 }
 
+// requeueIDBase offsets the IDs of requeued failure victims into a
+// range no workload generator occupies, so a clone can never collide
+// with a yet-unsubmitted trace job.
+const requeueIDBase = int64(1) << 40
+
+// FailNode injects a node failure at the current virtual time: every
+// job with an allocation on the node is killed and requeued as a fresh
+// pending clone (new deterministic ID, Submit = now), and the node
+// powers off and stays off — excluded from scheduling and from
+// reservation window reopenings — until RepairNode. Like
+// AdjustPowerCap it is a between-Advance hook (the twin's mutation
+// queue), never called from inside an event handler.
+func (c *Controller) FailNode(id cluster.NodeID) error {
+	if int(id) < 0 || int(id) >= len(c.nodeJobs) {
+		return fmt.Errorf("rjms: fail node %d: no such node", id)
+	}
+	if c.failed[id] {
+		return fmt.Errorf("rjms: fail node %d: already failed", id)
+	}
+	now := c.eng.Now()
+	// Snapshot the victims before finish() rewrites nodeJobs; sort by
+	// job ID so requeue IDs assign reproducibly regardless of the
+	// swap-removal order the list happens to be in.
+	victims := make([]*job.Job, 0, len(c.nodeJobs[id]))
+	for _, e := range c.nodeJobs[id] {
+		if j, ok := c.running[e.id]; ok {
+			victims = append(victims, j)
+		}
+	}
+	sort.Slice(victims, func(i, k int) bool { return victims[i].ID < victims[k].ID })
+	for _, j := range victims {
+		c.finish(j, now, true)
+	}
+	for _, j := range victims {
+		clone := j.Clone()
+		c.requeueSeq++
+		clone.ID = job.ID(requeueIDBase + c.requeueSeq)
+		clone.Submit = now
+		clone.StartTime = 0
+		clone.EndTime = 0
+		clone.Freq = 0
+		clone.Allocs = nil
+		c.submit(clone, now)
+	}
+	if err := c.clus.PowerOff(id); err != nil {
+		return fmt.Errorf("rjms: fail node %d: %w", id, err)
+	}
+	c.failed[id] = true
+	c.invalidatePassMemo()
+	c.survivorFresh = false
+	c.futureFreqMemo.Invalidate()
+	c.noteState(now)
+	c.requestPass(now)
+	return nil
+}
+
+// RepairNode returns a failed node to service: it powers back on
+// (unless a reservation window currently holds it off) and rejoins the
+// schedulable pool at the current virtual time.
+func (c *Controller) RepairNode(id cluster.NodeID) error {
+	if int(id) < 0 || int(id) >= len(c.nodeJobs) {
+		return fmt.Errorf("rjms: repair node %d: no such node", id)
+	}
+	if !c.failed[id] {
+		return fmt.Errorf("rjms: repair node %d: not failed", id)
+	}
+	now := c.eng.Now()
+	delete(c.failed, id)
+	if !c.clus.Reserved(id) {
+		_ = c.clus.PowerOn(id)
+	}
+	c.invalidatePassMemo()
+	c.survivorFresh = false
+	c.futureFreqMemo.Invalidate()
+	c.noteState(now)
+	c.requestPass(now)
+	return nil
+}
+
+// NodeFailed reports whether the node is currently failure-injected —
+// the invariant checker's hook for the kill path.
+func (c *Controller) NodeFailed(id cluster.NodeID) bool { return c.failed[id] }
+
+// FailedNodes returns the failure-injected nodes, sorted.
+func (c *Controller) FailedNodes() []cluster.NodeID {
+	out := make([]cluster.NodeID, 0, len(c.failed))
+	for id := range c.failed {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i] < out[k] })
+	return out
+}
+
 // Samples returns the recorded time series.
 func (c *Controller) Samples() []metrics.Sample { return c.rec.Samples() }
 
@@ -558,7 +659,11 @@ func (c *Controller) windowClose(nodes []cluster.NodeID, now int64) {
 	c.invalidatePassMemo()
 	for _, id := range nodes {
 		delete(c.offPending, id)
-		_ = c.clus.PowerOn(id)
+		// A failed node stays off past its window; RepairNode brings
+		// it back.
+		if !c.failed[id] {
+			_ = c.clus.PowerOn(id)
+		}
 		_ = c.clus.SetReserved(id, false)
 	}
 	c.survivorFresh = false

@@ -31,7 +31,10 @@ import (
 type FSStore struct {
 	dir     string
 	max     int
+	maxAge  time.Duration
 	onEvict func(Record)
+	// now is the age-sweep clock, replaceable in tests.
+	now func() time.Time
 
 	mu      sync.Mutex
 	meta    map[string]Record // hash -> light record
@@ -44,6 +47,12 @@ type FSOptions struct {
 	// MaxRecords caps the archive (0 = keep everything forever, the
 	// archive default); beyond it the oldest records are deleted.
 	MaxRecords int
+	// MaxAge expires records older than this (0 = keep forever). Age
+	// is measured from the record's Finished time — Submitted for
+	// records that never finished — and the sweep runs at open and on
+	// every Put, so an idle archive shrinks the next time the daemon
+	// boots or stores a run.
+	MaxAge time.Duration
 	// OnEvict observes each evicted or replaced record.
 	OnEvict func(Record)
 }
@@ -60,7 +69,9 @@ func OpenFSStore(dir string, opt FSOptions) (*FSStore, error) {
 	st := &FSStore{
 		dir:     dir,
 		max:     opt.MaxRecords,
+		maxAge:  opt.MaxAge,
 		onEvict: opt.OnEvict,
+		now:     time.Now,
 		meta:    map[string]Record{},
 		byID:    map[string]string{},
 	}
@@ -80,6 +91,16 @@ func OpenFSStore(dir string, opt FSOptions) (*FSStore, error) {
 		}
 		st.meta[rec.SpecHash] = rec.light()
 		st.byID[rec.ID] = rec.SpecHash
+	}
+	// Age out stale records before the store serves anything: a daemon
+	// rebooting after a quiet week must not resurrect expired results.
+	st.mu.Lock()
+	expired := st.sweepAgeLocked("")
+	st.mu.Unlock()
+	for _, e := range expired {
+		if st.onEvict != nil {
+			st.onEvict(e)
+		}
 	}
 	return st, nil
 }
@@ -240,6 +261,7 @@ func (st *FSStore) Put(rec Record) error {
 	}
 	st.meta[rec.SpecHash] = rec.light()
 	st.byID[rec.ID] = rec.SpecHash
+	evicted = append(evicted, st.sweepAgeLocked(rec.SpecHash)...)
 	for st.max > 0 && len(st.meta) > st.max {
 		oldest, ok := st.oldestLocked(rec.SpecHash)
 		if !ok {
@@ -255,6 +277,37 @@ func (st *FSStore) Put(rec Record) error {
 		}
 	}
 	return nil
+}
+
+// sweepAgeLocked removes every record past MaxAge except keep (the
+// record a Put just wrote is never its own victim) and returns the
+// expired records for OnEvict; st.mu held. Age comes from Finished,
+// falling back to Submitted for records that never finished.
+func (st *FSStore) sweepAgeLocked(keep string) []Record {
+	if st.maxAge <= 0 {
+		return nil
+	}
+	cutoff := st.now().Add(-st.maxAge)
+	var expired []Record
+	for hash, rec := range st.meta {
+		if hash == keep {
+			continue
+		}
+		ts := rec.Finished
+		if ts.IsZero() {
+			ts = rec.Submitted
+		}
+		if ts.Before(cutoff) {
+			expired = append(expired, rec)
+		}
+	}
+	// Deterministic eviction order (oldest Seq first) so OnEvict
+	// observers see a stable sequence.
+	sort.Slice(expired, func(i, j int) bool { return expired[i].Seq < expired[j].Seq })
+	for _, rec := range expired {
+		st.removeLocked(rec.SpecHash)
+	}
+	return expired
 }
 
 // oldestLocked finds the lowest-Seq hash other than keep; st.mu held.

@@ -750,6 +750,9 @@ type GatewayStats struct {
 	Members   int  `json:"members"`
 	Alive     int  `json:"alive_members"`
 	Draining  bool `json:"draining"`
+	// TwinsLive folds the fleet's live twin sessions (summed from the
+	// reachable members' stats — twins run on workers, not the gateway).
+	TwinsLive int `json:"twins_live,omitempty"`
 }
 
 // MemberStats is one worker's row in the fleet-wide stats: the
@@ -826,6 +829,11 @@ func (g *Gateway) Stats(ctx context.Context) FleetStats {
 		}(i, c)
 	}
 	wg.Wait()
+	for _, ms := range out.Members {
+		if ms.Stats != nil {
+			out.Gateway.TwinsLive += ms.Stats.TwinsLive
+		}
+	}
 	return out
 }
 

@@ -45,10 +45,20 @@ func requestTenant(r *http.Request) TenantConfig {
 //	GET    /v1/runs/{id}/series     one metric's points (?metric=&res=&from=&to=;
 //	                                no params enumerates the recorded metrics)
 //	GET    /v1/runs/{id}/events     progress stream (SSE)
+//	POST   /v1/twin                 start a twin session (twin.Spec body)
+//	GET    /v1/twin                 list twin sessions
+//	GET    /v1/twin/{id}            status + spec + mutation log
+//	DELETE /v1/twin/{id}            stop the session
+//	POST   /v1/twin/{id}/mutations  enqueue a live mutation (twin.Mutation)
+//	GET    /v1/twin/{id}/mutations  the applied-mutation log
+//	GET    /v1/twin/{id}/series     twin telemetry (?metric=&res=&from=&to=)
+//	GET    /v1/twin/{id}/events     session stream (SSE)
 //	GET    /v1/stats                server counters
+//	GET    /metrics                 Prometheus gauge exposition
 //	GET    /healthz                 liveness
 //
-// With Config.Auth set, every endpoint except /healthz requires an
+// With Config.Auth set, every endpoint except /healthz and /metrics
+// requires an
 // "Authorization: Bearer <token>" header naming a configured tenant;
 // failures are 401 with a WWW-Authenticate challenge. Liveness stays
 // open so load balancers and restart scripts need no credentials.
@@ -62,9 +72,12 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/runs", s.handleRuns)
 	mux.HandleFunc("/v1/runs/", s.handleRun)
+	mux.HandleFunc("/v1/twin", s.handleTwins)
+	mux.HandleFunc("/v1/twin/", s.handleTwin)
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, 200, s.Stats())
 	})
+	mux.HandleFunc("/metrics", s.handlePromMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, 200, map[string]string{"status": "ok"})
 	})
@@ -72,7 +85,10 @@ func (s *Server) Handler() http.Handler {
 		return mux
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" {
+		// Liveness and the gauge exposition stay open: load balancers
+		// and scrapers need no credentials, and neither answer carries
+		// per-tenant data.
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
 			mux.ServeHTTP(w, r)
 			return
 		}

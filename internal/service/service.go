@@ -207,6 +207,10 @@ type Stats struct {
 	// — a non-zero value means the durable tier is lossy right now.
 	Archived      int `json:"archived,omitempty"`
 	ArchiveErrors int `json:"archive_errors,omitempty"`
+	// TwinsLive counts the twin sessions running now; TwinsTotal every
+	// session the registry retains (live and finished).
+	TwinsLive  int `json:"twins_live,omitempty"`
+	TwinsTotal int `json:"twins_total,omitempty"`
 }
 
 // Server is the daemon core: the live run registry, the spec-hash
@@ -241,6 +245,14 @@ type Server struct {
 	// channel instead of racing duplicate tsdb.Restore work.
 	restoreMu sync.Mutex
 	restoring map[string]chan struct{}
+
+	// The twin registry (see twin.go). twinMu is leaf-level: never
+	// taken while holding s.mu or a run's lock.
+	twinMu      sync.Mutex
+	twins       map[string]*twinRun
+	twinOrder   []*twinRun
+	nextTwinSeq int
+	twinWG      sync.WaitGroup
 }
 
 // New builds a server and starts its worker pool. With an archive
@@ -257,6 +269,7 @@ func New(cfg Config) *Server {
 		runs:       map[string]*run{},
 		byHash:     map[string]*run{},
 		restoring:  map[string]chan struct{}{},
+		twins:      map[string]*twinRun{},
 	}
 	// Hot-tier eviction drops the run's live telemetry with it; the
 	// archived copy keeps a snapshot for later restore.
@@ -319,6 +332,7 @@ func (s *Server) Stats() Stats {
 			st.Archived = n
 		}
 	}
+	st.TwinsLive, st.TwinsTotal = s.twinStats()
 	return st
 }
 
@@ -975,6 +989,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 
+	// Twins are cancelled outright — a live session has no batch result
+	// to finish; its spec + mutation log (already served to the owner)
+	// is the replayable artifact.
+	twinErr := s.stopTwins(ctx)
+
 	// The scheduler drains the in-flight runs (the cancelled queued ones
 	// pop as no-ops). If ctx ends first, hard-cancel every run context
 	// and wait again — the engine unwinds promptly, so no goroutine
@@ -983,6 +1002,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if err = s.sched.Shutdown(ctx); err != nil {
 		s.baseCancel()
 		_ = s.sched.Shutdown(context.Background())
+	}
+	if err == nil {
+		err = twinErr
 	}
 	if s.cfg.Archive != nil {
 		if cerr := s.cfg.Archive.Close(); cerr != nil && err == nil {

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/service"
 	"repro/internal/service/storetest"
@@ -20,16 +21,71 @@ func TestMemStoreConformance(t *testing.T) {
 // TestFSStoreConformance runs the same suite on the filesystem archive:
 // identical semantics, durable medium.
 func TestFSStoreConformance(t *testing.T) {
-	storetest.Run(t, func(t *testing.T, opt storetest.Options) service.RunStore {
-		st, err := service.OpenFSStore(t.TempDir(), service.FSOptions{
-			MaxRecords: opt.MaxRecords,
-			OnEvict:    opt.OnEvict,
-		})
-		if err != nil {
+	storetest.Run(t, fsFactory)
+}
+
+func fsFactory(t *testing.T, opt storetest.Options) service.RunStore {
+	st, err := service.OpenFSStore(t.TempDir(), service.FSOptions{
+		MaxRecords: opt.MaxRecords,
+		MaxAge:     opt.MaxAge,
+		OnEvict:    opt.OnEvict,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestFSStoreAgeExpiry runs the optional age-bound suite on the
+// archive (the only shipped backend with an age sweep).
+func TestFSStoreAgeExpiry(t *testing.T) {
+	storetest.RunAgeExpiry(t, fsFactory)
+}
+
+// TestFSStoreAgeSweepAtOpen pins the boot-time half of the age bound:
+// a reopened archive expires stale records before serving anything,
+// removes their files, and reports them to OnEvict.
+func TestFSStoreAgeSweepAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	first, err := service.OpenFSStore(dir, service.FSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := storetest.SampleRecord(t, "open-stale", 0) // January 2026 timestamps
+	fresh := storetest.SampleRecord(t, "open-fresh", 1)
+	fresh.Submitted = time.Now()
+	fresh.Started = fresh.Submitted
+	fresh.Finished = fresh.Submitted
+	for _, rec := range []service.Record{stale, fresh} {
+		if err := first.Put(rec); err != nil {
 			t.Fatal(err)
 		}
-		return st
+	}
+	first.Close()
+
+	var evicted []string
+	second, err := service.OpenFSStore(dir, service.FSOptions{
+		MaxAge:  30 * 24 * time.Hour,
+		OnEvict: func(rec service.Record) { evicted = append(evicted, rec.ID) },
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0] != stale.ID {
+		t.Fatalf("open sweep evicted %v, want [%s]", evicted, stale.ID)
+	}
+	if _, ok, _ := second.Get(stale.ID); ok {
+		t.Error("stale record served after the open sweep")
+	}
+	if _, ok, _ := second.Get(fresh.ID); !ok {
+		t.Error("fresh record lost to the open sweep")
+	}
+	if _, err := os.Stat(filepath.Join(dir, stale.SpecHash+".json")); !os.IsNotExist(err) {
+		t.Errorf("expired record's file still on disk (stat err %v)", err)
+	}
+	if n, _ := second.Len(); n != 1 {
+		t.Errorf("Len = %d, want 1", n)
+	}
 }
 
 // TestFSStoreReopen pins the durable half the suite cannot see: records

@@ -32,6 +32,10 @@ import (
 type Options struct {
 	// MaxRecords caps the store (0 = unbounded).
 	MaxRecords int
+	// MaxAge expires records older than this (0 = keep forever). Only
+	// exercised by RunAgeExpiry; backends without age support skip
+	// that suite.
+	MaxAge time.Duration
 	// OnEvict, when non-nil, must observe every evicted or replaced
 	// record.
 	OnEvict func(service.Record)
@@ -52,6 +56,61 @@ func Run(t *testing.T, factory Factory) {
 	t.Run("Eviction", func(t *testing.T) { testEviction(t, factory) })
 	t.Run("ConcurrentPutOneHash", func(t *testing.T) { testConcurrent(t, factory) })
 	t.Run("DeleteLenMaxSeq", func(t *testing.T) { testDeleteLenMaxSeq(t, factory) })
+}
+
+// RunAgeExpiry exercises the optional age-bound contract: records
+// whose Finished time (Submitted when never finished) is older than
+// Options.MaxAge are expired by later puts, reported to OnEvict, and
+// the record a Put just wrote is never its own victim. Backends
+// without age support don't call this.
+func RunAgeExpiry(t *testing.T, factory Factory) {
+	t.Run("ExpiredByLaterPut", func(t *testing.T) {
+		var evicted []string
+		st := factory(t, Options{MaxAge: 30 * 24 * time.Hour,
+			OnEvict: func(rec service.Record) { evicted = append(evicted, rec.ID) }})
+
+		// The suite's base timestamps (January 2026) are far past any
+		// reasonable MaxAge; stale carries them as-is.
+		stale := record(t, "age-stale", 0)
+		mustPut(t, st, stale)
+		if _, ok, _ := st.Get(stale.ID); !ok {
+			t.Fatal("record expired by its own put")
+		}
+
+		// A record that never finished ages from Submitted.
+		unfinished := record(t, "age-unfinished", 1)
+		unfinished.State = service.StateFailed
+		unfinished.Finished = time.Time{}
+		mustPut(t, st, unfinished)
+
+		fresh := record(t, "age-fresh", 2)
+		fresh.Submitted = time.Now()
+		fresh.Started = fresh.Submitted
+		fresh.Finished = fresh.Submitted
+		mustPut(t, st, fresh)
+
+		if !reflect.DeepEqual(evicted, []string{stale.ID, unfinished.ID}) {
+			t.Errorf("evicted %v, want the stale records oldest-first", evicted)
+		}
+		if _, ok, _ := st.Get(stale.ID); ok {
+			t.Error("expired record still resolves")
+		}
+		if _, ok, _ := st.Get(fresh.ID); !ok {
+			t.Error("fresh record expired")
+		}
+		if n, _ := st.Len(); n != 1 {
+			t.Errorf("Len = %d, want 1", n)
+		}
+	})
+	t.Run("UnboundedKeepsEverything", func(t *testing.T) {
+		st := factory(t, Options{})
+		old := record(t, "age-forever", 0)
+		mustPut(t, st, old)
+		mustPut(t, st, record(t, "age-forever-2", 1))
+		if n, _ := st.Len(); n != 2 {
+			t.Errorf("MaxAge 0 expired records: Len = %d, want 2", n)
+		}
+	})
 }
 
 // spec builds a distinct valid normalized spec per name; distinct names

@@ -1,0 +1,676 @@
+package service
+
+// The twin layer: long-lived digital-twin sessions hosted next to the
+// batch run registry. A twin is not a run — it has no spec-hash cache
+// (two tenants starting the same twin get two live sessions), no
+// archive tier (a twin's durable artifact is its spec + mutation log,
+// which replays byte-identically), and no terminal report. It shares
+// the daemon's tsdb (series under the twin id), the auth/quota layer,
+// the SSE idiom and the drain discipline.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/twin"
+)
+
+// twinRun is the server-side record of one twin session, live or
+// finished. Finished twins stay in the registry (status, mutation log
+// and telemetry remain queryable) until the daemon exits; they are
+// bounded by the tenants' session quotas, not MaxRuns.
+type twinRun struct {
+	id      string
+	seq     int
+	tenant  string
+	session *twin.Session
+	cancel  context.CancelFunc
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	state     State
+	errMsg    string
+	submitted time.Time
+	finished  time.Time
+	events    []Event
+}
+
+func (t *twinRun) appendEventLocked(typ string, e Event) {
+	e.Seq = len(t.events)
+	e.Type = typ
+	t.events = append(t.events, e)
+	t.cond.Broadcast()
+}
+
+// TwinView is the wire form of one twin session.
+type TwinView struct {
+	ID    string `json:"id"`
+	Name  string `json:"name,omitempty"`
+	State State  `json:"state"` // running|done|failed|cancelled
+	Error string `json:"error,omitempty"`
+	// Tenant is the owning tenant's name (empty on open daemons).
+	Tenant string `json:"tenant,omitempty"`
+	// Spec is the normalized twin spec; only the single-twin GET
+	// carries it (listings stay light).
+	Spec *twin.Spec `json:"spec,omitempty"`
+	// Status is the session's last epoch-boundary snapshot: virtual
+	// clock, active signal value, effective budget, per-member state.
+	Status twin.Status `json:"status"`
+	// Mutations is the applied-mutation log — together with Spec,
+	// everything needed to replay the session byte-identically. Only
+	// the single-twin GET carries it.
+	Mutations []twin.Applied `json:"mutations,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// view renders the twin; full attaches the spec and mutation log (the
+// single-twin GET).
+func (t *twinRun) view(full bool) TwinView {
+	st := t.session.Status()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := TwinView{
+		ID:          t.id,
+		Name:        st.Name,
+		State:       t.state,
+		Error:       t.errMsg,
+		Tenant:      t.tenant,
+		Status:      st,
+		SubmittedAt: t.submitted,
+	}
+	if !t.finished.IsZero() {
+		ft := t.finished
+		v.FinishedAt = &ft
+	}
+	if full {
+		sp := t.session.Spec()
+		v.Spec = &sp
+		v.Mutations = t.session.Log()
+	}
+	return v
+}
+
+// errUnknownTwin is THE not-found answer for a twin id: foreign-tenant
+// reads reuse it verbatim so "never existed" and "someone else's" are
+// indistinguishable (same oracle-closing contract as errUnknownRun).
+func errUnknownTwin(id string) *Error {
+	return &Error{Status: 404, Msg: fmt.Sprintf("service: unknown twin %q", id)}
+}
+
+// twinReadAllowed is the per-twin read ownership check, mirroring
+// readAllowed.
+func twinReadAllowed(auth *Auth, tenant TenantConfig, owner, id string) error {
+	if auth == nil || tenant.Admin || tenant.Name == "" || tenant.Name == owner {
+		return nil
+	}
+	return errUnknownTwin(id)
+}
+
+// twinWriteAllowed is the mutation/stop ownership check, mirroring
+// cancelAllowed (the id was already confirmed readable or the caller
+// owns it, so a 403 here leaks nothing new to an owner; foreign
+// writers without read rights never reach it).
+func twinWriteAllowed(auth *Auth, tenant TenantConfig, owner string) error {
+	if auth == nil || tenant.Admin || tenant.Name == "" || tenant.Name == owner {
+		return nil
+	}
+	return &Error{Status: 403, Msg: "service: twin belongs to another tenant"}
+}
+
+// StartTwin is StartTwinAs for the open daemon / trusted callers.
+func (s *Server) StartTwin(spec twin.Spec) (TwinView, error) {
+	return s.StartTwinAs(TenantConfig{}, spec)
+}
+
+// StartTwinAs validates and boots a twin session on behalf of a
+// tenant: members built, reservations placed, the lockstep loop
+// running on its own goroutine until the horizon, a stop or shutdown.
+// Twin starts share the tenant's submission rate limit with runs — a
+// live session is strictly more expensive than a batch run.
+func (s *Server) StartTwinAs(tenant TenantConfig, spec twin.Spec) (TwinView, error) {
+	if s.cfg.Auth != nil && tenant.Name != "" {
+		if wait, ok := s.cfg.Auth.AllowSubmit(tenant.Name); !ok {
+			return TwinView{}, &Error{
+				Status:     429,
+				Msg:        fmt.Sprintf("service: tenant %s over submission rate", tenant.Name),
+				RetryAfter: wait,
+			}
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return TwinView{}, &Error{Status: 400, Msg: err.Error()}
+	}
+
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return TwinView{}, &Error{Status: 503, Msg: "service: draining, not accepting twins"}
+	}
+
+	// Claim the id before the (potentially slow) member build so
+	// concurrent starts never race the sequence.
+	s.twinMu.Lock()
+	id := fmt.Sprintf("t%06d", s.nextTwinSeq+1)
+	seq := s.nextTwinSeq
+	s.nextTwinSeq++
+	s.twinMu.Unlock()
+
+	t := &twinRun{id: id, seq: seq, tenant: tenant.Name, state: StateRunning, submitted: time.Now()}
+	t.cond = sync.NewCond(&t.mu)
+	sink := s.tsdb.Run(id)
+	session, err := twin.New(spec, twin.Config{
+		Sink: sink,
+		OnEpoch: func(st twin.Status) {
+			t.mu.Lock()
+			t.appendEventLocked("epoch", Event{Done: int(st.VirtualTime), Total: int(st.HorizonSec)})
+			t.mu.Unlock()
+		},
+		OnApplied: func(a twin.Applied) {
+			t.mu.Lock()
+			t.appendEventLocked("mutation", Event{Cell: string(a.Mutation.Op), Done: int(a.AtEpoch), Error: a.Err})
+			t.mu.Unlock()
+		},
+	})
+	if err != nil {
+		s.tsdb.Drop(id)
+		return TwinView{}, &Error{Status: 400, Msg: err.Error()}
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	t.session = session
+	t.cancel = cancel
+
+	s.twinMu.Lock()
+	s.twins[id] = t
+	s.twinOrder = append(s.twinOrder, t)
+	s.twinMu.Unlock()
+
+	t.mu.Lock()
+	t.appendEventLocked("started", Event{})
+	t.mu.Unlock()
+
+	s.twinWG.Add(1)
+	go func() {
+		defer s.twinWG.Done()
+		defer cancel()
+		err := session.Run(ctx)
+		t.mu.Lock()
+		t.finished = time.Now()
+		switch {
+		case err == nil:
+			t.state = StateDone
+			t.appendEventLocked("done", Event{})
+		case ctx.Err() != nil:
+			t.state = StateCancelled
+			t.errMsg = err.Error()
+			t.appendEventLocked("cancelled", Event{Error: t.errMsg})
+		default:
+			t.state = StateFailed
+			t.errMsg = err.Error()
+			t.appendEventLocked("failed", Event{Error: t.errMsg})
+		}
+		t.mu.Unlock()
+	}()
+	return t.view(false), nil
+}
+
+// twinByID resolves a twin id without tenancy (internal).
+func (s *Server) twinByID(id string) *twinRun {
+	s.twinMu.Lock()
+	defer s.twinMu.Unlock()
+	return s.twins[id]
+}
+
+// Twin is TwinAs with operator rights.
+func (s *Server) Twin(id string) (TwinView, error) {
+	return s.TwinAs(TenantConfig{Admin: true}, id)
+}
+
+// TwinAs returns one twin's view — spec and mutation log included —
+// with the caller's tenancy applied: someone else's twin answers the
+// exact 404 an id that never existed answers.
+func (s *Server) TwinAs(tenant TenantConfig, id string) (TwinView, error) {
+	t := s.twinByID(id)
+	if t == nil {
+		return TwinView{}, errUnknownTwin(id)
+	}
+	if err := twinReadAllowed(s.cfg.Auth, tenant, t.tenant, id); err != nil {
+		return TwinView{}, err
+	}
+	return t.view(true), nil
+}
+
+// ListTwinsAs returns the caller-visible twins in start order (admins
+// and open daemons see all).
+func (s *Server) ListTwinsAs(tenant TenantConfig) []TwinView {
+	s.twinMu.Lock()
+	order := append([]*twinRun(nil), s.twinOrder...)
+	s.twinMu.Unlock()
+	sort.Slice(order, func(i, j int) bool { return order[i].seq < order[j].seq })
+	views := make([]TwinView, 0, len(order))
+	for _, t := range order {
+		if twinReadAllowed(s.cfg.Auth, tenant, t.tenant, t.id) != nil {
+			continue
+		}
+		views = append(views, t.view(false))
+	}
+	return views
+}
+
+// MutateTwinAs enqueues a live mutation; it applies at the first epoch
+// boundary at or after its AtSec. Unknown ops are 400; mutating a
+// finished twin is 409; the returned view shows the queue growing
+// (application is asynchronous by design — the boundary contract).
+func (s *Server) MutateTwinAs(tenant TenantConfig, id string, m twin.Mutation) (TwinView, error) {
+	t := s.twinByID(id)
+	if t == nil {
+		return TwinView{}, errUnknownTwin(id)
+	}
+	if err := twinReadAllowed(s.cfg.Auth, tenant, t.tenant, id); err != nil {
+		return TwinView{}, err
+	}
+	if err := twinWriteAllowed(s.cfg.Auth, tenant, t.tenant); err != nil {
+		return TwinView{}, err
+	}
+	t.mu.Lock()
+	terminal := t.state.Terminal()
+	t.mu.Unlock()
+	if terminal {
+		return TwinView{}, &Error{Status: 409, Msg: fmt.Sprintf("service: twin %s is finished; mutations no longer apply", id)}
+	}
+	if err := t.session.Mutate(m); err != nil {
+		return TwinView{}, &Error{Status: 400, Msg: err.Error()}
+	}
+	return t.view(false), nil
+}
+
+// StopTwinAs stops a twin: its context is cancelled and the session
+// unwinds at the next boundary (or mid-sleep for paced twins).
+// Stopping a finished twin is a no-op; the view reports the state
+// reached. The twin's status, log and telemetry remain readable.
+func (s *Server) StopTwinAs(tenant TenantConfig, id string) (TwinView, error) {
+	t := s.twinByID(id)
+	if t == nil {
+		return TwinView{}, errUnknownTwin(id)
+	}
+	if err := twinReadAllowed(s.cfg.Auth, tenant, t.tenant, id); err != nil {
+		return TwinView{}, err
+	}
+	if err := twinWriteAllowed(s.cfg.Auth, tenant, t.tenant); err != nil {
+		return TwinView{}, err
+	}
+	t.cancel()
+	return t.view(false), nil
+}
+
+// FollowTwin replays a twin's event log from the start and then
+// follows live appends until the twin finishes, fn errors or ctx ends
+// — the twin SSE loop, same discipline as Follow.
+func (s *Server) FollowTwin(ctx context.Context, id string, fn func(Event) error) error {
+	t := s.twinByID(id)
+	if t == nil {
+		return errUnknownTwin(id)
+	}
+	stop := context.AfterFunc(ctx, func() {
+		t.mu.Lock()
+		t.cond.Broadcast()
+		t.mu.Unlock()
+	})
+	defer stop()
+
+	idx := 0
+	t.mu.Lock()
+	for {
+		for idx < len(t.events) {
+			e := t.events[idx]
+			idx++
+			t.mu.Unlock()
+			if err := fn(e); err != nil {
+				return err
+			}
+			t.mu.Lock()
+		}
+		if t.state.Terminal() {
+			t.mu.Unlock()
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			t.mu.Unlock()
+			return err
+		}
+		t.cond.Wait()
+	}
+}
+
+// twinStats counts the registry for Stats (live = still running).
+func (s *Server) twinStats() (live, total int) {
+	s.twinMu.Lock()
+	defer s.twinMu.Unlock()
+	for _, t := range s.twins {
+		t.mu.Lock()
+		if !t.state.Terminal() {
+			live++
+		}
+		t.mu.Unlock()
+	}
+	return live, len(s.twins)
+}
+
+// stopTwins cancels every live twin and waits for their goroutines,
+// bounded by ctx — the Shutdown leg of the twin registry.
+func (s *Server) stopTwins(ctx context.Context) error {
+	s.twinMu.Lock()
+	for _, t := range s.twins {
+		t.cancel()
+	}
+	s.twinMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.twinWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// --- HTTP ---
+
+// handleTwins serves the collection: POST starts a twin, GET lists the
+// caller's twins.
+func (s *Server) handleTwins(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+		dec.DisallowUnknownFields()
+		var spec twin.Spec
+		if err := dec.Decode(&spec); err != nil {
+			writeErr(w, &Error{Status: 400, Msg: fmt.Sprintf("service: decoding twin spec: %v", err)})
+			return
+		}
+		v, err := s.StartTwinAs(requestTenant(r), spec)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, v)
+	case http.MethodGet:
+		writeJSON(w, 200, twinListResponse{Twins: s.ListTwinsAs(requestTenant(r))})
+	default:
+		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+	}
+}
+
+// twinListResponse is the GET /v1/twin answer.
+type twinListResponse struct {
+	Twins []TwinView `json:"twins"`
+}
+
+// handleTwin routes /v1/twin/{id}[/mutations|series|events].
+func (s *Server) handleTwin(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/twin/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		writeErr(w, &Error{Status: 404, Msg: "missing twin id"})
+		return
+	}
+	switch sub {
+	case "":
+		switch r.Method {
+		case http.MethodGet:
+			v, err := s.TwinAs(requestTenant(r), id)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			writeJSON(w, 200, v)
+		case http.MethodDelete:
+			v, err := s.StopTwinAs(requestTenant(r), id)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			writeJSON(w, 200, v)
+		default:
+			writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+		}
+	case "mutations":
+		s.handleTwinMutations(w, r, id)
+	case "series":
+		s.handleTwinSeries(w, r, id)
+	case "events":
+		s.handleTwinEvents(w, r, id)
+	default:
+		writeErr(w, &Error{Status: 404, Msg: fmt.Sprintf("unknown resource %q", sub)})
+	}
+}
+
+// handleTwinMutations serves POST (enqueue a mutation) and GET (the
+// applied log) on /v1/twin/{id}/mutations.
+func (s *Server) handleTwinMutations(w http.ResponseWriter, r *http.Request, id string) {
+	switch r.Method {
+	case http.MethodPost:
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+		dec.DisallowUnknownFields()
+		var m twin.Mutation
+		if err := dec.Decode(&m); err != nil {
+			writeErr(w, &Error{Status: 400, Msg: fmt.Sprintf("service: decoding mutation: %v", err)})
+			return
+		}
+		v, err := s.MutateTwinAs(requestTenant(r), id, m)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, v)
+	case http.MethodGet:
+		v, err := s.TwinAs(requestTenant(r), id)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if v.Mutations == nil {
+			v.Mutations = []twin.Applied{}
+		}
+		writeJSON(w, 200, v.Mutations)
+	default:
+		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+	}
+}
+
+// handleTwinSeries serves GET /v1/twin/{id}/series?metric=&from=&to=
+// &res= — the run series endpoint over the twin's telemetry. Twins
+// have no archive tier: the live tsdb is the only source.
+func (s *Server) handleTwinSeries(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+		return
+	}
+	if _, err := s.TwinAs(requestTenant(r), id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	rs := s.tsdb.Lookup(id)
+	if rs == nil {
+		writeErr(w, &Error{Status: 404, Msg: fmt.Sprintf("twin %s recorded no telemetry", id)})
+		return
+	}
+	q := r.URL.Query()
+	metric := q.Get("metric")
+	if metric == "" {
+		writeJSON(w, 200, SeriesResponse{Run: id, Metrics: rs.Series(), DroppedSeries: rs.Dropped()})
+		return
+	}
+	from, to, res, err := timeRangeParams(q)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	pts, per, err := rs.Query(metric, from, to, res)
+	if err != nil {
+		writeErr(w, &Error{Status: 404, Msg: err.Error()})
+		return
+	}
+	writeJSON(w, 200, SeriesResponse{
+		Run:           id,
+		Metric:        metric,
+		RawPerPoint:   per,
+		Points:        pts,
+		DroppedSeries: rs.Dropped(),
+	})
+}
+
+// handleTwinEvents streams the twin's event log as SSE: started,
+// epoch (virtual-clock ticks), mutation, done/failed/cancelled.
+func (s *Server) handleTwinEvents(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, &Error{Status: 500, Msg: "streaming unsupported by this connection"})
+		return
+	}
+	if _, err := s.TwinAs(requestTenant(r), id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(200)
+	flusher.Flush()
+
+	_ = s.FollowTwin(r.Context(), id, func(e Event) error {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data); err != nil {
+			return err
+		}
+		flusher.Flush()
+		return nil
+	})
+}
+
+// handlePromMetrics serves the Prometheus text exposition of the
+// daemon's gauge set on /metrics — unauthenticated like /healthz, so
+// scrapers need no tenant token (the gauges are aggregate counters,
+// no per-tenant data).
+func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+		return
+	}
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	b := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	for _, g := range []struct {
+		name, help string
+		value      int
+	}{
+		{"simd_runs", "Process-visible runs (live plus hot tier).", st.Runs},
+		{"simd_runs_queued", "Runs waiting for a worker.", st.Queued},
+		{"simd_runs_running", "Runs executing now.", st.Running},
+		{"simd_executions_total", "Fresh executions since boot (cache misses).", st.Executions},
+		{"simd_cache_hits_total", "Submissions deduped into existing runs.", st.CacheHits},
+		{"simd_workers", "Run worker pool size.", st.Workers},
+		{"simd_archived", "Records in the durable archive.", st.Archived},
+		{"simd_archive_errors_total", "Failed archive writes since boot.", st.ArchiveErrors},
+		{"simd_twins_live", "Twin sessions currently running.", st.TwinsLive},
+		{"simd_twins_total", "Twin sessions started and retained since boot.", st.TwinsTotal},
+		{"simd_draining", "1 while the daemon refuses new work.", b(st.Draining)},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.value)
+	}
+}
+
+// --- Client ---
+
+// StartTwin posts a twin spec and returns the live session's view.
+func (c *Client) StartTwin(ctx context.Context, spec twin.Spec) (TwinView, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(spec); err != nil {
+		return TwinView{}, err
+	}
+	var v TwinView
+	err := c.do(ctx, http.MethodPost, "/v1/twin", &buf, &v)
+	return v, err
+}
+
+// Twin fetches one twin's status, spec and mutation log.
+func (c *Client) Twin(ctx context.Context, id string) (TwinView, error) {
+	var v TwinView
+	err := c.do(ctx, http.MethodGet, "/v1/twin/"+id, nil, &v)
+	return v, err
+}
+
+// ListTwins fetches the caller-visible twin sessions.
+func (c *Client) ListTwins(ctx context.Context) ([]TwinView, error) {
+	var resp twinListResponse
+	err := c.do(ctx, http.MethodGet, "/v1/twin", nil, &resp)
+	return resp.Twins, err
+}
+
+// MutateTwin enqueues a live mutation on a twin.
+func (c *Client) MutateTwin(ctx context.Context, id string, m twin.Mutation) (TwinView, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(m); err != nil {
+		return TwinView{}, err
+	}
+	var v TwinView
+	err := c.do(ctx, http.MethodPost, "/v1/twin/"+id+"/mutations", &buf, &v)
+	return v, err
+}
+
+// StopTwin stops a twin session (its telemetry stays queryable).
+func (c *Client) StopTwin(ctx context.Context, id string) (TwinView, error) {
+	var v TwinView
+	err := c.do(ctx, http.MethodDelete, "/v1/twin/"+id, nil, &v)
+	return v, err
+}
+
+// TwinSeries fetches one metric's points from a twin's telemetry; an
+// empty metric enumerates the recorded metrics.
+func (c *Client) TwinSeries(ctx context.Context, id, metric string, sq SeriesQuery) (SeriesResponse, error) {
+	q := url.Values{}
+	if metric != "" {
+		q.Set("metric", metric)
+	}
+	if sq.From != 0 {
+		q.Set("from", strconv.FormatInt(sq.From, 10))
+	}
+	if sq.To != 0 {
+		q.Set("to", strconv.FormatInt(sq.To, 10))
+	}
+	if sq.Res != 0 {
+		q.Set("res", strconv.FormatInt(sq.Res, 10))
+	}
+	path := "/v1/twin/" + id + "/series"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var resp SeriesResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &resp)
+	return resp, err
+}

@@ -1,0 +1,294 @@
+package signal
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func ptr(v float64) *float64 { return &v }
+
+// sampleTimes is the conformance probe grid: boundaries, interior
+// points and far-future instants every determinism check evaluates.
+var sampleTimes = []int64{0, 1, 59, 900, 901, 3600, 43200, 86399, 86400, 86401, 604800, 1 << 31}
+
+// conformanceSpecs enumerates one spec per registered kind plus nested
+// combinator trees — the suite every property test below iterates.
+func conformanceSpecs() map[string]*Spec {
+	return map[string]*Spec{
+		"constant": {Kind: "constant", Value: 0.75},
+		"step":     {Kind: "step", Times: []int64{0, 3600, 7200}, Values: []float64{1, 0.5, 0.9}},
+		"sinusoid": {Kind: "sinusoid", Mean: 1, Amplitude: 0.25, PeriodSec: 3600},
+		"diurnal":  {Kind: "diurnal", Mean: 1, Amplitude: 0.3, PhaseSec: 1800},
+		"trace":    {Kind: "trace", Times: []int64{0, 1800}, Values: []float64{0.8, 1.1}},
+		"clamp": {Kind: "clamp", Min: ptr(0.8), Max: ptr(1.1),
+			Input: &Spec{Kind: "sinusoid", Mean: 1, Amplitude: 0.5, PeriodSec: 7200}},
+		"scale": {Kind: "scale", Factor: 0.5, Input: &Spec{Kind: "constant", Value: 2}},
+		"compose": {Kind: "compose", Inputs: []*Spec{
+			{Kind: "diurnal", Mean: 1, Amplitude: 0.2},
+			{Kind: "step", Times: []int64{0, 43200}, Values: []float64{1, 0.7}},
+		}},
+	}
+}
+
+// TestDeterminismAcrossRebuilds pins the replay contract: building the
+// same spec twice — as a restarted daemon would — yields bit-identical
+// samples at every probe instant.
+func TestDeterminismAcrossRebuilds(t *testing.T) {
+	for name, spec := range conformanceSpecs() {
+		// Round-trip through JSON to model a spec stored and reloaded
+		// across a restart.
+		raw, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var reloaded Spec
+		if err := json.Unmarshal(raw, &reloaded); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		a, err := Build(spec)
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		b, err := Build(&reloaded)
+		if err != nil {
+			t.Fatalf("%s: rebuild: %v", name, err)
+		}
+		for _, at := range sampleTimes {
+			if va, vb := a.At(at), b.At(at); va != vb {
+				t.Errorf("%s: At(%d) differs across rebuilds: %v vs %v", name, at, va, vb)
+			}
+			// A Source must also be pure: the same instant twice gives
+			// the same value.
+			if v1, v2 := a.At(at), a.At(at); v1 != v2 {
+				t.Errorf("%s: At(%d) not pure: %v then %v", name, at, v1, v2)
+			}
+		}
+	}
+}
+
+// TestClampBounds verifies every clamp output lands inside its bounds
+// regardless of the input's range.
+func TestClampBounds(t *testing.T) {
+	spec := &Spec{Kind: "clamp", Min: ptr(0.9), Max: ptr(1.05),
+		Input: &Spec{Kind: "sinusoid", Mean: 1, Amplitude: 2, PeriodSec: 600}}
+	src, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for at := int64(0); at < 1200; at += 7 {
+		if v := src.At(at); v < 0.9 || v > 1.05 {
+			t.Fatalf("At(%d)=%v escapes [0.9,1.05]", at, v)
+		}
+	}
+	// One-sided clamps leave the other side open.
+	lo, err := Build(&Spec{Kind: "clamp", Min: ptr(0.5), Input: &Spec{Kind: "constant", Value: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := lo.At(0); v != 3 {
+		t.Fatalf("min-only clamp capped from above: got %v, want 3", v)
+	}
+}
+
+// TestCombinatorAlgebra pins the compose/clamp/scale laws the docs
+// promise: compose multiplies pointwise, scale is compose-with-a-
+// constant, clamping an in-bounds signal is the identity.
+func TestCombinatorAlgebra(t *testing.T) {
+	base := &Spec{Kind: "sinusoid", Mean: 1, Amplitude: 0.25, PeriodSec: 3600}
+	scaled, err := Build(&Spec{Kind: "scale", Factor: 0.5, Input: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed, err := Build(&Spec{Kind: "compose", Inputs: []*Spec{
+		{Kind: "constant", Value: 0.5}, base,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Build(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identity, err := Build(&Spec{Kind: "clamp", Min: ptr(0.0), Max: ptr(10.0), Input: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range sampleTimes {
+		want := 0.5 * direct.At(at)
+		if v := scaled.At(at); math.Abs(v-want) > 1e-12 {
+			t.Errorf("scale: At(%d)=%v, want %v", at, v, want)
+		}
+		if v := composed.At(at); math.Abs(v-want) > 1e-12 {
+			t.Errorf("compose: At(%d)=%v, want %v", at, v, want)
+		}
+		if v := identity.At(at); v != direct.At(at) {
+			t.Errorf("in-bounds clamp not identity at %d: %v vs %v", at, v, direct.At(at))
+		}
+	}
+}
+
+func TestStepHold(t *testing.T) {
+	src, err := Build(&Spec{Kind: "step", Times: []int64{100, 200}, Values: []float64{1, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		at   int64
+		want float64
+	}{{0, 1}, {99, 1}, {100, 1}, {199, 1}, {200, 0.5}, {10000, 0.5}}
+	for _, c := range cases {
+		if v := src.At(c.at); v != c.want {
+			t.Errorf("At(%d)=%v, want %v", c.at, v, c.want)
+		}
+	}
+}
+
+func TestSinusoidPeriodic(t *testing.T) {
+	src, err := Build(&Spec{Kind: "sinusoid", Mean: 1, Amplitude: 0.25, PeriodSec: 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []int64{0, 137, 1800} {
+		if a, b := src.At(at), src.At(at+3600); math.Abs(a-b) > 1e-9 {
+			t.Errorf("not periodic: At(%d)=%v, At(%d)=%v", at, a, at+3600, b)
+		}
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	src, err := Build(&Spec{Kind: "diurnal", Mean: 1, Amplitude: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := src.At(0); math.Abs(v-0.7) > 1e-9 {
+		t.Errorf("midnight trough: got %v, want 0.7", v)
+	}
+	if v := src.At(43200); math.Abs(v-1.3) > 1e-9 {
+		t.Errorf("noon crest: got %v, want 1.3", v)
+	}
+}
+
+func TestTraceCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "price.csv")
+	data := "# energy price trace\n0, 1.0\n\n3600, 0.6\n7200, 1.2\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := Build(&Spec{Kind: "trace", Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		at   int64
+		want float64
+	}{{0, 1}, {3599, 1}, {3600, 0.6}, {7200, 1.2}, {1 << 20, 1.2}}
+	for _, c := range cases {
+		if v := src.At(c.at); v != c.want {
+			t.Errorf("At(%d)=%v, want %v", c.at, v, c.want)
+		}
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, data string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"empty":      "# only comments\n",
+		"no-comma":   "0 1.0\n",
+		"bad-time":   "x,1.0\n",
+		"bad-value":  "0,y\n",
+		"descending": "100,1\n50,2\n",
+	}
+	for name, data := range cases {
+		if _, err := Build(&Spec{Kind: "trace", Path: write(name+".csv", data)}); err == nil {
+			t.Errorf("%s: Build accepted malformed trace", name)
+		}
+	}
+	if _, err := Build(&Spec{Kind: "trace", Path: filepath.Join(dir, "absent.csv")}); err == nil {
+		t.Error("Build accepted missing trace file")
+	}
+}
+
+func TestNormalizeCanonicalAndIdempotent(t *testing.T) {
+	s := &Spec{Kind: "SINE", PeriodSec: 60, Inputs: nil}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != "sinusoid" {
+		t.Fatalf("alias not canonicalized: %q", s.Kind)
+	}
+	if s.Mean != 1 {
+		t.Fatalf("mean default not applied: %v", s.Mean)
+	}
+	before := *s
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, *s) {
+		t.Fatalf("Normalize not idempotent: %+v then %+v", before, *s)
+	}
+	// Defaults for the other kinds.
+	c := &Spec{Kind: "constant"}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Value != 1 {
+		t.Fatalf("constant default: %v", c.Value)
+	}
+	sc := &Spec{Kind: "scale", Input: &Spec{Kind: "constant"}}
+	if err := sc.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Factor != 1 || sc.Input.Value != 1 {
+		t.Fatalf("scale defaults not recursive: %+v", sc)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]*Spec{
+		"unknown-kind":     {Kind: "nope"},
+		"step-empty":       {Kind: "step"},
+		"step-mismatch":    {Kind: "step", Times: []int64{0, 1}, Values: []float64{1}},
+		"step-unsorted":    {Kind: "step", Times: []int64{5, 5}, Values: []float64{1, 2}},
+		"sinusoid-period":  {Kind: "sinusoid", Mean: 1},
+		"trace-neither":    {Kind: "trace"},
+		"trace-both":       {Kind: "trace", Path: "x.csv", Times: []int64{0}, Values: []float64{1}},
+		"clamp-no-input":   {Kind: "clamp", Min: ptr(0.0)},
+		"clamp-no-bounds":  {Kind: "clamp", Input: &Spec{Kind: "constant"}},
+		"clamp-inverted":   {Kind: "clamp", Min: ptr(2.0), Max: ptr(1.0), Input: &Spec{Kind: "constant"}},
+		"scale-no-input":   {Kind: "scale", Factor: 2},
+		"compose-empty":    {Kind: "compose"},
+		"nested-bad-input": {Kind: "scale", Input: &Spec{Kind: "step"}},
+		"nested-bad-list":  {Kind: "compose", Inputs: []*Spec{{Kind: "constant"}, {Kind: "bogus"}}},
+	}
+	for name, spec := range cases {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, spec)
+		}
+		if _, err := Build(spec); err == nil {
+			t.Errorf("%s: Build accepted %+v", name, spec)
+		}
+	}
+}
+
+func TestBuildNil(t *testing.T) {
+	src, err := Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range sampleTimes {
+		if v := src.At(at); v != 1 {
+			t.Fatalf("nil spec At(%d)=%v, want 1", at, v)
+		}
+	}
+}

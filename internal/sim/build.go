@@ -46,6 +46,31 @@ func (s SWFSpec) swfSource(machineCores int) trace.SWFSource {
 	return src
 }
 
+// MemberScenario lowers one workload + policy + machine scale onto a
+// broker-member scenario — the twin layer's bridge from its JSON
+// member vocabulary to the replay layer, sharing the exact lowering of
+// spec-driven runs (same kind lookup, same SWF rescaling). The member
+// carries no cap fields: a broker owns its budget.
+func MemberScenario(name string, w WorkloadSpec, policy string, racks int) (replay.Scenario, error) {
+	if err := w.validate(); err != nil {
+		return replay.Scenario{}, err
+	}
+	wl, err := w.traceConfig()
+	if err != nil {
+		return replay.Scenario{}, err
+	}
+	p, err := Policies.Lookup(policy)
+	if err != nil {
+		return replay.Scenario{}, fmt.Errorf("sim: %w", err)
+	}
+	sc := replay.Scenario{Name: name, Workload: wl, Policy: p, ScaleRacks: racks}
+	if w.SWF != nil {
+		src := w.SWF.swfSource(sc.Machine().Cores())
+		sc.SWF = &src
+	}
+	return sc, nil
+}
+
 // label names the workload in scenario labels: the SWF path when
 // streaming, the kind otherwise.
 func (w WorkloadSpec) label() string {
@@ -225,6 +250,7 @@ func (s RunSpec) federationScenarios() ([]replay.FederationScenario, error) {
 				if f.EpochSec > 0 {
 					fs.EpochSec = f.EpochSec
 				}
+				fs.BudgetSignal = f.Signal
 				out = append(out, fs)
 			}
 		}

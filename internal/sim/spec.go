@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/registry"
 	"repro/internal/replay"
+	"repro/internal/signal"
 	"repro/internal/trace"
 )
 
@@ -204,8 +205,15 @@ type FederationSpec struct {
 	// means ["demand"].
 	Divisions []string `json:"divisions,omitempty"`
 	// EpochSec is the redistribution period; 0 keeps the library
-	// default (900 s).
+	// default (900 s). Negative values are rejected — the broker's
+	// lockstep loop needs a positive epoch.
 	EpochSec int64 `json:"epoch_sec,omitempty"`
+	// Signal, when non-nil, scales the global site budget over time: at
+	// every epoch boundary the broker multiplies the cap-fraction base
+	// by the signal's value at that instant. See internal/signal for
+	// the source kinds (step, diurnal, sinusoid, CSV trace replay,
+	// clamp/scale/compose).
+	Signal *signal.Spec `json:"signal,omitempty"`
 }
 
 // EffectiveMode derives the execution mode from the populated fields:
@@ -271,6 +279,7 @@ func (s RunSpec) Normalize() RunSpec {
 			ff.Divisions = []string{replay.DivideDemand.String()}
 		}
 		ff.Divisions = canonicalNames(Divisions, ff.Divisions)
+		ff.Signal = normalizeSignal(ff.Signal)
 		if len(out.CapFractions) == 0 {
 			out.CapFractions = []float64{0.6}
 		}
@@ -291,6 +300,27 @@ func (w WorkloadSpec) normalize() WorkloadSpec {
 		w.SWF = &s
 	}
 	return w
+}
+
+// normalizeSignal canonicalizes a budget-signal tree on a deep copy,
+// passing the original through untouched when any kind is unregistered
+// (Normalize must not fail; Validate reports unknown kinds).
+func normalizeSignal(s *signal.Spec) *signal.Spec {
+	if s == nil {
+		return nil
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		return s
+	}
+	var copied signal.Spec
+	if err := json.Unmarshal(raw, &copied); err != nil {
+		return s
+	}
+	if err := copied.Normalize(); err != nil {
+		return s
+	}
+	return &copied
 }
 
 // canonicalName resolves a registry name to its canonical spelling,
@@ -378,7 +408,13 @@ func (s RunSpec) Validate() error {
 			}
 		}
 		if f.EpochSec < 0 {
-			return fmt.Errorf("sim: negative federation epoch %d", f.EpochSec)
+			return fmt.Errorf("sim: federation epoch must be a positive duration, got %d (omit or 0 for the %d s default)",
+				f.EpochSec, replay.DefaultFederationEpoch)
+		}
+		if f.Signal != nil {
+			if err := f.Signal.Validate(); err != nil {
+				return fmt.Errorf("sim: federation signal: %w", err)
+			}
 		}
 		for _, frac := range s.CapFractions {
 			if frac <= 0 || frac >= 1 {

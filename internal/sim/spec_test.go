@@ -5,7 +5,11 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/signal"
 )
+
+func f64(v float64) *float64 { return &v }
 
 // complexSpec exercises every RunSpec field at once.
 func complexSpec() RunSpec {
@@ -47,6 +51,16 @@ func TestSpecJSONRoundTripExact(t *testing.T) {
 		"federation": {
 			CapFractions: []float64{0.5},
 			Federation:   &FederationSpec{MemberCounts: []int{2, 3}, Divisions: []string{"prorata"}, EpochSec: 600},
+		},
+		"federation-signal": {
+			CapFractions: []float64{0.5},
+			Federation: &FederationSpec{EpochSec: 600, Signal: &signal.Spec{
+				Kind: "clamp", Min: f64(0.5), Max: f64(1.0),
+				Input: &signal.Spec{Kind: "compose", Inputs: []*signal.Spec{
+					{Kind: "diurnal", Mean: 1, Amplitude: 0.3},
+					{Kind: "step", Times: []int64{0, 43200}, Values: []float64{1, 0.8}},
+				}},
+			}},
 		},
 	} {
 		var buf bytes.Buffer
@@ -139,12 +153,14 @@ func TestValidateRejectsStructuralProblems(t *testing.T) {
 		{Mode: ModeSweep}, // mode contradicts fields
 		{Racks: -1},       // negative machine
 		{Workers: -2},     // negative pool
-		{Workload: WorkloadSpec{SWF: &SWFSpec{}}},                                               // SWF without path
-		{Workload: WorkloadSpec{SWF: &SWFSpec{Path: "x", WindowStartSec: 10, WindowEndSec: 5}}}, // empty window
-		{CapFractions: []float64{1.5}, Federation: &FederationSpec{}},                           // fed cap outside (0,1)
-		{CapFractions: []float64{0.5}, Federation: &FederationSpec{MemberCounts: []int{0}}},     // zero members
-		{CapFractions: []float64{0.5}, Federation: &FederationSpec{EpochSec: -1}},               // negative epoch
-		{Cap: CapSpec{StartSec: -5}},                                                            // negative window
+		{Workload: WorkloadSpec{SWF: &SWFSpec{}}},                                                        // SWF without path
+		{Workload: WorkloadSpec{SWF: &SWFSpec{Path: "x", WindowStartSec: 10, WindowEndSec: 5}}},          // empty window
+		{CapFractions: []float64{1.5}, Federation: &FederationSpec{}},                                    // fed cap outside (0,1)
+		{CapFractions: []float64{0.5}, Federation: &FederationSpec{MemberCounts: []int{0}}},              // zero members
+		{CapFractions: []float64{0.5}, Federation: &FederationSpec{EpochSec: -1}},                        // negative epoch
+		{CapFractions: []float64{0.5}, Federation: &FederationSpec{Signal: &signal.Spec{Kind: "bogus"}}}, // unknown signal kind
+		{CapFractions: []float64{0.5}, Federation: &FederationSpec{Signal: &signal.Spec{Kind: "step"}}},  // step without breakpoints
+		{Cap: CapSpec{StartSec: -5}}, // negative window
 	}
 	for i, spec := range bad {
 		if err := spec.Validate(); err == nil {
@@ -153,6 +169,52 @@ func TestValidateRejectsStructuralProblems(t *testing.T) {
 	}
 	if err := complexSpec().Validate(); err != nil {
 		t.Errorf("complex-but-valid spec rejected: %v", err)
+	}
+}
+
+// TestFederationEpochValidation pins the epoch contract: a negative
+// epoch is rejected with an error naming the positive-duration
+// requirement and the default, zero keeps meaning "default 900 s"
+// (every checked-in federation spec omits the field), and an explicit
+// epoch survives the JSON round trip exactly.
+func TestFederationEpochValidation(t *testing.T) {
+	neg := RunSpec{CapFractions: []float64{0.5}, Federation: &FederationSpec{EpochSec: -900}}
+	err := neg.Validate()
+	if err == nil {
+		t.Fatal("negative federation epoch accepted")
+	}
+	if !strings.Contains(err.Error(), "positive") || !strings.Contains(err.Error(), "900") {
+		t.Errorf("epoch error %q does not explain the contract", err)
+	}
+
+	zero := RunSpec{CapFractions: []float64{0.5}, Federation: &FederationSpec{}}
+	if err := zero.Validate(); err != nil {
+		t.Fatalf("zero (defaulted) federation epoch rejected: %v", err)
+	}
+	scens, err := zero.Normalize().FederationScenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fs := range scens {
+		if fs.Epoch() != 900 {
+			t.Errorf("defaulted epoch lowered to %d, want 900", fs.Epoch())
+		}
+	}
+
+	var buf bytes.Buffer
+	explicit := RunSpec{CapFractions: []float64{0.5}, Federation: &FederationSpec{EpochSec: 600}}
+	if err := explicit.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Federation.EpochSec != 600 {
+		t.Errorf("explicit epoch drifted through the round trip: %d", got.Federation.EpochSec)
+	}
+	if err := RoundTrips(buf.Bytes()); err != nil {
+		t.Error(err)
 	}
 }
 

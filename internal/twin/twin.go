@@ -1,0 +1,770 @@
+// Package twin turns the batch federation broker into a long-lived
+// digital twin of a multi-cluster site: a continuous lockstep session
+// over rjms controllers, driven by a virtual clock with a configurable
+// real-time ratio (including as-fast-as-possible), streaming telemetry
+// into a sink at every epoch boundary and accepting live mutations —
+// budget overrides, member add/remove, node failure and repair — from
+// a serialized queue that only ever applies at epoch boundaries.
+//
+// Determinism is the load-bearing contract: the member simulations are
+// pure functions of their scenarios, the budget signal is a pure
+// function of virtual time, and mutations take effect only at epoch
+// boundaries, so a session replayed from the same Spec plus its
+// recorded mutation log (Log) produces byte-identical telemetry. That
+// is what makes failover and audit of a long-lived twin possible: any
+// observer can reconstruct exactly what the site saw.
+package twin
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/federation"
+	"repro/internal/power"
+	"repro/internal/replay"
+	"repro/internal/reservation"
+	"repro/internal/rjms"
+	"repro/internal/signal"
+	"repro/internal/sim"
+)
+
+// DefaultEpoch is the redistribution period when EpochSec is zero —
+// the federation default.
+const DefaultEpoch = replay.DefaultFederationEpoch
+
+// DefaultHorizon is the virtual horizon when HorizonSec is zero: one
+// simulated week. A twin is long-lived but not literally unbounded —
+// the controllers preallocate their sample storage from the horizon,
+// so "forever" must stay finite.
+const DefaultHorizon = int64(7 * 24 * 3600)
+
+// MemberSpec describes one member cluster of a twin: a workload, a
+// policy and a machine scale. No cap fields — the twin's broker owns
+// every member's budget, exactly like the batch federation.
+type MemberSpec struct {
+	// Name identifies the member in mutations and telemetry series;
+	// empty names default to member<i> at build. Names must be unique.
+	Name string `json:"name,omitempty"`
+	// Workload is the member's job source (synthetic kind or SWF).
+	Workload sim.WorkloadSpec `json:"workload"`
+	// Policy is the member's powercap policy (registry name, default
+	// DVFS — every node stays powered, so budget moves translate into
+	// launch headroom immediately).
+	Policy string `json:"policy,omitempty"`
+	// Racks scales the member machine (0 = full Curie).
+	Racks int `json:"racks,omitempty"`
+}
+
+// Spec declares a twin session. It is JSON-serializable with the same
+// Validate-then-Normalize contract as sim.RunSpec.
+type Spec struct {
+	Name string `json:"name,omitempty"`
+	// Members are the initial fleet (at least one).
+	Members []MemberSpec `json:"members"`
+	// GlobalCapFraction is the site budget as a fraction of the summed
+	// member maximum draws; must be in (0, 1).
+	GlobalCapFraction float64 `json:"global_cap_fraction"`
+	// Division picks the redistribution policy (default "demand").
+	Division string `json:"division,omitempty"`
+	// EpochSec is the redistribution period; 0 means 900 s. Negative
+	// values are rejected.
+	EpochSec int64 `json:"epoch_sec,omitempty"`
+	// HorizonSec bounds the virtual lifetime; 0 means one week.
+	HorizonSec int64 `json:"horizon_sec,omitempty"`
+	// RealTimeRatio paces the virtual clock: simulated seconds per
+	// wall-clock second. 0 runs as fast as possible; 1 runs in real
+	// time; 3600 runs an hour a second.
+	RealTimeRatio float64 `json:"real_time_ratio,omitempty"`
+	// Signal, when non-nil, scales the global budget over virtual time
+	// (see internal/signal).
+	Signal *signal.Spec `json:"signal,omitempty"`
+}
+
+// Validate reports structural problems without touching the
+// filesystem (bad trace paths surface when the session builds).
+func (s Spec) Validate() error {
+	if len(s.Members) == 0 {
+		return fmt.Errorf("twin: spec %q has no members", s.Name)
+	}
+	if s.GlobalCapFraction <= 0 || s.GlobalCapFraction >= 1 {
+		return fmt.Errorf("twin: spec %q global cap fraction %v outside (0, 1)", s.Name, s.GlobalCapFraction)
+	}
+	if s.Division != "" {
+		if _, err := sim.Divisions.Lookup(s.Division); err != nil {
+			return fmt.Errorf("twin: %w", err)
+		}
+	}
+	if s.EpochSec < 0 {
+		return fmt.Errorf("twin: epoch must be a positive duration, got %d (omit or 0 for the %d s default)", s.EpochSec, DefaultEpoch)
+	}
+	if s.HorizonSec < 0 {
+		return fmt.Errorf("twin: negative horizon %d", s.HorizonSec)
+	}
+	epoch, horizon := s.EpochSec, s.HorizonSec
+	if epoch == 0 {
+		epoch = DefaultEpoch
+	}
+	if horizon == 0 {
+		horizon = DefaultHorizon
+	}
+	if horizon < epoch {
+		return fmt.Errorf("twin: horizon %d shorter than epoch %d", horizon, epoch)
+	}
+	if s.RealTimeRatio < 0 {
+		return fmt.Errorf("twin: negative real-time ratio %v", s.RealTimeRatio)
+	}
+	seen := map[string]bool{}
+	for i, m := range s.Members {
+		if err := validateMember(m, i); err != nil {
+			return err
+		}
+		name := memberName(m, i)
+		if seen[name] {
+			return fmt.Errorf("twin: duplicate member name %q", name)
+		}
+		seen[name] = true
+	}
+	if s.Signal != nil {
+		if err := s.Signal.Validate(); err != nil {
+			return fmt.Errorf("twin: budget signal: %w", err)
+		}
+	}
+	return nil
+}
+
+func validateMember(m MemberSpec, i int) error {
+	policy := m.Policy
+	if policy == "" {
+		policy = "DVFS"
+	}
+	if _, err := sim.MemberScenario(memberName(m, i), m.Workload, policy, m.Racks); err != nil {
+		return fmt.Errorf("twin: member %d (%s): %w", i, memberName(m, i), err)
+	}
+	return nil
+}
+
+func memberName(m MemberSpec, i int) string {
+	if m.Name != "" {
+		return m.Name
+	}
+	return fmt.Sprintf("member%d", i)
+}
+
+// Normalize fills defaults (division, epoch, horizon, member names and
+// policies) and canonicalizes registry names. Idempotent; normalized
+// specs round-trip exactly through JSON.
+func (s Spec) Normalize() Spec {
+	out := s
+	if out.Division == "" {
+		out.Division = replay.DivideDemand.String()
+	} else if c, err := sim.Divisions.Canonical(out.Division); err == nil {
+		out.Division = c
+	}
+	if out.EpochSec == 0 {
+		out.EpochSec = DefaultEpoch
+	}
+	if out.HorizonSec == 0 {
+		out.HorizonSec = DefaultHorizon
+	}
+	members := make([]MemberSpec, len(out.Members))
+	for i, m := range out.Members {
+		members[i] = normalizeMember(m, i)
+	}
+	out.Members = members
+	if out.Signal != nil {
+		copied := *out.Signal
+		if err := copied.Normalize(); err == nil {
+			out.Signal = &copied
+		}
+	}
+	return out
+}
+
+func normalizeMember(m MemberSpec, i int) MemberSpec {
+	m.Name = memberName(m, i)
+	if m.Policy == "" {
+		m.Policy = "DVFS"
+	} else if c, err := sim.Policies.Canonical(m.Policy); err == nil {
+		m.Policy = c
+	}
+	if c, err := sim.Workloads.Canonical(m.Workload.Kind); m.Workload.Kind != "" && err == nil {
+		m.Workload.Kind = c
+	}
+	return m
+}
+
+// Op names a mutation kind.
+type Op string
+
+const (
+	// OpSetBudget overrides the global cap fraction.
+	OpSetBudget Op = "set_budget"
+	// OpAddMember joins a new member cluster at the boundary; its
+	// workload catches up from virtual zero.
+	OpAddMember Op = "add_member"
+	// OpRemoveMember retires a member; its telemetry series stop.
+	OpRemoveMember Op = "remove_member"
+	// OpFailNode kills and requeues the jobs on one member node and
+	// takes the node out of service.
+	OpFailNode Op = "fail_node"
+	// OpRepairNode returns a failed node to service.
+	OpRepairNode Op = "repair_node"
+)
+
+// Mutation is one live change request. Mutations are serialized
+// through the session queue and applied only at epoch boundaries — the
+// mutation-at-epoch contract that keeps the twin deterministic.
+type Mutation struct {
+	Op Op `json:"op"`
+	// AtSec, when positive, defers the mutation to the first boundary
+	// at or after that virtual time; 0 means the next boundary. Replay
+	// pins it to the recorded boundary.
+	AtSec int64 `json:"at_sec,omitempty"`
+	// BudgetFraction is the new global cap fraction (set_budget).
+	BudgetFraction float64 `json:"budget_fraction,omitempty"`
+	// Member describes the joining cluster (add_member).
+	Member *MemberSpec `json:"member,omitempty"`
+	// Name targets a member (remove_member, fail_node, repair_node).
+	Name string `json:"name,omitempty"`
+	// Node is the member-local node index (fail_node, repair_node).
+	Node int `json:"node,omitempty"`
+}
+
+// Applied is one mutation-log entry: what applied, at which boundary,
+// and whether it failed (failed mutations are no-ops, recorded so a
+// replayed log reproduces exactly the same no-op).
+type Applied struct {
+	Seq      int      `json:"seq"`
+	AtEpoch  int64    `json:"at_epoch"`
+	Mutation Mutation `json:"mutation"`
+	Err      string   `json:"error,omitempty"`
+}
+
+// Sink receives the twin's telemetry stream. tsdb.Run satisfies it.
+type Sink interface {
+	Append(name string, t int64, v float64) error
+}
+
+// Config carries the session's environment hooks; the zero value runs
+// silent and as fast as the pacing allows.
+type Config struct {
+	// Sink receives telemetry points at every epoch boundary; nil
+	// discards them.
+	Sink Sink
+	// Observe sees every member controller as it is assembled (initial
+	// members before any virtual time passes, added members before
+	// their catch-up) — where an invariant checker attaches.
+	Observe func(name string, ctl *rjms.Controller)
+	// OnEpoch runs after every boundary with the fresh status.
+	OnEpoch func(st Status)
+	// OnApplied runs after every mutation application.
+	OnApplied func(a Applied)
+	// Sleep replaces the pacing sleep (tests); nil uses a real timer.
+	// It must honor ctx cancellation when d is long.
+	Sleep func(ctx context.Context, d time.Duration)
+}
+
+// MemberStatus is one member's slice of the status snapshot.
+type MemberStatus struct {
+	Name         string  `json:"name"`
+	CapW         float64 `json:"cap_w"`
+	PowerW       float64 `json:"power_w"`
+	MaxPowerW    float64 `json:"max_power_w"`
+	PendingCores int     `json:"pending_cores"`
+	RunningJobs  int     `json:"running_jobs"`
+	FailedNodes  []int   `json:"failed_nodes,omitempty"`
+}
+
+// Status is the session's externally visible state, snapshotted at
+// every epoch boundary (reads never touch live controller state).
+type Status struct {
+	Name string `json:"name,omitempty"`
+	// VirtualTime is the twin clock: the last completed boundary.
+	VirtualTime int64 `json:"virtual_time"`
+	HorizonSec  int64 `json:"horizon_sec"`
+	EpochSec    int64 `json:"epoch_sec"`
+	// RealTimeRatio is the configured pacing (0 = as fast as possible).
+	RealTimeRatio float64 `json:"real_time_ratio,omitempty"`
+	// BudgetFraction is the active cap fraction (spec value or the
+	// latest set_budget override).
+	BudgetFraction float64 `json:"budget_fraction"`
+	// SignalValue is the budget signal evaluated at VirtualTime.
+	SignalValue float64 `json:"signal_value"`
+	// BudgetW is the effective site budget at VirtualTime.
+	BudgetW float64 `json:"budget_w"`
+	// PowerW is the summed member draw at VirtualTime.
+	PowerW  float64        `json:"power_w"`
+	Members []MemberStatus `json:"members"`
+	// MutationsApplied/MutationsQueued count the log and the backlog.
+	MutationsApplied int `json:"mutations_applied"`
+	MutationsQueued  int `json:"mutations_queued"`
+	// Finished is set once the horizon is reached.
+	Finished bool `json:"finished"`
+}
+
+// twinMember is the session's bookkeeping for one live member.
+type twinMember struct {
+	name     string
+	ctl      *rjms.Controller
+	cleanup  func()
+	capID    int
+	maxPower power.Watts
+	capW     power.Watts
+}
+
+// Session is one live twin. Run drives it on a single goroutine (the
+// controllers' single-goroutine contract); Status, Log and Mutate are
+// safe from any goroutine.
+type Session struct {
+	spec     Spec
+	cfg      Config
+	division replay.Division
+	sig      signal.Source
+	members  []*twinMember
+
+	mu       sync.Mutex
+	fraction float64 // active cap fraction (mutable via set_budget)
+	queue    []Mutation
+	applied  []Applied
+	status   Status
+}
+
+// New validates, normalizes and assembles a session: members built and
+// their workloads loaded, open-ended powercap reservations placed at
+// the initial division, virtual clocks at zero. Run starts time.
+func New(spec Spec, cfg Config) (*Session, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.Normalize()
+	div, err := sim.Divisions.Lookup(spec.Division)
+	if err != nil {
+		return nil, fmt.Errorf("twin: %w", err)
+	}
+	sig, err := signal.Build(spec.Signal)
+	if err != nil {
+		return nil, fmt.Errorf("twin: budget signal: %w", err)
+	}
+	s := &Session{spec: spec, cfg: cfg, division: div, sig: sig, fraction: spec.GlobalCapFraction}
+	ok := false
+	defer func() {
+		if !ok {
+			s.close()
+		}
+	}()
+	for i, ms := range spec.Members {
+		m, err := s.buildMember(ms, i)
+		if err != nil {
+			return nil, err
+		}
+		s.members = append(s.members, m)
+	}
+	// Initial division: pro-rata at the t=0 budget, like the batch
+	// broker — no demand observed yet.
+	budget, _ := s.budgetAt(0)
+	var sumMax power.Watts
+	for _, m := range s.members {
+		sumMax += m.maxPower
+	}
+	for _, m := range s.members {
+		m.capW = power.Watts(float64(budget) * float64(m.maxPower) / float64(sumMax))
+		id, _, err := m.ctl.ReservePowerCapID(0, reservation.Horizon, power.CapWatts(m.capW))
+		if err != nil {
+			return nil, fmt.Errorf("twin: member %s: %w", m.name, err)
+		}
+		m.capID = id
+		if cfg.Observe != nil {
+			cfg.Observe(m.name, m.ctl)
+		}
+		if err := m.ctl.Start(spec.HorizonSec); err != nil {
+			return nil, fmt.Errorf("twin: member %s: %w", m.name, err)
+		}
+	}
+	s.snapshot(0, false)
+	ok = true
+	return s, nil
+}
+
+// buildMember assembles one member controller with its workload
+// loaded; the caller reserves its cap and starts its clock.
+func (s *Session) buildMember(ms MemberSpec, i int) (*twinMember, error) {
+	name := memberName(ms, i)
+	sc, err := sim.MemberScenario(name, ms.Workload, ms.Policy, ms.Racks)
+	if err != nil {
+		return nil, fmt.Errorf("twin: member %s: %w", name, err)
+	}
+	ctl, cleanup, err := replay.Build(sc)
+	if err != nil {
+		return nil, fmt.Errorf("twin: member %s: %w", name, err)
+	}
+	return &twinMember{name: name, ctl: ctl, cleanup: cleanup, maxPower: ctl.Cluster().MaxPower()}, nil
+}
+
+// close releases every member's resources.
+func (s *Session) close() {
+	for _, m := range s.members {
+		if m.cleanup != nil {
+			m.cleanup()
+		}
+	}
+	s.members = nil
+}
+
+// Spec returns the session's normalized spec.
+func (s *Session) Spec() Spec { return s.spec }
+
+// Status returns the boundary-consistent snapshot.
+func (s *Session) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.status
+	st.Members = append([]MemberStatus(nil), s.status.Members...)
+	st.MutationsQueued = len(s.queue)
+	st.MutationsApplied = len(s.applied)
+	return st
+}
+
+// Log returns a copy of the applied-mutation log — together with the
+// spec, everything Replay needs to reproduce the session.
+func (s *Session) Log() []Applied {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Applied(nil), s.applied...)
+}
+
+// Mutate enqueues a mutation; it applies at the first epoch boundary
+// at or after its AtSec (the next boundary when zero). Structural
+// problems surface in the Applied log, not here — acceptance into the
+// queue only checks the op is known.
+func (s *Session) Mutate(m Mutation) error {
+	switch m.Op {
+	case OpSetBudget, OpAddMember, OpRemoveMember, OpFailNode, OpRepairNode:
+	default:
+		return fmt.Errorf("twin: unknown mutation op %q", m.Op)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queue = append(s.queue, m)
+	return nil
+}
+
+// Run drives the session to its horizon: pace, advance every member in
+// lockstep to the boundary, drain due mutations, redistribute the
+// budget, stream telemetry, snapshot. It blocks until the horizon or
+// ctx cancellation (returning ctx.Err()) and must be called exactly
+// once; member resources are released when it returns.
+func (s *Session) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	defer s.close()
+	epoch, horizon := s.spec.EpochSec, s.spec.HorizonSec
+	s.telemetry(0)
+	for t := epoch; t <= horizon; t += epoch {
+		if err := s.pace(ctx, epoch); err != nil {
+			return err
+		}
+		for _, m := range s.members {
+			if err := m.ctl.Advance(t); err != nil {
+				return fmt.Errorf("twin: member %s at t=%d: %w", m.name, t, err)
+			}
+		}
+		s.applyDue(t)
+		s.redistribute(t)
+		s.telemetry(t)
+		s.snapshot(t, t+epoch > horizon)
+		if s.cfg.OnEpoch != nil {
+			s.cfg.OnEpoch(s.Status())
+		}
+	}
+	return nil
+}
+
+// pace holds the virtual clock to the configured real-time ratio: a
+// boundary may not start earlier than epoch/ratio wall seconds after
+// the previous one. Ratio 0 never sleeps.
+func (s *Session) pace(ctx context.Context, epoch int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.spec.RealTimeRatio <= 0 {
+		return nil
+	}
+	d := time.Duration(float64(epoch) / s.spec.RealTimeRatio * float64(time.Second))
+	if d <= 0 {
+		return nil
+	}
+	if s.cfg.Sleep != nil {
+		s.cfg.Sleep(ctx, d)
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// applyDue drains the mutations due at boundary t, in arrival order,
+// recording each in the applied log.
+func (s *Session) applyDue(t int64) {
+	s.mu.Lock()
+	var due []Mutation
+	rest := s.queue[:0]
+	for _, m := range s.queue {
+		if m.AtSec <= t {
+			due = append(due, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	s.queue = rest
+	s.mu.Unlock()
+	for _, m := range due {
+		err := s.apply(m, t)
+		a := Applied{AtEpoch: t, Mutation: m}
+		if err != nil {
+			a.Err = err.Error()
+		}
+		s.mu.Lock()
+		a.Seq = len(s.applied) + 1
+		s.applied = append(s.applied, a)
+		s.mu.Unlock()
+		if s.cfg.OnApplied != nil {
+			s.cfg.OnApplied(a)
+		}
+	}
+}
+
+// apply executes one mutation at boundary t. Errors make the mutation
+// a recorded no-op; the session keeps running.
+func (s *Session) apply(m Mutation, t int64) error {
+	switch m.Op {
+	case OpSetBudget:
+		if m.BudgetFraction <= 0 || m.BudgetFraction >= 1 {
+			return fmt.Errorf("twin: set_budget fraction %v outside (0, 1)", m.BudgetFraction)
+		}
+		s.mu.Lock()
+		s.fraction = m.BudgetFraction
+		s.mu.Unlock()
+		return nil
+	case OpAddMember:
+		if m.Member == nil {
+			return fmt.Errorf("twin: add_member without a member spec")
+		}
+		ms := normalizeMember(*m.Member, len(s.members))
+		if s.findMember(ms.Name) != nil {
+			return fmt.Errorf("twin: member %q already exists", ms.Name)
+		}
+		nm, err := s.buildMember(ms, len(s.members))
+		if err != nil {
+			return err
+		}
+		// The newcomer reserves at its pro-rata share of the current
+		// budget (fleet including itself); the boundary's
+		// redistribution below refines it immediately.
+		var sumMax power.Watts
+		for _, mem := range s.members {
+			sumMax += mem.maxPower
+		}
+		sumMax += nm.maxPower
+		budget, _ := s.budgetWith(t, sumMax)
+		nm.capW = power.Watts(float64(budget) * float64(nm.maxPower) / float64(sumMax))
+		id, _, err := nm.ctl.ReservePowerCapID(0, reservation.Horizon, power.CapWatts(nm.capW))
+		if err != nil {
+			nm.cleanup()
+			return fmt.Errorf("twin: member %s: %w", nm.name, err)
+		}
+		nm.capID = id
+		if s.cfg.Observe != nil {
+			s.cfg.Observe(nm.name, nm.ctl)
+		}
+		// Catch up: the member's virtual clock starts at zero and
+		// fast-forwards to the boundary, replaying its workload's
+		// backlog deterministically.
+		if err := nm.ctl.Start(s.spec.HorizonSec); err != nil {
+			nm.cleanup()
+			return fmt.Errorf("twin: member %s: %w", nm.name, err)
+		}
+		if err := nm.ctl.Advance(t); err != nil {
+			nm.cleanup()
+			return fmt.Errorf("twin: member %s catch-up: %w", nm.name, err)
+		}
+		s.members = append(s.members, nm)
+		return nil
+	case OpRemoveMember:
+		if len(s.members) == 1 {
+			return fmt.Errorf("twin: cannot remove the last member %q", m.Name)
+		}
+		for i, mem := range s.members {
+			if mem.name == m.Name {
+				mem.cleanup()
+				s.members = append(s.members[:i], s.members[i+1:]...)
+				return nil
+			}
+		}
+		return fmt.Errorf("twin: unknown member %q", m.Name)
+	case OpFailNode:
+		mem := s.findMember(m.Name)
+		if mem == nil {
+			return fmt.Errorf("twin: unknown member %q", m.Name)
+		}
+		return mem.ctl.FailNode(cluster.NodeID(m.Node))
+	case OpRepairNode:
+		mem := s.findMember(m.Name)
+		if mem == nil {
+			return fmt.Errorf("twin: unknown member %q", m.Name)
+		}
+		return mem.ctl.RepairNode(cluster.NodeID(m.Node))
+	default:
+		return fmt.Errorf("twin: unknown mutation op %q", m.Op)
+	}
+}
+
+func (s *Session) findMember(name string) *twinMember {
+	for _, m := range s.members {
+		if m.name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// budgetAt evaluates the effective site budget at virtual time t over
+// the current fleet.
+func (s *Session) budgetAt(t int64) (power.Watts, float64) {
+	var sumMax power.Watts
+	for _, m := range s.members {
+		sumMax += m.maxPower
+	}
+	return s.budgetWith(t, sumMax)
+}
+
+// budgetWith evaluates the budget against an explicit fleet maximum
+// (add_member sizes the joined fleet before appending).
+func (s *Session) budgetWith(t int64, sumMax power.Watts) (power.Watts, float64) {
+	s.mu.Lock()
+	fraction := s.fraction
+	s.mu.Unlock()
+	sv := s.sig.At(t)
+	b := power.Watts(fraction * float64(sumMax) * sv)
+	if b < 0 {
+		b = 0
+	}
+	if b > sumMax {
+		b = sumMax
+	}
+	return b, sv
+}
+
+// redistribute divides the boundary's budget across the fleet with the
+// batch broker's arithmetic and re-budgets members whose share moved.
+func (s *Session) redistribute(t int64) {
+	budget, _ := s.budgetAt(t)
+	states := make([]federation.MemberState, len(s.members))
+	for i, m := range s.members {
+		states[i] = federation.MemberState{
+			MaxPower:     m.maxPower,
+			Draw:         m.ctl.Cluster().Power(),
+			PendingCores: m.ctl.PendingCores(),
+		}
+	}
+	shares := federation.Divide(s.division, budget, states)
+	for i, m := range s.members {
+		if shares[i] != m.capW {
+			m.capW = shares[i]
+			// UpdateCap cannot fail on a live reservation id and the
+			// boundary reactions run inline; a failure here would be a
+			// programming error, surfaced via the telemetry flatline.
+			_ = m.ctl.AdjustPowerCap(m.capID, power.CapWatts(shares[i]))
+		}
+	}
+}
+
+// telemetry streams the boundary's samples: per-member power, cap,
+// queue depth and running jobs, plus the site aggregates and the raw
+// signal value.
+func (s *Session) telemetry(t int64) {
+	if s.cfg.Sink == nil {
+		return
+	}
+	budget, sv := s.budgetAt(t)
+	var total power.Watts
+	for _, m := range s.members {
+		p := m.ctl.Cluster().Power()
+		total += p
+		_ = s.cfg.Sink.Append(m.name+"/power", t, float64(p))
+		_ = s.cfg.Sink.Append(m.name+"/cap", t, float64(m.capW))
+		_ = s.cfg.Sink.Append(m.name+"/pending_cores", t, float64(m.ctl.PendingCores()))
+		_ = s.cfg.Sink.Append(m.name+"/running_jobs", t, float64(m.ctl.RunningCount()))
+	}
+	_ = s.cfg.Sink.Append("power", t, float64(total))
+	_ = s.cfg.Sink.Append("budget", t, float64(budget))
+	_ = s.cfg.Sink.Append("signal", t, sv)
+}
+
+// snapshot refreshes the Status copy readers see.
+func (s *Session) snapshot(t int64, finished bool) {
+	budget, sv := s.budgetAt(t)
+	members := make([]MemberStatus, len(s.members))
+	var total power.Watts
+	for i, m := range s.members {
+		p := m.ctl.Cluster().Power()
+		total += p
+		ms := MemberStatus{
+			Name:         m.name,
+			CapW:         float64(m.capW),
+			PowerW:       float64(p),
+			MaxPowerW:    float64(m.maxPower),
+			PendingCores: m.ctl.PendingCores(),
+			RunningJobs:  m.ctl.RunningCount(),
+		}
+		for _, id := range m.ctl.FailedNodes() {
+			ms.FailedNodes = append(ms.FailedNodes, int(id))
+		}
+		members[i] = ms
+	}
+	s.mu.Lock()
+	s.status = Status{
+		Name:           s.spec.Name,
+		VirtualTime:    t,
+		HorizonSec:     s.spec.HorizonSec,
+		EpochSec:       s.spec.EpochSec,
+		RealTimeRatio:  s.spec.RealTimeRatio,
+		BudgetFraction: s.fraction,
+		SignalValue:    sv,
+		BudgetW:        float64(budget),
+		PowerW:         float64(total),
+		Members:        members,
+		Finished:       finished,
+	}
+	s.mu.Unlock()
+}
+
+// Replay reconstructs a session from a spec plus a recorded mutation
+// log and runs it to the log's horizon as fast as possible: every
+// logged mutation re-applies at its recorded boundary, so the
+// telemetry streamed into cfg.Sink is byte-identical to the original
+// session's (the determinism guardrail, pinned by test). The replayed
+// session ignores the spec's real-time ratio.
+func Replay(ctx context.Context, spec Spec, log []Applied, cfg Config) error {
+	spec.RealTimeRatio = 0
+	s, err := New(spec, cfg)
+	if err != nil {
+		return err
+	}
+	for _, a := range log {
+		m := a.Mutation
+		m.AtSec = a.AtEpoch
+		if err := s.Mutate(m); err != nil {
+			return fmt.Errorf("twin: replay: %w", err)
+		}
+	}
+	return s.Run(ctx)
+}
