@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/tsdb"
 )
@@ -61,6 +62,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		archiveMax   = fs.Int("archive-max", 0, "archived run records before the oldest are pruned (0 = unbounded)")
 		archiveAge   = fs.Duration("archive-max-age", 0, "archived run records older than this are pruned at boot and on store (0 = keep forever)")
 		tokensFile   = fs.String("tokens-file", "", `JSON tenant/token file enabling bearer-token auth and per-tenant quotas ({"tenants":[{"name":...,"token":...,"max_queued":...,"rate_per_min":...}]})`)
+		logLevel     = fs.String("log-level", "info", "structured log threshold on stderr: debug, info, warn or error")
 
 		gateway   = fs.Bool("gateway", false, "run as a fleet gateway: route submissions to joined workers instead of executing locally")
 		lease     = fs.Duration("lease", 15*time.Second, "gateway worker-lease TTL; a worker silent past it is dead and its runs requeue")
@@ -75,14 +77,21 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if *gateway && *join != "" {
 		return errors.New("simd: -gateway and -join are mutually exclusive")
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return fmt.Errorf("simd: %w", err)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 	if *gateway {
 		return runGateway(out, ready, gatewayFlags{
 			listen: *listen, dispatchers: *workers, queueDepth: *queueDepth,
 			lease: *lease, drainSecs: *drainSecs, tokensFile: *tokensFile,
+			logger: logger,
 		})
 	}
 
 	cfg := service.Config{
+		Logger:       logger,
 		Workers:      *workers,
 		SweepWorkers: *sweepWorkers,
 		QueueDepth:   *queueDepth,
@@ -195,6 +204,7 @@ type gatewayFlags struct {
 	lease       time.Duration
 	drainSecs   int64
 	tokensFile  string
+	logger      *obs.Logger
 }
 
 // runGateway serves the fleet gateway: same /v1 surface, no local
@@ -206,6 +216,7 @@ func runGateway(out io.Writer, ready chan<- string, gf gatewayFlags) error {
 		Dispatchers: gf.dispatchers,
 		QueueDepth:  gf.queueDepth,
 		LeaseTTL:    gf.lease,
+		Logger:      gf.logger,
 	}
 	if gf.tokensFile != "" {
 		tenants, err := service.LoadTokens(gf.tokensFile)

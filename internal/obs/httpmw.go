@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPMetrics is the per-route instrument set the middleware drives.
+type HTTPMetrics struct {
+	// InFlight counts requests currently being served.
+	InFlight *Gauge
+	// Requests counts finished requests by route/method/status code.
+	Requests *CounterVec
+	// Duration is the request latency histogram by route.
+	Duration *HistogramVec
+}
+
+// NewHTTPMetrics registers the HTTP families under a namespace prefix
+// (e.g. "simd" → simd_http_requests_total).
+func NewHTTPMetrics(r *Registry, namespace string) *HTTPMetrics {
+	return &HTTPMetrics{
+		InFlight: r.Gauge(namespace+"_http_in_flight",
+			"HTTP requests currently being served."),
+		Requests: r.CounterVec(namespace+"_http_requests_total",
+			"HTTP requests served, by route, method and status code.",
+			"route", "method", "code"),
+		Duration: r.HistogramVec(namespace+"_http_request_duration_seconds",
+			"HTTP request latency in seconds, by route.",
+			nil, "route"),
+	}
+}
+
+// MiddlewareOptions configures Middleware. All fields are optional —
+// a zero options value still traces request IDs.
+type MiddlewareOptions struct {
+	// Metrics, when set, records in-flight, count and latency.
+	Metrics *HTTPMetrics
+	// Log, when non-nil, writes one access line per request at debug
+	// (2xx/3xx) or info (4xx/5xx) level with the request ID attached.
+	Log *Logger
+	// Route maps a request to its metric label (a bounded template like
+	// "/v1/runs/{id}", never the raw path — label cardinality must stay
+	// finite). Nil uses the raw path.
+	Route func(*http.Request) string
+}
+
+// Middleware wraps an HTTP handler with request tracing and
+// instrumentation: it assigns (or validates and adopts) the
+// X-Request-ID, stamps it on the response and into the request
+// context, and records per-route latency, status counts and in-flight
+// gauge movement. The ResponseWriter handed downstream preserves
+// http.Flusher, so SSE endpoints stream through it unchanged.
+func Middleware(next http.Handler, opt MiddlewareOptions) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get(RequestIDHeader)
+		if !ValidRequestID(reqID) {
+			reqID = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, reqID)
+		r = r.WithContext(WithRequestID(r.Context(), reqID))
+
+		route := r.URL.Path
+		if opt.Route != nil {
+			route = opt.Route(r)
+		}
+		sw := &statusWriter{ResponseWriter: w, reqID: reqID}
+		var out http.ResponseWriter = sw
+		if _, ok := w.(http.Flusher); ok {
+			out = flushWriter{sw}
+		}
+
+		if opt.Metrics != nil {
+			opt.Metrics.InFlight.Inc()
+		}
+		start := time.Now()
+		// Observe in a defer: a handler that panics (e.g. aborting a
+		// half-streamed response with http.ErrAbortHandler) still
+		// accounts its request before the panic unwinds.
+		defer func() {
+			elapsed := time.Since(start)
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			if opt.Metrics != nil {
+				opt.Metrics.InFlight.Dec()
+				opt.Metrics.Requests.With(route, r.Method, strconv.Itoa(status)).Inc()
+				opt.Metrics.Duration.With(route).Observe(elapsed.Seconds())
+			}
+			if opt.Log != nil {
+				level := LevelDebug
+				if status >= 400 {
+					level = LevelInfo
+				}
+				if opt.Log.Enabled(level) {
+					kv := []any{
+						"method", r.Method, "path", r.URL.Path, "route", route,
+						"status", status, "duration", elapsed.Round(time.Microsecond),
+						"request_id", reqID,
+					}
+					if level == LevelDebug {
+						opt.Log.Debug("http request", kv...)
+					} else {
+						opt.Log.Info("http request", kv...)
+					}
+				}
+			}
+		}()
+		next.ServeHTTP(out, r)
+	})
+}
+
+// statusWriter records the response status and carries the request ID
+// down to error writers (see ResponseRequestID).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	reqID  string
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) requestID() string { return w.reqID }
+
+// flushWriter adds Flush only when the underlying writer supports it,
+// so SSE handlers' Flusher type-assertions keep telling the truth.
+type flushWriter struct{ *statusWriter }
+
+func (w flushWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ResponseRequestID returns the request ID the middleware bound to
+// this response, or "" when the writer never passed through
+// Middleware — error writers use it to stamp request_id into bodies
+// without threading the ID through every call site.
+func ResponseRequestID(w http.ResponseWriter) string {
+	if rw, ok := w.(interface{ requestID() string }); ok {
+		return rw.requestID()
+	}
+	return ""
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareAssignsRequestID(t *testing.T) {
+	var seen string
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDFrom(r.Context())
+		if got := ResponseRequestID(w); got != seen {
+			t.Errorf("ResponseRequestID = %q, ctx id = %q", got, seen)
+		}
+		w.WriteHeader(204)
+	}), MiddlewareOptions{})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if seen == "" || !ValidRequestID(seen) {
+		t.Fatalf("no request id assigned: %q", seen)
+	}
+	if got := rec.Header().Get(RequestIDHeader); got != seen {
+		t.Errorf("response header %q, want %q", got, seen)
+	}
+}
+
+func TestMiddlewareAdoptsClientID(t *testing.T) {
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := RequestIDFrom(r.Context()); got != "client-id-1" {
+			t.Errorf("ctx id = %q, want client-id-1", got)
+		}
+	}), MiddlewareOptions{})
+	req := httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(RequestIDHeader, "client-id-1")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	// A hostile or over-long id is replaced, not echoed.
+	h = Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := RequestIDFrom(r.Context()); !ValidRequestID(got) {
+			t.Errorf("invalid ctx id adopted: %q", got)
+		}
+	}), MiddlewareOptions{})
+	req = httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(RequestIDHeader, "bad id\nwith newline")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); !ValidRequestID(got) || strings.Contains(got, "bad") {
+		t.Errorf("hostile id echoed: %q", got)
+	}
+}
+
+func TestMiddlewareMetricsAndLog(t *testing.T) {
+	reg := NewRegistry()
+	met := NewHTTPMetrics(reg, "test")
+	var logBuf bytes.Buffer
+	log := NewLogger(&logBuf, LevelDebug)
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if met.InFlight.Value() != 1 {
+			t.Errorf("in-flight = %v mid-request, want 1", met.InFlight.Value())
+		}
+		http.Error(w, "nope", 418)
+	}), MiddlewareOptions{
+		Metrics: met,
+		Log:     log,
+		Route:   func(*http.Request) string { return "/v1/thing/{id}" },
+	})
+
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/thing/42", nil))
+	if met.InFlight.Value() != 0 {
+		t.Errorf("in-flight = %v after request, want 0", met.InFlight.Value())
+	}
+	if got := met.Requests.With("/v1/thing/{id}", "GET", "418").Value(); got != 1 {
+		t.Errorf("requests counter = %d, want 1", got)
+	}
+	if got := met.Duration.With("/v1/thing/{id}").Count(); got != 1 {
+		t.Errorf("duration count = %d, want 1", got)
+	}
+	line := logBuf.String()
+	for _, want := range []string{"status=418", "route=/v1/thing/{id}", "request_id="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access log missing %q: %q", want, line)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if problems := Lint(strings.NewReader(buf.String())); len(problems) != 0 {
+		t.Errorf("lint problems: %v", problems)
+	}
+}
+
+func TestMiddlewarePreservesFlusher(t *testing.T) {
+	var sawFlusher bool
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, sawFlusher = w.(http.Flusher)
+	}), MiddlewareOptions{})
+	// httptest.ResponseRecorder implements Flusher — the wrapper must
+	// keep advertising it.
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	if !sawFlusher {
+		t.Error("Flusher lost through the middleware wrapper")
+	}
+
+	// A writer without Flusher must not grow one.
+	h = Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, sawFlusher = w.(http.Flusher)
+	}), MiddlewareOptions{})
+	h.ServeHTTP(plainWriter{rec: httptest.NewRecorder()}, httptest.NewRequest("GET", "/x", nil))
+	if sawFlusher {
+		t.Error("Flusher invented for a non-flushing writer")
+	}
+}
+
+// plainWriter hides ResponseRecorder's Flush behind explicit methods so
+// it does not implement http.Flusher.
+type plainWriter struct{ rec *httptest.ResponseRecorder }
+
+func (p plainWriter) Header() http.Header         { return p.rec.Header() }
+func (p plainWriter) Write(b []byte) (int, error) { return p.rec.Write(b) }
+func (p plainWriter) WriteHeader(code int)        { p.rec.WriteHeader(code) }
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := WithRequestID(context.Background(), "abc-123")
+	if got := RequestIDFrom(ctx); got != "abc-123" {
+		t.Errorf("round trip = %q", got)
+	}
+	if got := RequestIDFrom(context.Background()); got != "" {
+		t.Errorf("empty ctx id = %q, want empty", got)
+	}
+	a, b := NewRequestID(), NewRequestID()
+	if a == b || !ValidRequestID(a) {
+		t.Errorf("ids not unique/valid: %q %q", a, b)
+	}
+}

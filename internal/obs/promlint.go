@@ -1,0 +1,331 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint walks a Prometheus text exposition and returns every problem
+// found — the promlint-style checks the daemon and gateway /metrics
+// tests pin:
+//
+//   - every sample belongs to a family with # HELP and # TYPE declared
+//     before it, and TYPE is counter, gauge or histogram
+//   - no family declares HELP or TYPE twice
+//   - counter families end in _total; gauge families do not
+//   - histogram children expose _bucket/_sum/_count only, bucket le
+//     bounds strictly increase, cumulative counts never decrease, the
+//     +Inf bucket terminates the series and equals _count
+//   - metric and label names are legal, values parse as floats
+//
+// An empty slice means the exposition is clean.
+func Lint(r io.Reader) []string {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	fams := map[string]*famMeta{}
+	// histogram bucket accounting, keyed by family + label set (minus le)
+	type histSeries struct {
+		lastLE   float64
+		lastCum  uint64
+		infCum   uint64
+		seenInf  bool
+		count    uint64
+		hasCount bool
+	}
+	hists := map[string]*histSeries{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			f := fams[name]
+			if f == nil {
+				f = &famMeta{}
+				fams[name] = f
+			}
+			if f.sampled {
+				addf("line %d: %s for %s after its samples", line, fields[1], name)
+			}
+			switch fields[1] {
+			case "HELP":
+				if f.help != "" {
+					addf("line %d: duplicate HELP for %s", line, name)
+				}
+				f.help = "set"
+				if len(fields) >= 4 && strings.TrimSpace(fields[3]) != "" {
+					f.help = fields[3]
+				}
+			case "TYPE":
+				if f.typ != "" {
+					addf("line %d: duplicate TYPE for %s", line, name)
+				}
+				typ := ""
+				if len(fields) >= 4 {
+					typ = strings.TrimSpace(fields[3])
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					f.typ = typ
+				default:
+					addf("line %d: bad TYPE %q for %s", line, typ, name)
+					f.typ = "untyped"
+				}
+				switch {
+				case typ == "counter" && !strings.HasSuffix(name, "_total"):
+					addf("line %d: counter %s should end in _total", line, name)
+				case typ == "gauge" && strings.HasSuffix(name, "_total"):
+					addf("line %d: gauge %s should not end in _total", line, name)
+				}
+			}
+			continue
+		}
+
+		name, labels, value, perr := parseSample(text)
+		if perr != "" {
+			addf("line %d: %s", line, perr)
+			continue
+		}
+		fam, sampleKind := resolveFamily(fams, name)
+		if fam == nil {
+			addf("line %d: sample %s has no # HELP/# TYPE family", line, name)
+			continue
+		}
+		meta := fams[fam.name]
+		if meta.help == "" {
+			addf("line %d: family %s has TYPE but no HELP", line, fam.name)
+			meta.help = "reported"
+		}
+		meta.sampled = true
+		if meta.typ == "histogram" && sampleKind == "" {
+			addf("line %d: histogram family %s exposes bare sample %s", line, fam.name, name)
+			continue
+		}
+		if meta.typ != "histogram" && sampleKind != "" {
+			// _bucket/_sum/_count resolved only for histogram families,
+			// so this cannot happen; keep the branch for clarity.
+			addf("line %d: %s sample %s on non-histogram family", line, sampleKind, name)
+		}
+		if meta.typ == "histogram" {
+			key := fam.name + "{" + labelsKeyWithoutLE(labels) + "}"
+			hs := hists[key]
+			if hs == nil {
+				hs = &histSeries{lastLE: -1e308}
+				hists[key] = hs
+			}
+			switch sampleKind {
+			case "bucket":
+				leStr, ok := labelValue(labels, "le")
+				if !ok {
+					addf("line %d: %s_bucket without le label", line, fam.name)
+					break
+				}
+				le, isInf, err := parseLE(leStr)
+				if err != nil {
+					addf("line %d: bad le %q on %s", line, leStr, fam.name)
+					break
+				}
+				cum := uint64(value)
+				if hs.seenInf {
+					addf("line %d: %s bucket after +Inf", line, fam.name)
+				}
+				if isInf {
+					hs.seenInf = true
+					hs.infCum = cum
+				} else {
+					if le <= hs.lastLE {
+						addf("line %d: %s bucket bounds not increasing (%v after %v)", line, fam.name, le, hs.lastLE)
+					}
+					hs.lastLE = le
+				}
+				if cum < hs.lastCum {
+					addf("line %d: %s cumulative bucket count decreased", line, fam.name)
+				}
+				hs.lastCum = cum
+			case "count":
+				hs.count = uint64(value)
+				hs.hasCount = true
+			}
+		}
+		if value < 0 && (meta.typ == "counter") {
+			addf("line %d: counter %s has negative value", line, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		addf("read: %v", err)
+	}
+
+	// Terminal checks: every histogram series must have closed with
+	// +Inf and agree with its _count.
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		hs := hists[k]
+		if !hs.seenInf {
+			addf("histogram %s: no +Inf bucket", k)
+			continue
+		}
+		if hs.hasCount && hs.count != hs.infCum {
+			addf("histogram %s: _count %d != +Inf bucket %d", k, hs.count, hs.infCum)
+		}
+	}
+	for name, f := range fams {
+		if !f.sampled && f.typ != "" {
+			addf("family %s declared but never sampled", name)
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+// famMeta tracks one declared family while linting.
+type famMeta struct {
+	help, typ string
+	sampled   bool
+}
+
+// famRef names the family a sample resolved to.
+type famRef struct{ name string }
+
+// resolveFamily maps a sample name to its declared family: exact match
+// first, then the histogram suffixes. kind is "bucket", "sum", "count"
+// or "" for a plain sample.
+func resolveFamily(fams map[string]*famMeta, name string) (*famRef, string) {
+	if f, ok := fams[name]; ok && f.typ != "" {
+		return &famRef{name: name}, ""
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if f, ok := fams[base]; ok && f.typ == "histogram" {
+			return &famRef{name: base}, strings.TrimPrefix(suffix, "_")
+		}
+	}
+	return nil, ""
+}
+
+// parseSample splits `name{labels} value` into parts; perr is non-empty
+// on malformed lines.
+func parseSample(text string) (name, labels string, value float64, perr string) {
+	rest := text
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Sprintf("unbalanced braces in %q", text)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", 0, fmt.Sprintf("malformed sample %q", text)
+		}
+		name = fields[0]
+		rest = fields[1]
+	}
+	if !validName(name) {
+		return "", "", 0, fmt.Sprintf("invalid metric name %q", name)
+	}
+	valStr := strings.Fields(rest)
+	if len(valStr) == 0 {
+		return "", "", 0, fmt.Sprintf("sample %q has no value", text)
+	}
+	v, err := parseValue(valStr[0])
+	if err != nil {
+		return "", "", 0, fmt.Sprintf("bad value %q for %s", valStr[0], name)
+	}
+	return name, labels, v, ""
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return 1e308, nil
+	case "-Inf":
+		return -1e308, nil
+	case "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLE(s string) (v float64, isInf bool, err error) {
+	if s == "+Inf" {
+		return 0, true, nil
+	}
+	v, err = strconv.ParseFloat(s, 64)
+	return v, false, err
+}
+
+// labelValue extracts one label's value from a rendered label string.
+func labelValue(labels, key string) (string, bool) {
+	for _, part := range splitLabels(labels) {
+		k, v, ok := strings.Cut(part, "=")
+		if ok && k == key {
+			return strings.Trim(v, `"`), true
+		}
+	}
+	return "", false
+}
+
+// labelsKeyWithoutLE renders a stable key of the label set minus le —
+// the per-series identity histogram bucket checks group by.
+func labelsKeyWithoutLE(labels string) string {
+	parts := splitLabels(labels)
+	kept := parts[:0]
+	for _, p := range parts {
+		if !strings.HasPrefix(p, "le=") {
+			kept = append(kept, p)
+		}
+	}
+	sort.Strings(kept)
+	return strings.Join(kept, ",")
+}
+
+// splitLabels splits `k1="v1",k2="v2"` on commas outside quotes.
+func splitLabels(labels string) []string {
+	if labels == "" {
+		return nil
+	}
+	var parts []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '"':
+			if i == 0 || labels[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				parts = append(parts, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, labels[start:])
+	return parts
+}

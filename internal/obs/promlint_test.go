@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintString(s string) []string { return Lint(strings.NewReader(s)) }
+
+func wantProblem(t *testing.T, problems []string, substr string) {
+	t.Helper()
+	for _, p := range problems {
+		if strings.Contains(p, substr) {
+			return
+		}
+	}
+	t.Errorf("no problem containing %q in %v", substr, problems)
+}
+
+func TestLintClean(t *testing.T) {
+	exposition := `# HELP app_ops_total Operations.
+# TYPE app_ops_total counter
+app_ops_total 12
+# HELP app_depth Queue depth.
+# TYPE app_depth gauge
+app_depth{pool="a"} 3
+app_depth{pool="b"} 0
+# HELP app_latency_seconds Latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 2
+app_latency_seconds_bucket{le="1"} 5
+app_latency_seconds_bucket{le="+Inf"} 7
+app_latency_seconds_sum 9.25
+app_latency_seconds_count 7
+`
+	if problems := lintString(exposition); len(problems) != 0 {
+		t.Errorf("clean exposition flagged: %v", problems)
+	}
+}
+
+func TestLintMissingFamily(t *testing.T) {
+	wantProblem(t, lintString("orphan_total 1\n"), "no # HELP/# TYPE family")
+}
+
+func TestLintDuplicateType(t *testing.T) {
+	s := `# HELP a_total x.
+# TYPE a_total counter
+# TYPE a_total counter
+a_total 1
+`
+	wantProblem(t, lintString(s), "duplicate TYPE")
+}
+
+func TestLintCounterNaming(t *testing.T) {
+	s := `# HELP a_ops x.
+# TYPE a_ops counter
+a_ops 1
+# HELP a_live_total y.
+# TYPE a_live_total gauge
+a_live_total 1
+`
+	problems := lintString(s)
+	wantProblem(t, problems, "should end in _total")
+	wantProblem(t, problems, "should not end in _total")
+}
+
+func TestLintHistogramBucketOrder(t *testing.T) {
+	s := `# HELP h_seconds x.
+# TYPE h_seconds histogram
+h_seconds_bucket{le="1"} 2
+h_seconds_bucket{le="0.5"} 3
+h_seconds_bucket{le="+Inf"} 4
+h_seconds_sum 1
+h_seconds_count 4
+`
+	wantProblem(t, lintString(s), "bucket bounds not increasing")
+}
+
+func TestLintHistogramNonCumulative(t *testing.T) {
+	s := `# HELP h_seconds x.
+# TYPE h_seconds histogram
+h_seconds_bucket{le="0.5"} 5
+h_seconds_bucket{le="1"} 3
+h_seconds_bucket{le="+Inf"} 5
+h_seconds_sum 1
+h_seconds_count 5
+`
+	wantProblem(t, lintString(s), "cumulative bucket count decreased")
+}
+
+func TestLintHistogramMissingInf(t *testing.T) {
+	s := `# HELP h_seconds x.
+# TYPE h_seconds histogram
+h_seconds_bucket{le="1"} 2
+h_seconds_sum 1
+h_seconds_count 2
+`
+	wantProblem(t, lintString(s), "no +Inf bucket")
+}
+
+func TestLintHistogramCountMismatch(t *testing.T) {
+	s := `# HELP h_seconds x.
+# TYPE h_seconds histogram
+h_seconds_bucket{le="+Inf"} 4
+h_seconds_sum 1
+h_seconds_count 5
+`
+	wantProblem(t, lintString(s), "_count 5 != +Inf bucket 4")
+}
+
+func TestLintDeclaredNeverSampled(t *testing.T) {
+	s := `# HELP ghost_total x.
+# TYPE ghost_total counter
+`
+	wantProblem(t, lintString(s), "declared but never sampled")
+}
+
+func TestLintBadValueAndName(t *testing.T) {
+	s := `# HELP a_total x.
+# TYPE a_total counter
+a_total notanumber
+`
+	wantProblem(t, lintString(s), "bad value")
+	wantProblem(t, lintString("0bad 1\n"), "invalid metric name")
+}
+
+func TestLintPerLabelSetHistograms(t *testing.T) {
+	// Two label sets of the same histogram family are independent series:
+	// each needs its own +Inf and consistent counts.
+	s := `# HELP h_seconds x.
+# TYPE h_seconds histogram
+h_seconds_bucket{route="/a",le="1"} 2
+h_seconds_bucket{route="/a",le="+Inf"} 3
+h_seconds_sum{route="/a"} 1.5
+h_seconds_count{route="/a"} 3
+h_seconds_bucket{route="/b",le="1"} 0
+h_seconds_bucket{route="/b",le="+Inf"} 1
+h_seconds_sum{route="/b"} 2
+h_seconds_count{route="/b"} 1
+`
+	if problems := lintString(s); len(problems) != 0 {
+		t.Errorf("independent label sets flagged: %v", problems)
+	}
+}

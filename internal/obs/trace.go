@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// RequestIDHeader is the request-tracing header: generated at the edge
+// when absent, echoed on every response, propagated gateway→worker on
+// dispatch, proxy and watch traffic, and stamped into log lines and
+// error bodies — one ID follows a submission across the fleet.
+const RequestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds client-supplied request IDs; longer (or
+// malformed) values are replaced, not truncated, so an ID seen in two
+// logs is byte-identical.
+const maxRequestIDLen = 64
+
+type requestIDKey struct{}
+
+// ridFallback numbers request IDs if the system randomness source
+// fails (never in practice; the counter keeps IDs unique regardless).
+var ridFallback atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-char request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("rid-%016x", ridFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidRequestID reports whether a client-supplied ID is acceptable:
+// non-empty, bounded, and limited to [A-Za-z0-9._-] so it is safe to
+// echo into headers and key=value logs unquoted.
+func ValidRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-' || r == '_' || r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the context's request ID ("" when none).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -12,13 +12,26 @@ import "repro/internal/dvfs"
 // survivor set (reservation flags) changes. The zero value is ready to
 // use.
 type ProjectionMemo struct {
-	m map[Watts]dvfs.Freq
+	m            map[Watts]dvfs.Freq
+	hits, misses uint64
 }
 
 // Get returns the cached frequency for a budget, if present.
 func (pm *ProjectionMemo) Get(w Watts) (dvfs.Freq, bool) {
 	f, ok := pm.m[w]
+	if ok {
+		pm.hits++
+	} else {
+		pm.misses++
+	}
 	return f, ok
+}
+
+// Stats returns the lifetime hit/miss counts. Plain uint64 increments
+// on the single-threaded simulation path — readers sample them
+// out-of-band between scheduling passes.
+func (pm *ProjectionMemo) Stats() (hits, misses uint64) {
+	return pm.hits, pm.misses
 }
 
 // Put stores the frequency projected for a budget.

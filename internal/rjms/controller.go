@@ -77,6 +77,12 @@ type Controller struct {
 	passMemoNow     int64
 	passMemoMinFail int
 
+	// Lifetime scheduling counters: full probe cycles run vs skipped by
+	// the pass memo. Plain increments on the single-threaded simulation
+	// path; sampled out-of-band via SchedCounters.
+	statPasses        uint64
+	statPassesSkipped uint64
+
 	// estimator is non-nil in measurement-based capping mode: active-cap
 	// checks use its guarded estimate instead of the exact bookkeeping.
 	estimator *powerlog.Estimator
@@ -529,6 +535,35 @@ func (c *Controller) FailedNodes() []cluster.NodeID {
 // Samples returns the recorded time series.
 func (c *Controller) Samples() []metrics.Sample { return c.rec.Samples() }
 
+// SchedCounters is a snapshot of the controller's lifetime hot-path
+// counters: engine events fired, scheduling passes run vs skipped by
+// the pass memo, and projection-memo hits/misses. The counters are
+// plain uint64 increments on the deterministic simulation path — this
+// accessor exists so observers can sample them out-of-band (e.g. from
+// a metrics observer callback) and publish deltas without touching the
+// hot path.
+type SchedCounters struct {
+	EventsFired        uint64
+	Passes             uint64
+	PassesSkipped      uint64
+	ProjectionMemoHits uint64
+	ProjectionMemoMiss uint64
+}
+
+// SchedCounters returns the current counter snapshot. Call only from
+// the simulation goroutine (e.g. inside an observer), like the other
+// read accessors.
+func (c *Controller) SchedCounters() SchedCounters {
+	hits, misses := c.futureFreqMemo.Stats()
+	return SchedCounters{
+		EventsFired:        c.eng.Fired(),
+		Passes:             c.statPasses,
+		PassesSkipped:      c.statPassesSkipped,
+		ProjectionMemoHits: hits,
+		ProjectionMemoMiss: misses,
+	}
+}
+
 // ActiveCap returns the tightest powercap budget active at the current
 // virtual time (power.NoCap when none).
 func (c *Controller) ActiveCap() power.Cap { return c.book.CapAt(c.eng.Now()) }
@@ -929,10 +964,12 @@ func (c *Controller) pass(now int64) {
 		// blocking phase — so a re-run would provably refuse everything
 		// again. Skip it.
 		if c.book.OffsPhaseStable(c.passMemoNow, now, c.cfg.ReservationLead) {
+			c.statPassesSkipped++
 			return
 		}
 		c.invalidatePassMemo()
 	}
+	c.statPasses++
 	order := c.pending
 	if c.cfg.Priority != sched.FCFS {
 		order = c.orderer.Order(c.pending, c.cfg.Priority, c.weights, c.fairshare, now)

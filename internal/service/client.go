@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -55,6 +56,9 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 	}
 	if c.Token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	if id := obs.RequestIDFrom(ctx); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
@@ -291,6 +295,9 @@ func (c *Client) WriteReport(ctx context.Context, id, format string, opt sim.Sin
 	}
 	if c.Token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	if id := obs.RequestIDFrom(ctx); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {

@@ -138,7 +138,10 @@ type recordMeta struct {
 	CacheHits  int       `json:"cache_hits"`
 	CellsDone  int       `json:"cells_done"`
 	CellsTotal int       `json:"cells_total"`
-	Events     []Event   `json:"events,omitempty"`
+	// Stages is absent in archives written before stage timing existed;
+	// those decode with a nil pointer, not an error.
+	Stages *StageTimings `json:"stages,omitempty"`
+	Events []Event       `json:"events,omitempty"`
 }
 
 // encodeRecord builds the archive envelope for a record. The live
@@ -160,7 +163,7 @@ func encodeRecord(rec Record) (sim.Envelope, error) {
 		State: rec.State, Error: rec.Error,
 		Submitted: rec.Submitted, Started: rec.Started, Finished: rec.Finished,
 		CacheHits: rec.CacheHits, CellsDone: rec.CellsDone, CellsTotal: rec.CellsTotal,
-		Events: rec.Events,
+		Stages: rec.Stages, Events: rec.Events,
 	}
 	if env.Meta, err = json.Marshal(meta); err != nil {
 		return sim.Envelope{}, err
@@ -193,8 +196,8 @@ func decodeRecord(env sim.Envelope) (Record, error) {
 		State: meta.State, Error: meta.Error,
 		Submitted: meta.Submitted, Started: meta.Started, Finished: meta.Finished,
 		CacheHits: meta.CacheHits, CellsDone: meta.CellsDone, CellsTotal: meta.CellsTotal,
-		Events: meta.Events,
-		Spec:   env.Spec,
+		Stages: meta.Stages, Events: meta.Events,
+		Spec: env.Spec,
 	}
 	rec.Renders = env.Renders
 	if len(env.Telemetry) > 0 {

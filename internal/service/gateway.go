@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -40,6 +41,13 @@ type GatewayConfig struct {
 	// HTTPClient is used for all worker traffic (default
 	// http.DefaultClient).
 	HTTPClient *http.Client
+	// Logger receives the gateway's structured log lines; nil disables
+	// logging (every log call on a nil logger is a cheap no-op).
+	Logger *obs.Logger
+	// SSEKeepalive paces comment frames on locally-answered event
+	// streams (default 15s; negative disables). Proxied streams carry
+	// the worker's keepalives through verbatim.
+	SSEKeepalive time.Duration
 }
 
 func (c GatewayConfig) withDefaults() GatewayConfig {
@@ -54,6 +62,9 @@ func (c GatewayConfig) withDefaults() GatewayConfig {
 	}
 	if c.RetryDelay <= 0 {
 		c.RetryDelay = 250 * time.Millisecond
+	}
+	if c.SSEKeepalive == 0 {
+		c.SSEKeepalive = 15 * time.Second
 	}
 	return c
 }
@@ -102,6 +113,10 @@ type gwRun struct {
 	workerRunID string
 	// requeues counts worker deaths this run survived.
 	requeues int
+	// reqID is the submitting request's trace id; dispatch and the
+	// watcher forward it to the worker so one id stitches the gateway's
+	// and the worker's logs together.
+	reqID string
 }
 
 func (r *gwRun) view() RunView {
@@ -169,6 +184,8 @@ func (r *gwRun) record() Record {
 type Gateway struct {
 	cfg   GatewayConfig
 	sched Scheduler
+	met   *gatewayMetrics
+	log   *obs.Logger
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -198,6 +215,14 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		byHash:     map[string]*gwRun{},
 	}
 	g.sched = NewRetryScheduler(cfg.Dispatchers, cfg.QueueDepth, cfg.RetryDelay, g.dispatch)
+	g.log = cfg.Logger.Component("gateway")
+	g.met = newGatewayMetrics(g)
+	// The retry counter rides a concrete-type hook so the Scheduler
+	// interface stays lifecycle-only; a backend without the hook simply
+	// goes uncounted.
+	if hooked, ok := g.sched.(interface{ SetRetryHook(func()) }); ok {
+		hooked.SetRetryHook(g.met.dispatchRetries.Inc)
+	}
 	go g.sweep()
 	return g
 }
@@ -318,6 +343,7 @@ func (g *Gateway) markDead(name string) {
 		g.mu.Unlock()
 		return
 	}
+	wasAlive := m.alive
 	m.alive = false
 	var requeue []*gwRun
 	for _, r := range g.runs {
@@ -332,6 +358,10 @@ func (g *Gateway) markDead(name string) {
 		}
 	}
 	g.mu.Unlock()
+	g.met.requeues.Add(uint64(len(requeue)))
+	if wasAlive || len(requeue) > 0 {
+		g.log.Warn("worker declared dead", "member", name, "requeued", len(requeue))
+	}
 	for _, r := range requeue {
 		if err := g.sched.Enqueue(r.id); err != nil {
 			g.mu.Lock()
@@ -371,16 +401,23 @@ func (g *Gateway) dispatch(id string) error {
 	m := g.members[pick]
 	client := m.client
 	spec := r.spec
+	reqID := r.reqID
 	g.mu.Unlock()
 
+	g.met.dispatches.Inc()
+	// The submitting request's trace id rides the dispatch: the worker's
+	// middleware adopts it, so the worker-side run logs carry the same
+	// request_id the gateway logged at submission.
 	ctx, cancel := context.WithTimeout(g.baseCtx, 15*time.Second)
-	v, _, err := client.Submit(ctx, spec)
+	v, _, err := client.Submit(obs.WithRequestID(ctx, reqID), spec)
 	cancel()
 	if err != nil {
+		g.met.dispatchErrors.Inc()
 		var apiErr *Error
 		if errors.As(err, &apiErr) {
 			if apiErr.Status == 503 || apiErr.Status == 429 {
 				// The worker is full or draining — retryable.
+				g.log.Debug("dispatch deferred", "run", id, "member", pick, "status", apiErr.Status, "request_id", reqID)
 				return err
 			}
 			// The spec itself was refused: retrying re-submits the same
@@ -392,6 +429,7 @@ func (g *Gateway) dispatch(id string) error {
 				r.finished = time.Now()
 			}
 			g.mu.Unlock()
+			g.log.Info("dispatch refused", "run", id, "member", pick, "error", apiErr.Msg, "request_id", reqID)
 			return nil
 		}
 		// Transport failure: the worker is unreachable. Declare it dead
@@ -417,6 +455,7 @@ func (g *Gateway) dispatch(id string) error {
 		r.state = v.State
 	}
 	g.mu.Unlock()
+	g.log.Info("run dispatched", "run", id, "member", pick, "worker_run", v.ID, "request_id", reqID)
 	go g.watch(id, pick, v.ID)
 	return nil
 }
@@ -428,11 +467,15 @@ func (g *Gateway) dispatch(id string) error {
 func (g *Gateway) watch(id, memberName, workerRunID string) {
 	g.mu.Lock()
 	m := g.members[memberName]
+	var reqID string
+	if r := g.runs[id]; r != nil {
+		reqID = r.reqID
+	}
 	g.mu.Unlock()
 	if m == nil {
 		return
 	}
-	v, err := m.client.Wait(g.baseCtx, workerRunID, func(rv RunView) {
+	v, err := m.client.Wait(obs.WithRequestID(g.baseCtx, reqID), workerRunID, func(rv RunView) {
 		g.observe(id, memberName, rv)
 	})
 	if err != nil {
@@ -474,6 +517,17 @@ func (g *Gateway) observe(id, memberName string, rv RunView) {
 // the gateway has routed, then queue for dispatch. The gateway bills
 // quotas itself — workers run open behind it.
 func (g *Gateway) SubmitAs(tenant TenantConfig, spec sim.RunSpec) (RunView, bool, error) {
+	return g.submitAs(tenant, spec, "")
+}
+
+// SubmitTraced is SubmitAs carrying the request's trace id, which the
+// gateway pins to the run and forwards on every worker call it makes
+// for it.
+func (g *Gateway) SubmitTraced(ctx context.Context, tenant TenantConfig, spec sim.RunSpec) (RunView, bool, error) {
+	return g.submitAs(tenant, spec, obs.RequestIDFrom(ctx))
+}
+
+func (g *Gateway) submitAs(tenant TenantConfig, spec sim.RunSpec, reqID string) (RunView, bool, error) {
 	if g.cfg.Auth != nil && tenant.Name != "" {
 		if wait, ok := g.cfg.Auth.AllowSubmit(tenant.Name); !ok {
 			return RunView{}, false, &Error{
@@ -500,6 +554,7 @@ func (g *Gateway) SubmitAs(tenant TenantConfig, spec sim.RunSpec) (RunView, bool
 	if prev := g.byHash[hash]; prev != nil && prev.state != StateFailed && prev.state != StateCancelled {
 		prev.hits++
 		g.cacheHits++
+		g.log.Debug("cache hit", "run", prev.id, "hash", hash[:12], "request_id", reqID)
 		return prev.view(), true, nil
 	}
 	if g.cfg.Auth != nil && tenant.Name != "" && tenant.MaxQueued > 0 {
@@ -528,6 +583,7 @@ func (g *Gateway) SubmitAs(tenant TenantConfig, spec sim.RunSpec) (RunView, bool
 		kinds:     kinds,
 		state:     StateQueued,
 		submitted: time.Now(),
+		reqID:     reqID,
 	}
 	g.nextSeq++
 	g.runs[r.id] = r
@@ -542,7 +598,22 @@ func (g *Gateway) SubmitAs(tenant TenantConfig, spec sim.RunSpec) (RunView, bool
 		}
 		return RunView{}, false, &Error{Status: 503, Msg: err.Error()}
 	}
+	g.log.Info("run queued", "run", r.id, "hash", hash[:12], "tenant", tenant.Name, "request_id", reqID)
 	return r.view(), false, nil
+}
+
+// memberCounts tallies the member table for the gauge closures.
+func (g *Gateway) memberCounts() (alive, dead int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, m := range g.members {
+		if m.alive {
+			alive++
+		} else {
+			dead++
+		}
+	}
+	return alive, dead
 }
 
 // lookup resolves a gateway run id under the caller's tenancy; foreign

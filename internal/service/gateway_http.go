@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -46,22 +48,63 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, 200, map[string]string{"status": "ok"})
 	})
-	if g.cfg.Auth == nil {
-		return mux
+	mux.HandleFunc("/metrics", g.handleMetrics)
+	// pprof mirrors the daemon's gating: open gateways expose it, authed
+	// gateways answer non-admins with the same 404 an absent route gets.
+	mux.HandleFunc("/debug/pprof/", g.gatePprof(pprof.Index))
+	mux.HandleFunc("/debug/pprof/cmdline", g.gatePprof(pprof.Cmdline))
+	mux.HandleFunc("/debug/pprof/profile", g.gatePprof(pprof.Profile))
+	mux.HandleFunc("/debug/pprof/symbol", g.gatePprof(pprof.Symbol))
+	mux.HandleFunc("/debug/pprof/trace", g.gatePprof(pprof.Trace))
+
+	var h http.Handler = mux
+	if g.cfg.Auth != nil {
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			// /healthz and /metrics stay open: probes and scrapers run
+			// without tenant credentials, same as on a daemon.
+			if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+				mux.ServeHTTP(w, r)
+				return
+			}
+			tc, err := g.cfg.Auth.Authenticate(r.Header.Get("Authorization"))
+			if err != nil {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="simd"`)
+				writeErr(w, err)
+				return
+			}
+			mux.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantKey, tc)))
+		})
 	}
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" {
-			mux.ServeHTTP(w, r)
-			return
-		}
-		tc, err := g.cfg.Auth.Authenticate(r.Header.Get("Authorization"))
-		if err != nil {
-			w.Header().Set("WWW-Authenticate", `Bearer realm="simd"`)
-			writeErr(w, err)
-			return
-		}
-		mux.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantKey, tc)))
+	// Middleware outermost: auth refusals are counted and traced too.
+	return obs.Middleware(h, obs.MiddlewareOptions{
+		Metrics: g.met.httpMet,
+		Log:     g.cfg.Logger.Component("gateway-http"),
+		Route:   routeTemplate,
 	})
+}
+
+// gatePprof hides the profiler from non-admin tenants on authenticated
+// gateways: a plain 404, indistinguishable from the route not existing.
+func (g *Gateway) gatePprof(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if g.cfg.Auth != nil && !requestTenant(r).Admin {
+			writeErr(w, &Error{Status: 404, Msg: "not found"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleMetrics is the gateway's Prometheus exposition: its own
+// families plus the fleet-aggregated simd_fleet_* snapshot (which fans
+// out to every member's /v1/stats, like GET /v1/stats does).
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = g.met.scrape(w, g.Stats(r.Context()))
 }
 
 // adminOnly gates fleet management behind operator tokens on
@@ -84,7 +127,7 @@ func (g *Gateway) handleRuns(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, &Error{Status: 400, Msg: err.Error()})
 			return
 		}
-		v, hit, err := g.SubmitAs(requestTenant(r), spec)
+		v, hit, err := g.SubmitTraced(r.Context(), requestTenant(r), spec)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -173,7 +216,7 @@ func (g *Gateway) proxySubresource(w http.ResponseWriter, r *http.Request, id, s
 		case "report":
 			writeErr(w, &Error{Status: 409, Msg: fmt.Sprintf("service: run %s is %s; report not ready", id, local.State)})
 		case "events":
-			g.localEvents(w, local)
+			g.localEvents(w, r, local)
 		default:
 			writeErr(w, &Error{Status: 404, Msg: fmt.Sprintf("run %s recorded no telemetry", id)})
 		}
@@ -189,8 +232,12 @@ func (g *Gateway) proxySubresource(w http.ResponseWriter, r *http.Request, id, s
 		writeErr(w, &Error{Status: 500, Msg: err.Error()})
 		return
 	}
+	if reqID := obs.RequestIDFrom(r.Context()); reqID != "" {
+		req.Header.Set(obs.RequestIDHeader, reqID)
+	}
 	resp, err := m.client.http().Do(req)
 	if err != nil {
+		g.met.proxyErrors.Inc()
 		if g.baseCtx.Err() == nil && r.Context().Err() == nil {
 			g.markDead(m.name)
 		}
@@ -272,28 +319,19 @@ func copyResponse(w http.ResponseWriter, resp *http.Response) {
 
 // localEvents streams the events a gateway-held run has: the queued
 // marker, plus the terminal marker for runs that ended without ever
-// reaching a worker.
-func (g *Gateway) localEvents(w http.ResponseWriter, v RunView) {
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		writeErr(w, &Error{Status: 500, Msg: "streaming unsupported by this connection"})
-		return
-	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.WriteHeader(200)
-	events := []Event{{Seq: 0, Type: "queued"}}
-	if v.Terminal() {
-		events = append(events, Event{Seq: 1, Type: string(v.State), Error: v.Error})
-	}
-	for _, e := range events {
-		b, err := json.Marshal(e)
-		if err != nil {
-			return
+// reaching a worker. The stream closes after the replay — assigned
+// runs get the worker's live (keepalive-bearing) stream proxied
+// instead.
+func (g *Gateway) localEvents(w http.ResponseWriter, r *http.Request, v RunView) {
+	serveSSE(w, r, 0, func(ctx context.Context, emit func(Event) error) error {
+		if err := emit(Event{Seq: 0, Type: "queued"}); err != nil {
+			return err
 		}
-		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, b)
-	}
-	flusher.Flush()
+		if v.Terminal() {
+			return emit(Event{Seq: 1, Type: string(v.State), Error: v.Error})
+		}
+		return nil
+	})
 }
 
 // joinRequest is the POST /v1/fleet/join body.

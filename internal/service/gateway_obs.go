@@ -1,0 +1,96 @@
+package service
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// gatewayMetrics is the gateway's own registry: HTTP middleware
+// families under the simd_gateway namespace (disjoint from the worker
+// daemons' simd_http_* families, so a fleet-wide scrape job never sees
+// colliding names with different meanings), the dispatch/proxy/requeue
+// counters the routing loop drives, and live gauges over the member
+// table and dispatch queue.
+type gatewayMetrics struct {
+	reg     *obs.Registry
+	httpMet *obs.HTTPMetrics
+
+	dispatches      *obs.Counter
+	dispatchErrors  *obs.Counter
+	dispatchRetries *obs.Counter
+	proxyErrors     *obs.Counter
+	requeues        *obs.Counter
+}
+
+func newGatewayMetrics(g *Gateway) *gatewayMetrics {
+	reg := obs.NewRegistry()
+	m := &gatewayMetrics{
+		reg:     reg,
+		httpMet: obs.NewHTTPMetrics(reg, "simd_gateway"),
+		dispatches: reg.Counter("simd_gateway_dispatches_total",
+			"Submissions handed to a worker (successful dispatch attempts)."),
+		dispatchErrors: reg.Counter("simd_gateway_dispatch_errors_total",
+			"Dispatch attempts that errored (retryable or fatal)."),
+		dispatchRetries: reg.Counter("simd_gateway_dispatch_retries_total",
+			"Dispatches re-enqueued by the retry scheduler after a retryable error."),
+		proxyErrors: reg.Counter("simd_gateway_proxy_errors_total",
+			"Per-run subresource proxies that failed against the assigned worker."),
+		requeues: reg.Counter("simd_gateway_requeues_total",
+			"Runs rescued off dead workers back into the dispatch queue."),
+	}
+	reg.GaugeFunc("simd_gateway_members_alive",
+		"Registered workers with a current lease.",
+		func() float64 { alive, _ := g.memberCounts(); return float64(alive) })
+	reg.GaugeFunc("simd_gateway_members_dead",
+		"Registered workers whose lease has expired.",
+		func() float64 { _, dead := g.memberCounts(); return float64(dead) })
+	reg.GaugeFunc("simd_gateway_queue_depth",
+		"Undispatched submissions waiting for a worker.",
+		func() float64 { return float64(g.sched.Queued()) })
+	return m
+}
+
+// scrape writes the gateway's own families followed by the
+// fleet-aggregated simd_fleet_* set derived from one FleetStats
+// snapshot (the same fan-out GET /v1/stats performs). The snapshot
+// families go through a scratch registry so their exposition format —
+// HELP/TYPE lines, escaping, ordering — matches everything else; the
+// two name sets are disjoint, so the concatenation is a single valid
+// exposition.
+func (m *gatewayMetrics) scrape(w io.Writer, fs FleetStats) error {
+	if err := m.reg.WritePrometheus(w); err != nil {
+		return err
+	}
+	scratch := obs.NewRegistry()
+	gs := fs.Gateway
+	gauge := func(name, help string, v float64) {
+		scratch.GaugeFunc(name, help, func() float64 { return v })
+	}
+	counter := func(name, help string, v float64) {
+		scratch.CounterFunc(name, help, func() float64 { return v })
+	}
+	gauge("simd_fleet_members", "Workers the gateway has ever registered.", float64(gs.Members))
+	gauge("simd_fleet_members_alive", "Workers with a current lease.", float64(gs.Alive))
+	gauge("simd_fleet_runs", "Runs the gateway has routed (all states).", float64(gs.Runs))
+	gauge("simd_fleet_runs_queued", "Routed runs waiting for dispatch.", float64(gs.Queued))
+	gauge("simd_fleet_runs_running", "Routed runs executing on workers.", float64(gs.Running))
+	gauge("simd_fleet_runs_done", "Routed runs that completed.", float64(gs.Done))
+	gauge("simd_fleet_runs_failed", "Routed runs that failed.", float64(gs.Failed))
+	gauge("simd_fleet_runs_cancelled", "Routed runs that were cancelled.", float64(gs.Cancelled))
+	counter("simd_fleet_cache_hits_total", "Submissions deduped at the gateway.", float64(gs.CacheHits))
+	counter("simd_fleet_requeues_total", "Worker-death requeues across the fleet.", float64(gs.Requeues))
+	gauge("simd_fleet_twins_live", "Live twin sessions summed over reachable workers.", float64(gs.TwinsLive))
+	// Worker-reported aggregates: executions and archive depth summed
+	// over the members that answered the stats fan-out.
+	var execs, archived float64
+	for _, ms := range fs.Members {
+		if ms.Stats != nil {
+			execs += float64(ms.Stats.Executions)
+			archived += float64(ms.Stats.Archived)
+		}
+	}
+	counter("simd_fleet_executions_total", "Fresh executions summed over reachable workers.", execs)
+	gauge("simd_fleet_archived", "Archived records summed over reachable workers.", archived)
+	return scratch.WritePrometheus(w)
+}

@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tsdb"
 )
@@ -81,25 +83,92 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, 200, map[string]string{"status": "ok"})
 	})
-	if s.cfg.Auth == nil {
-		return mux
+	// pprof is admin-gated: open daemons expose it (single-user, like
+	// everything else), authenticated daemons require an admin token —
+	// non-admin tokens get the generic 404 (profiles leak memory
+	// contents; their existence is not advertised), and tokenless
+	// requests never reach here (the auth wrapper's open list covers
+	// only /healthz and /metrics, so /debug/* is a 401).
+	mux.HandleFunc("/debug/pprof/", s.gatePprof(pprof.Index))
+	mux.HandleFunc("/debug/pprof/cmdline", s.gatePprof(pprof.Cmdline))
+	mux.HandleFunc("/debug/pprof/profile", s.gatePprof(pprof.Profile))
+	mux.HandleFunc("/debug/pprof/symbol", s.gatePprof(pprof.Symbol))
+	mux.HandleFunc("/debug/pprof/trace", s.gatePprof(pprof.Trace))
+
+	var h http.Handler = mux
+	if s.cfg.Auth != nil {
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			// Liveness and the metric exposition stay open: load
+			// balancers and scrapers need no credentials, and neither
+			// answer carries per-tenant data.
+			if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+				mux.ServeHTTP(w, r)
+				return
+			}
+			tc, err := s.cfg.Auth.Authenticate(r.Header.Get("Authorization"))
+			if err != nil {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="simd"`)
+				writeErr(w, err)
+				return
+			}
+			mux.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantKey, tc)))
+		})
 	}
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		// Liveness and the gauge exposition stay open: load balancers
-		// and scrapers need no credentials, and neither answer carries
-		// per-tenant data.
-		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
-			mux.ServeHTTP(w, r)
-			return
-		}
-		tc, err := s.cfg.Auth.Authenticate(r.Header.Get("Authorization"))
-		if err != nil {
-			w.Header().Set("WWW-Authenticate", `Bearer realm="simd"`)
-			writeErr(w, err)
-			return
-		}
-		mux.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantKey, tc)))
+	// The middleware wraps the auth layer, so denied requests are
+	// counted and traced like served ones.
+	return obs.Middleware(h, obs.MiddlewareOptions{
+		Metrics: s.met.httpMet,
+		Log:     s.cfg.Logger.Component("http"),
+		Route:   routeTemplate,
 	})
+}
+
+// gatePprof admits pprof requests per the admin policy above.
+func (s *Server) gatePprof(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Auth != nil && !requestTenant(r).Admin {
+			writeErr(w, &Error{Status: 404, Msg: "not found"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// routeTemplate maps request paths to bounded metric labels: run and
+// twin ids collapse to {id}, unknown subresources and paths collapse
+// to catch-alls, so label cardinality stays finite no matter what
+// clients probe.
+func routeTemplate(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/v1/runs", p == "/v1/twin", p == "/v1/stats",
+		p == "/v1/fleet", p == "/v1/fleet/join", p == "/v1/fleet/heartbeat",
+		p == "/metrics", p == "/healthz":
+		return p
+	case strings.HasPrefix(p, "/debug/pprof/"):
+		return "/debug/pprof/"
+	case strings.HasPrefix(p, "/v1/runs/"):
+		return subTemplate("/v1/runs/{id}", strings.TrimPrefix(p, "/v1/runs/"),
+			"report", "metrics", "series", "events")
+	case strings.HasPrefix(p, "/v1/twin/"):
+		return subTemplate("/v1/twin/{id}", strings.TrimPrefix(p, "/v1/twin/"),
+			"mutations", "series", "events")
+	default:
+		return "other"
+	}
+}
+
+func subTemplate(base, rest string, known ...string) string {
+	_, sub, _ := strings.Cut(rest, "/")
+	if sub == "" {
+		return base
+	}
+	for _, k := range known {
+		if sub == k {
+			return base + "/" + k
+		}
+	}
+	return base + "/{sub}"
 }
 
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
@@ -112,7 +181,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, &Error{Status: 400, Msg: err.Error()})
 			return
 		}
-		v, hit, err := s.SubmitAs(requestTenant(r), spec)
+		v, hit, err := s.SubmitTraced(r.Context(), requestTenant(r), spec)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -501,30 +570,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, id string)
 		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
 		return
 	}
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		writeErr(w, &Error{Status: 500, Msg: "streaming unsupported by this connection"})
-		return
-	}
 	if _, err := s.GetAs(requestTenant(r), id, false); err != nil {
 		writeErr(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.WriteHeader(200)
-	flusher.Flush()
-
-	_ = s.Follow(r.Context(), id, func(e Event) error {
-		data, err := json.Marshal(e)
-		if err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data); err != nil {
-			return err
-		}
-		flusher.Flush()
-		return nil
+	serveSSE(w, r, s.cfg.SSEKeepalive, func(ctx context.Context, emit func(Event) error) error {
+		return s.Follow(ctx, id, emit)
 	})
 }
 
@@ -544,7 +595,14 @@ func writeErr(w http.ResponseWriter, err error) {
 	if apiErr.RetryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(apiErr.RetryAfter.Seconds()))))
 	}
-	writeJSON(w, apiErr.Status, map[string]string{"error": apiErr.Msg})
+	body := map[string]string{"error": apiErr.Msg}
+	// Stamp the request ID into the body so a failed call is greppable
+	// in the logs from the error alone (map keys encode sorted, so the
+	// shape stays deterministic).
+	if id := obs.ResponseRequestID(w); id != "" {
+		body["request_id"] = id
+	}
+	writeJSON(w, apiErr.Status, body)
 }
 
 // intParam parses an optional numeric query parameter; a malformed

@@ -59,6 +59,9 @@ type fifoScheduler struct {
 	cond   *sync.Cond
 	list   []string
 	closed bool
+	// onRetry, when set, fires once per delayed re-enqueue (under mu) —
+	// the gateway counts dispatch retries through it.
+	onRetry func()
 
 	wg     sync.WaitGroup // slot goroutines
 	timers sync.WaitGroup // pending retry re-enqueues
@@ -129,12 +132,25 @@ func (f *fifoScheduler) slot() {
 				f.mu.Lock()
 				if !f.closed {
 					f.list = append(f.list, id)
+					if f.onRetry != nil {
+						f.onRetry()
+					}
 					f.cond.Broadcast()
 				}
 				f.mu.Unlock()
 			}(id)
 		}
 	}
+}
+
+// SetRetryHook registers a callback fired once per retry re-enqueue.
+// It lives on the concrete type, not the Scheduler interface — the
+// interface stays lifecycle-only, and observers type-assert for it.
+// The hook runs with the scheduler lock held; it must not call back in.
+func (f *fifoScheduler) SetRetryHook(fn func()) {
+	f.mu.Lock()
+	f.onRetry = fn
+	f.mu.Unlock()
 }
 
 // Enqueue accepts one id; ErrQueueFull past the depth bound.

@@ -44,6 +44,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rjms"
 	"repro/internal/sim"
 	"repro/internal/tsdb"
@@ -78,6 +79,14 @@ type Config struct {
 	// per-tenant quotas; nil runs the daemon open (single-user
 	// default).
 	Auth *Auth
+	// Logger, when non-nil, receives the daemon's structured log lines
+	// (lifecycle, cache hits, archive failures, HTTP access); nil is
+	// silent.
+	Logger *obs.Logger
+	// SSEKeepalive is the interval between ": keepalive" comment frames
+	// on event streams, keeping idle proxies from reaping long-lived
+	// connections (default 15s; negative disables).
+	SSEKeepalive time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +98,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRuns <= 0 {
 		c.MaxRuns = 1024
+	}
+	if c.SSEKeepalive == 0 {
+		c.SSEKeepalive = 15 * time.Second
 	}
 	return c
 }
@@ -140,6 +152,12 @@ type run struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// reqID is the X-Request-ID of the submission that created the run,
+	// stamped into its lifecycle log lines; setupDur is the
+	// validate/normalize/hash time, folded into the stage timings.
+	reqID    string
+	setupDur time.Duration
 
 	mu        sync.Mutex
 	cond      *sync.Cond // signals event appends and state changes
@@ -222,6 +240,12 @@ type Server struct {
 	tsdb  *tsdb.Store
 	store *MemStore // hot tier: terminal runs completed in this process
 
+	// met is the metric registry and instruments (always present); log
+	// is the component-scoped logger (nil-safe when Config.Logger is
+	// unset).
+	met *serverMetrics
+	log *obs.Logger
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
@@ -280,6 +304,8 @@ func New(cfg Config) *Server {
 		}
 	}
 	s.sched = NewPoolScheduler(cfg.Workers, cfg.QueueDepth, s.executeID)
+	s.log = cfg.Logger.Component("service")
+	s.met = newServerMetrics(s)
 	return s
 }
 
@@ -349,6 +375,19 @@ func (s *Server) Submit(spec sim.RunSpec) (RunView, bool, error) {
 // and cancelled runs never serve as cache entries: resubmitting their
 // spec starts a fresh execution.
 func (s *Server) SubmitAs(tenant TenantConfig, spec sim.RunSpec) (RunView, bool, error) {
+	return s.submitAs(tenant, spec, "")
+}
+
+// SubmitTraced is SubmitAs with the caller's request ID (from the
+// request context, see obs.WithRequestID) bound to the run, so the
+// run's lifecycle log lines correlate with the submitting HTTP request
+// across gateway and worker logs.
+func (s *Server) SubmitTraced(ctx context.Context, tenant TenantConfig, spec sim.RunSpec) (RunView, bool, error) {
+	return s.submitAs(tenant, spec, obs.RequestIDFrom(ctx))
+}
+
+func (s *Server) submitAs(tenant TenantConfig, spec sim.RunSpec, reqID string) (RunView, bool, error) {
+	setupStart := time.Now()
 	if s.cfg.Auth != nil && tenant.Name != "" {
 		if wait, ok := s.cfg.Auth.AllowSubmit(tenant.Name); !ok {
 			return RunView{}, false, &Error{
@@ -369,6 +408,7 @@ func (s *Server) SubmitAs(tenant TenantConfig, spec sim.RunSpec) (RunView, bool,
 	if err != nil {
 		return RunView{}, false, &Error{Status: 400, Msg: err.Error()}
 	}
+	setupDur := time.Since(setupStart)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -381,8 +421,10 @@ func (s *Server) SubmitAs(tenant TenantConfig, spec sim.RunSpec) (RunView, bool,
 		if st != StateFailed && st != StateCancelled {
 			prev.hits++
 			s.cacheHits++
+			s.met.tierLive.Inc()
 			v := prev.viewLocked(false, false)
 			prev.mu.Unlock()
+			s.log.Debug("cache hit", "run", v.ID, "tier", "live", "request_id", reqID)
 			return v, true, nil
 		}
 		prev.mu.Unlock()
@@ -392,11 +434,17 @@ func (s *Server) SubmitAs(tenant TenantConfig, spec sim.RunSpec) (RunView, bool,
 	// update is serialized by s.mu (stores do no read-modify-write of
 	// their own), and re-putting an archive-only record warms it back
 	// into the hot tier.
-	if rec, ok := s.storeByHashLocked(hash); ok && rec.State == StateDone {
+	if rec, tier, ok := s.storeByHashLocked(hash); ok && rec.State == StateDone {
 		rec.CacheHits++
 		s.cacheHits++
+		if tier == "archive" {
+			s.met.tierArchive.Inc()
+		} else {
+			s.met.tierHot.Inc()
+		}
 		if err := s.store.Put(rec); err == nil {
 			v := viewFromRecord(rec, false, false)
+			s.log.Debug("cache hit", "run", v.ID, "tier", tier, "request_id", reqID)
 			return v, true, nil
 		}
 	}
@@ -430,6 +478,8 @@ func (s *Server) SubmitAs(tenant TenantConfig, spec sim.RunSpec) (RunView, bool,
 		kinds:     kinds,
 		ctx:       ctx,
 		cancel:    cancel,
+		reqID:     reqID,
+		setupDur:  setupDur,
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
@@ -458,21 +508,25 @@ func (s *Server) SubmitAs(tenant TenantConfig, spec sim.RunSpec) (RunView, bool,
 		}
 		return RunView{}, false, &Error{Status: 503, Msg: err.Error()}
 	}
+	s.log.Info("run queued", "run", r.id, "hash", hash[:12], "tenant", tenant.Name,
+		"mode", string(norm.Mode), "request_id", reqID)
 	return v, false, nil
 }
 
 // storeByHashLocked resolves a spec hash through the store tiers (hot
-// first); s.mu must be held (it serializes hit-count updates).
-func (s *Server) storeByHashLocked(hash string) (Record, bool) {
+// first) and names the tier that answered ("hot" or "archive") for the
+// cache-tier metrics; s.mu must be held (it serializes hit-count
+// updates).
+func (s *Server) storeByHashLocked(hash string) (Record, string, bool) {
 	if rec, ok, err := s.store.ByHash(hash); err == nil && ok {
-		return rec, true
+		return rec, "hot", true
 	}
 	if s.cfg.Archive != nil {
 		if rec, ok, err := s.cfg.Archive.ByHash(hash); err == nil && ok {
-			return rec, true
+			return rec, "archive", true
 		}
 	}
-	return Record{}, false
+	return Record{}, "", false
 }
 
 // storeRecord resolves a run id through the store tiers (hot first).
@@ -503,12 +557,39 @@ func (s *Server) retire(r *run) {
 	rec.Report = r.report
 	r.mu.Unlock()
 
+	renderStart := time.Now()
 	if rec.Report != nil {
 		rec.Renders = renderAll(*rec.Report)
 	}
+	renderDur := time.Since(renderStart)
 	if rs := s.tsdb.Lookup(r.id); rs != nil {
 		rec.Telemetry = rs.Snapshot()
 	}
+	rec.Stages = r.stageTimings(rec, renderDur)
+
+	// Only done runs are worth durable bytes: failures and
+	// cancellations are not reusable results, and archiving them would
+	// shadow (by spec hash) a later successful run of the same spec
+	// written by another process sharing the directory. The write
+	// happens before the live→hot handoff so its duration lands in the
+	// hot record's stage timings; the run is still live (and deduping)
+	// meanwhile. The archived copy itself carries ArchiveMS 0 — it was
+	// serialized mid-write — and a hit count that may trail the hot
+	// tier's by the hits landing during the write; both keep accruing
+	// only in the hot tier afterwards anyway.
+	if s.cfg.Archive != nil && rec.State == StateDone {
+		archiveStart := time.Now()
+		err := s.cfg.Archive.Put(rec)
+		rec.Stages.ArchiveMS = float64(time.Since(archiveStart).Microseconds()) / 1000
+		if err != nil {
+			s.mu.Lock()
+			s.archiveErrs++
+			s.mu.Unlock()
+			s.log.Warn("archive write failed", "run", r.id, "error", err,
+				"request_id", r.reqID)
+		}
+	}
+	s.met.observeStages(rec.Stages)
 
 	s.mu.Lock()
 	r.mu.Lock()
@@ -529,18 +610,29 @@ func (s *Server) retire(r *run) {
 	putErr := s.store.Put(rec)
 	s.mu.Unlock()
 	_ = putErr
+}
 
-	// Only done runs are worth durable bytes: failures and
-	// cancellations are not reusable results, and archiving them would
-	// shadow (by spec hash) a later successful run of the same spec
-	// written by another process sharing the directory.
-	if s.cfg.Archive != nil && rec.State == StateDone {
-		if err := s.cfg.Archive.Put(rec); err != nil {
-			s.mu.Lock()
-			s.archiveErrs++
-			s.mu.Unlock()
+// stageTimings assembles the run's pipeline stage breakdown at retire
+// time. Runs cancelled while queued have no execute stage; ArchiveMS
+// is stamped by retire after the durable write it times.
+func (r *run) stageTimings(rec Record, renderDur time.Duration) *StageTimings {
+	ms := func(d time.Duration) float64 {
+		if d <= 0 {
+			return 0
 		}
+		return float64(d.Microseconds()) / 1000
 	}
+	st := &StageTimings{
+		SetupMS:  ms(r.setupDur),
+		RenderMS: ms(renderDur),
+	}
+	if !rec.Started.IsZero() {
+		st.QueuedMS = ms(rec.Started.Sub(rec.Submitted))
+		st.ExecuteMS = ms(rec.Finished.Sub(rec.Started))
+	} else if !rec.Finished.IsZero() {
+		st.QueuedMS = ms(rec.Finished.Sub(rec.Submitted))
+	}
+	return st
 }
 
 // renderAll renders the report through every registered sink at default
@@ -843,8 +935,13 @@ func (s *Server) execute(r *run) {
 	}
 	r.state = StateRunning
 	r.started = time.Now()
+	wait := r.started.Sub(r.submitted)
 	r.appendEventLocked("started", Event{})
 	r.mu.Unlock()
+
+	s.met.schedWait.Observe(wait.Seconds())
+	s.log.Debug("run started", "run", r.id, "wait", wait.Round(time.Microsecond),
+		"request_id", r.reqID)
 
 	s.mu.Lock()
 	s.executions++
@@ -885,7 +982,11 @@ func (s *Server) execute(r *run) {
 			r.appendEventLocked("done", Event{Done: r.done, Total: r.total})
 		}
 	}
+	state, errMsg, elapsed := r.state, r.errMsg, r.finished.Sub(r.started)
 	r.mu.Unlock()
+	s.log.Info("run finished", "run", r.id, "state", string(state),
+		"elapsed", elapsed.Round(time.Millisecond), "error", errMsg,
+		"request_id", r.reqID)
 	s.retire(r)
 }
 
@@ -933,6 +1034,15 @@ func (s *Server) observeFn(r *run) sim.Observer {
 		}
 		power, cap := prefix+"power", prefix+"cap"
 		pending, running := prefix+"pending_cores", prefix+"running_jobs"
+		// Engine hot-path counters are sampled out-of-band here: the
+		// controller bumps plain uint64s on the deterministic path, and
+		// each sample publishes the delta since the previous one as
+		// atomic adds — the hot path never touches an atomic or
+		// allocates for metrics. The tail between the final sample and
+		// run teardown goes unreported; the counters are rates, not
+		// ledgers.
+		var last rjms.SchedCounters
+		met := s.met
 		ctl.AddObserver(func(now int64) {
 			// Append errors (series caps, never out-of-order — the
 			// virtual clock is monotone) drop the sample, not the run.
@@ -944,6 +1054,14 @@ func (s *Server) observeFn(r *run) sim.Observer {
 			_ = rs.Append(cap, now, w)
 			_ = rs.Append(pending, now, float64(ctl.PendingCores()))
 			_ = rs.Append(running, now, float64(ctl.RunningCount()))
+
+			cur := ctl.SchedCounters()
+			met.engineEvents.Add(cur.EventsFired - last.EventsFired)
+			met.passRun.Add(cur.Passes - last.Passes)
+			met.passSkipped.Add(cur.PassesSkipped - last.PassesSkipped)
+			met.memoHit.Add(cur.ProjectionMemoHits - last.ProjectionMemoHits)
+			met.memoMiss.Add(cur.ProjectionMemoMiss - last.ProjectionMemoMiss)
+			last = cur
 		})
 	}
 }

@@ -1,0 +1,112 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// sseWriter serializes one SSE response between the event follower and
+// the keepalive ticker goroutine — two writers interleaving frames on
+// one connection would corrupt the stream. The first write error
+// sticks: later frames are dropped and the follower unwinds.
+type sseWriter struct {
+	mu  sync.Mutex
+	w   http.ResponseWriter
+	f   http.Flusher
+	err error
+}
+
+func newSSEWriter(w http.ResponseWriter, f http.Flusher) *sseWriter {
+	return &sseWriter{w: w, f: f}
+}
+
+func (sw *sseWriter) locked(fn func() error) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.err != nil {
+		return sw.err
+	}
+	sw.err = fn()
+	return sw.err
+}
+
+// event writes one typed SSE event frame and flushes it.
+func (sw *sseWriter) event(typ string, data []byte) error {
+	return sw.locked(func() error {
+		if _, err := fmt.Fprintf(sw.w, "event: %s\ndata: %s\n\n", typ, data); err != nil {
+			return err
+		}
+		sw.f.Flush()
+		return nil
+	})
+}
+
+// comment writes one SSE comment frame (": text") — invisible to
+// EventSource consumers, but enough traffic to keep idle proxies and
+// LBs from reaping the connection.
+func (sw *sseWriter) comment(text string) error {
+	return sw.locked(func() error {
+		if _, err := fmt.Fprintf(sw.w, ": %s\n\n", text); err != nil {
+			return err
+		}
+		sw.f.Flush()
+		return nil
+	})
+}
+
+// serveSSE is the shared SSE loop behind the daemon's and gateway's
+// event endpoints: set the stream headers, start the keepalive ticker
+// (every <= 0 disables it), and run the follower until it returns or
+// the request context ends. Authorization must have happened already.
+func serveSSE(w http.ResponseWriter, r *http.Request, every time.Duration,
+	follow func(ctx context.Context, emit func(Event) error) error) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, &Error{Status: 500, Msg: "streaming unsupported by this connection"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(200)
+	flusher.Flush()
+
+	sw := newSSEWriter(w, flusher)
+	if every > 0 {
+		ctx, cancel := context.WithCancel(r.Context())
+		done := make(chan struct{})
+		// The ticker must be joined, not just cancelled: a keepalive
+		// Flush racing the server's end-of-request close corrupts the
+		// response state. Returning only after done closes guarantees
+		// no frame is written once the handler has unwound.
+		defer func() {
+			cancel()
+			<-done
+		}()
+		go func() {
+			defer close(done)
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if sw.comment("keepalive") != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+	_ = follow(r.Context(), func(e Event) error {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		return sw.event(e.Type, data)
+	})
+}

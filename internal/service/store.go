@@ -48,6 +48,11 @@ type Record struct {
 	CellsDone  int
 	CellsTotal int
 
+	// Stages breaks the run's wall-clock into pipeline stages; set when
+	// the run retires (nil for runs archived before stage timing
+	// existed).
+	Stages *StageTimings
+
 	Events []Event
 	Spec   sim.RunSpec
 

@@ -11,13 +11,17 @@ import (
 	"repro/internal/service"
 )
 
-// getPath GETs an authenticated path and returns status + body.
+// getPath GETs an authenticated path and returns status + body. Every
+// probe carries the same fixed X-Request-ID: error bodies echo the
+// request ID, so the byte-identical-404 comparisons below need the
+// client-controlled ID the middleware adopts, not a fresh random one.
 func getPath(t *testing.T, base, token, path string) (int, string) {
 	t.Helper()
 	req, err := http.NewRequest(http.MethodGet, base+path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	req.Header.Set("X-Request-ID", "tenancy-probe")
 	if token != "" {
 		req.Header.Set("Authorization", "Bearer "+token)
 	}
@@ -34,9 +38,10 @@ func getPath(t *testing.T, base, token, path string) (int, string) {
 }
 
 // unknownRunBody is the exact wire body an id that never existed
-// answers — the reference bytes the foreign-tenant 404 must match.
+// answers (for getPath's fixed request ID) — the reference bytes the
+// foreign-tenant 404 must match.
 func unknownRunBody(id string) string {
-	return fmt.Sprintf("{\n  \"error\": \"service: unknown run \\\"%s\\\"\"\n}\n", id)
+	return fmt.Sprintf("{\n  \"error\": \"service: unknown run \\\"%s\\\"\",\n  \"request_id\": \"tenancy-probe\"\n}\n", id)
 }
 
 // TestCrossTenantReads404 pins the read-side ownership matrix: on an

@@ -541,68 +541,28 @@ func (s *Server) handleTwinEvents(w http.ResponseWriter, r *http.Request, id str
 		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
 		return
 	}
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		writeErr(w, &Error{Status: 500, Msg: "streaming unsupported by this connection"})
-		return
-	}
 	if _, err := s.TwinAs(requestTenant(r), id); err != nil {
 		writeErr(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.WriteHeader(200)
-	flusher.Flush()
-
-	_ = s.FollowTwin(r.Context(), id, func(e Event) error {
-		data, err := json.Marshal(e)
-		if err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data); err != nil {
-			return err
-		}
-		flusher.Flush()
-		return nil
+	serveSSE(w, r, s.cfg.SSEKeepalive, func(ctx context.Context, emit func(Event) error) error {
+		return s.FollowTwin(ctx, id, emit)
 	})
 }
 
-// handlePromMetrics serves the Prometheus text exposition of the
-// daemon's gauge set on /metrics — unauthenticated like /healthz, so
-// scrapers need no tenant token (the gauges are aggregate counters,
-// no per-tenant data).
+// handlePromMetrics serves the Prometheus text exposition on /metrics
+// — unauthenticated like /healthz, so scrapers need no tenant token
+// (the families are aggregate counters, no per-tenant data). The
+// registry carries everything: the stats-derived gauge/counter set,
+// per-route HTTP histograms, scheduler wait/depth, engine hot-path
+// counters, cache-tier hits and run stage timings.
 func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, &Error{Status: 405, Msg: "method not allowed"})
 		return
 	}
-	st := s.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	b := func(v bool) int {
-		if v {
-			return 1
-		}
-		return 0
-	}
-	for _, g := range []struct {
-		name, help string
-		value      int
-	}{
-		{"simd_runs", "Process-visible runs (live plus hot tier).", st.Runs},
-		{"simd_runs_queued", "Runs waiting for a worker.", st.Queued},
-		{"simd_runs_running", "Runs executing now.", st.Running},
-		{"simd_executions_total", "Fresh executions since boot (cache misses).", st.Executions},
-		{"simd_cache_hits_total", "Submissions deduped into existing runs.", st.CacheHits},
-		{"simd_workers", "Run worker pool size.", st.Workers},
-		{"simd_archived", "Records in the durable archive.", st.Archived},
-		{"simd_archive_errors_total", "Failed archive writes since boot.", st.ArchiveErrors},
-		{"simd_twins_live", "Twin sessions currently running.", st.TwinsLive},
-		{"simd_twins_total", "Twin sessions started and retained since boot.", st.TwinsTotal},
-		{"simd_draining", "1 while the daemon refuses new work.", b(st.Draining)},
-	} {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.value)
-	}
+	_ = s.met.scrape(w, s.Stats())
 }
 
 // --- Client ---

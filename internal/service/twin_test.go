@@ -249,9 +249,11 @@ func TestTwinTenancy(t *testing.T) {
 		t.Fatalf("twin tenant = %q", v.Tenant)
 	}
 
-	// Byte-identical 404: bob probing alice's id vs a free id.
+	// Byte-identical 404: bob probing alice's id vs a free id. A fixed
+	// X-Request-ID keeps the echoed request_id out of the comparison.
 	readBody := func(id string) (int, string) {
 		req, _ := http.NewRequest(http.MethodGet, base+"/v1/twin/"+strings.ReplaceAll(id, "{}", ""), nil)
+		req.Header.Set("X-Request-ID", "twin-probe")
 		req.Header.Set("Authorization", "Bearer tok-bob")
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {

@@ -8,6 +8,19 @@ import (
 	"repro/internal/sim"
 )
 
+// StageTimings breaks a run's wall-clock into pipeline stages, all in
+// milliseconds: queued (submission to worker pickup), setup
+// (validation + normalization + hashing), execute (sim.RunObserved),
+// render (sink renderings at retire) and archive (the durable
+// write-through; 0 with no archive). Recorded when the run retires.
+type StageTimings struct {
+	QueuedMS  float64 `json:"queued_ms"`
+	SetupMS   float64 `json:"setup_ms"`
+	ExecuteMS float64 `json:"execute_ms"`
+	RenderMS  float64 `json:"render_ms"`
+	ArchiveMS float64 `json:"archive_ms,omitempty"`
+}
+
 // RunView is the wire form of one run: everything a client needs to
 // poll, plus (on demand) the report payload encoded through the json
 // sink — the same bytes the CLIs' -json flag writes.
@@ -41,6 +54,10 @@ type RunView struct {
 	// ElapsedMS is the wall-clock execution time so far (or total, once
 	// terminal); 0 while queued.
 	ElapsedMS float64 `json:"elapsed_ms"`
+
+	// Stages is the per-stage timing breakdown, present once the run has
+	// retired into the store tiers.
+	Stages *StageTimings `json:"stages,omitempty"`
 
 	// Report carries the json-sink encoding of the finished run's
 	// sim.Report; populated only when requested and terminal.
@@ -130,6 +147,10 @@ func viewFromRecord(rec Record, withReport, withSpec bool) RunView {
 	if !rec.Finished.IsZero() {
 		t := rec.Finished
 		v.FinishedAt = &t
+	}
+	if rec.Stages != nil {
+		st := *rec.Stages
+		v.Stages = &st
 	}
 	if withReport {
 		if b, ok := rec.Renders["json"]; ok {
